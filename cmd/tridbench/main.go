@@ -1,0 +1,112 @@
+// Command tridbench regenerates every table and figure of the paper's
+// evaluation section on the simulated GTX480 / i7-975 pairing.
+//
+//	tridbench                  # run everything
+//	tridbench -exp fig12a      # one experiment
+//	tridbench -exp list        # list experiment IDs
+//	tridbench -scale 8         # divide problem sizes by 8 (quick run)
+//	tridbench -csv             # emit CSV instead of aligned text
+//	tridbench -measure-cpu     # also wall-clock the real Go CPU baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gputrid/internal/bench"
+	"gputrid/internal/gpusim"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment ID, 'all', or 'list'")
+		scale      = flag.Int("scale", 1, "divide problem sizes by this factor")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		seed       = flag.Uint64("seed", 20110913, "workload seed")
+		measureCPU = flag.Bool("measure-cpu", false, "wall-clock the real Go CPU baselines too")
+		device     = flag.String("device", "gtx480", "GPU preset: gtx480|teslac2070|gtx280")
+		profile    = flag.String("profile", "", "per-kernel profile: solver:M:N[:k], e.g. hybrid:16:65536:7")
+	)
+	flag.Parse()
+
+	if *exp == "list" {
+		all := append(bench.Experiments(), bench.Ablations()...)
+		all = append(all, bench.Extras()...)
+		fmt.Println(strings.Join(all, "\n"))
+		return
+	}
+
+	env := bench.DefaultEnv()
+	if d, ok := gpusim.Devices()[strings.ToLower(*device)]; ok {
+		env.GPU = d
+	} else {
+		fmt.Fprintf(os.Stderr, "tridbench: unknown device %q\n", *device)
+		os.Exit(1)
+	}
+	env.Scale = *scale
+	env.Seed = *seed
+	env.MeasureCPU = *measureCPU
+
+	if *profile != "" {
+		parts := strings.Split(*profile, ":")
+		if len(parts) < 3 {
+			fmt.Fprintln(os.Stderr, "tridbench: -profile wants solver:M:N[:k]")
+			os.Exit(1)
+		}
+		var m, n int
+		k := -1
+		fmt.Sscan(parts[1], &m)
+		fmt.Sscan(parts[2], &n)
+		if len(parts) > 3 {
+			fmt.Sscan(parts[3], &k)
+		}
+		out, err := env.Profile(parts[0], m, n, k)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tridbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		return
+	}
+
+	ids := bench.Experiments()
+	switch *exp {
+	case "all":
+	case "ablations":
+		ids = bench.Ablations()
+	case "extras":
+		ids = bench.Extras()
+	case "everything":
+		ids = append(ids, bench.Ablations()...)
+		ids = append(ids, bench.Extras()...)
+	default:
+		ids = strings.Split(*exp, ",")
+	}
+	start := time.Now()
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		var t *bench.Table
+		var err error
+		if strings.HasPrefix(id, "ablation-") {
+			t, err = env.RunAblation(id)
+		} else if strings.HasPrefix(id, "extra-") {
+			t, err = env.RunExtra(id)
+		} else {
+			t, err = env.Run(id)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tridbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
+		} else {
+			fmt.Println(t.Format())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "tridbench: completed %d experiment(s) in %v (scale=%d)\n",
+		len(ids), time.Since(start).Round(time.Millisecond), *scale)
+}

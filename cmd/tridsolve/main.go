@@ -1,0 +1,190 @@
+// Command tridsolve solves tridiagonal systems from the command line:
+// either generated workloads (-kind, -m, -n) or a system read from a
+// file (-in) with one "a b c d" row per line. Any of the module's
+// algorithms can be selected, and every solve is verified.
+//
+//	tridsolve -m 512 -n 2048                 # hybrid on a batch
+//	tridsolve -algo cr -n 4095               # cyclic reduction
+//	tridsolve -algo davidson -m 4 -n 65536   # the §V baseline
+//	tridsolve -in sys.txt -algo pcr          # solve a file
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gputrid"
+	"gputrid/internal/core"
+	"gputrid/internal/cpu"
+	"gputrid/internal/davidson"
+	"gputrid/internal/egloff"
+	"gputrid/internal/gpusim"
+	"gputrid/internal/matrix"
+	"gputrid/internal/pcr"
+	"gputrid/internal/trifile"
+	"gputrid/internal/workload"
+	"gputrid/internal/zhang"
+)
+
+func main() {
+	var (
+		algo  = flag.String("algo", "hybrid", "hybrid|cpu|gtsv|cr|pcr|rd|davidson|egloff|zhang-cr|zhang-pcr|zhang-crpcr|zhang-pcrthomas")
+		m     = flag.Int("m", 1, "number of systems")
+		n     = flag.Int("n", 1024, "rows per system")
+		kind  = flag.String("kind", "diag-dominant", "diag-dominant|toeplitz|heat|spline")
+		k     = flag.Int("k", gputrid.AutoK, "PCR steps for the hybrid (-1 = auto)")
+		seed  = flag.Uint64("seed", 1, "workload seed")
+		in    = flag.String("in", "", "read a system/batch from file (text or TRID binary)")
+		out   = flag.String("out", "", "write the solution vector to file")
+		fuse  = flag.Bool("fuse", false, "enable kernel fusion (hybrid)")
+		cond  = flag.Bool("cond", false, "estimate the condition number of system 0")
+		quiet = flag.Bool("q", false, "print only the summary line")
+	)
+	flag.Parse()
+
+	b, err := buildBatch(*in, *kind, *m, *n, *seed)
+	if err != nil {
+		fail(err)
+	}
+	if *cond {
+		k1 := matrix.Cond1Est(b.System(0), cpu.SolveGTSV[float64])
+		fmt.Printf("cond1(system 0) ~= %.3e\n", k1)
+	}
+
+	start := time.Now()
+	x, detail, err := solve(*algo, b, *k, *fuse)
+	if err != nil {
+		fail(err)
+	}
+	wall := time.Since(start)
+
+	res := matrix.MaxResidual(b, x)
+	tol := matrix.ResidualTolerance[float64](b.N)
+	status := "OK"
+	if !(res <= tol) {
+		status = "FAILED"
+	}
+	fmt.Printf("%s: algo=%s M=%d N=%d residual=%.3e tol=%.1e wall=%v %s\n",
+		status, *algo, b.M, b.N, res, tol, wall.Round(time.Microsecond), detail)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		if err := trifile.WriteSolution(f, x, b.M, b.N); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if !*quiet && b.N <= 16 {
+		for i := 0; i < b.M; i++ {
+			fmt.Printf("x[%d] = %v\n", i, x[i*b.N:(i+1)*b.N])
+		}
+	}
+	if status != "OK" {
+		os.Exit(1)
+	}
+}
+
+func buildBatch(path, kind string, m, n int, seed uint64) (*matrix.Batch[float64], error) {
+	if path == "" {
+		var kd workload.Kind
+		switch kind {
+		case "diag-dominant":
+			kd = workload.DiagDominant
+		case "toeplitz":
+			kd = workload.Toeplitz
+		case "heat":
+			kd = workload.Heat
+		case "spline":
+			kd = workload.Spline
+		default:
+			return nil, fmt.Errorf("unknown kind %q", kind)
+		}
+		return workload.Batch[float64](kd, m, n, seed), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) >= 4 && string(data[:4]) == "TRID" {
+		return trifile.ReadBinary[float64](bytes.NewReader(data))
+	}
+	return trifile.ReadText[float64](bytes.NewReader(data))
+}
+
+func solve(algo string, b *matrix.Batch[float64], k int, fuse bool) ([]float64, string, error) {
+	switch algo {
+	case "hybrid":
+		opts := []gputrid.Option{gputrid.WithK(k)}
+		if fuse {
+			opts = append(opts, gputrid.WithKernelFusion())
+		}
+		res, err := gputrid.SolveBatch(b, opts...)
+		if err != nil {
+			return nil, "", err
+		}
+		return res.X, fmt.Sprintf("k=%d blocks/sys=%d modeled=%v",
+			res.K, res.BlocksPerSystem, res.ModeledTime.Round(time.Nanosecond)), nil
+	case "cpu":
+		x, err := gputrid.SolveCPU(b)
+		return x, "", err
+	case "gtsv":
+		x, err := gputrid.SolveCPUPivoting(b)
+		return x, "", err
+	case "cr", "pcr", "rd":
+		x := make([]float64, b.M*b.N)
+		for i := 0; i < b.M; i++ {
+			var xi []float64
+			switch algo {
+			case "cr":
+				xi = pcr.SolveCR(b.System(i))
+			case "pcr":
+				xi = pcr.Solve(b.System(i))
+			case "rd":
+				xi = pcr.SolveRD(b.System(i))
+			}
+			copy(x[i*b.N:], xi)
+		}
+		return x, "", nil
+	case "davidson":
+		x, rep, err := davidson.Solve(davidson.Config{}, b)
+		if err != nil {
+			return nil, "", err
+		}
+		return x, fmt.Sprintf("globalSteps=%d subLen=%d", rep.GlobalSteps, rep.SubsystemLen), nil
+	case "egloff":
+		x, rep, err := egloff.Solve(nil, b)
+		if err != nil {
+			return nil, "", err
+		}
+		return x, fmt.Sprintf("steps=%d launches=%d", rep.Steps, rep.Stats.Launches), nil
+	case "zhang-cr":
+		x, _, err := zhang.KernelCR(gpusim.GTX480(), b, true)
+		return x, "", err
+	case "zhang-pcr":
+		x, _, err := zhang.KernelPCR(gpusim.GTX480(), b)
+		return x, "", err
+	case "zhang-crpcr":
+		x, _, err := zhang.KernelCRPCR(gpusim.GTX480(), b, 64)
+		return x, "", err
+	case "zhang-pcrthomas":
+		x, _, err := zhang.KernelPCRThomas(gpusim.GTX480(), b, 5)
+		return x, "", err
+	case "reference":
+		return core.SolveReference(b, 4), "", nil
+	default:
+		return nil, "", fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "tridsolve: %v\n", err)
+	os.Exit(1)
+}

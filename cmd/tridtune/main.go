@@ -1,0 +1,65 @@
+// Command tridtune runs the autotuning pass of §III.D for one batch
+// shape: it solves a synthetic batch at every feasible PCR depth k and
+// reports the modeled execution time of each, the winner, and the
+// paper's Table III heuristic for comparison. The paper notes this
+// "can be done only once" per hardware and amortized afterwards.
+//
+//	tridtune -m 16 -n 65536
+//	tridtune -m 256 -n 4096 -device teslac2070 -prec 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gputrid/internal/core"
+	"gputrid/internal/gpusim"
+)
+
+func main() {
+	var (
+		m      = flag.Int("m", 16, "number of systems")
+		n      = flag.Int("n", 16384, "rows per system")
+		device = flag.String("device", "gtx480", "GPU preset: gtx480|teslac2070|gtx280")
+		prec   = flag.Int("prec", 64, "precision: 32 or 64")
+	)
+	flag.Parse()
+
+	dev, ok := gpusim.Devices()[strings.ToLower(*device)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tridtune: unknown device %q\n", *device)
+		os.Exit(1)
+	}
+
+	var best int
+	var times []float64
+	switch *prec {
+	case 32:
+		best, times = core.TuneK[float32](dev, *m, *n)
+	case 64:
+		best, times = core.TuneK[float64](dev, *m, *n)
+	default:
+		fmt.Fprintln(os.Stderr, "tridtune: -prec must be 32 or 64")
+		os.Exit(1)
+	}
+
+	fmt.Printf("autotuning M=%d N=%d on %s (float%d)\n\n", *m, *n, dev.Name, *prec)
+	fmt.Printf("%3s  %12s  %s\n", "k", "modeled[us]", "")
+	for k, tm := range times {
+		if tm >= 1e300 {
+			fmt.Printf("%3d  %12s\n", k, "infeasible")
+			continue
+		}
+		mark := ""
+		if k == best {
+			mark = "  <- tuned"
+		}
+		if k == core.HeuristicK(*m) {
+			mark += "  (Table III heuristic)"
+		}
+		fmt.Printf("%3d  %12.1f%s\n", k, tm*1e6, mark)
+	}
+	fmt.Printf("\ntuned k = %d; paper heuristic k = %d\n", best, core.HeuristicK(*m))
+}

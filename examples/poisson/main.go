@@ -1,0 +1,149 @@
+// Poisson: a 2-D Poisson solver built on ADI (alternating-direction
+// implicit) line relaxation — the paper's Poisson/multi-grid motivation
+// (refs [6][9][10]). Each half-sweep implicitly solves every grid line
+// in one direction: a batch of tridiagonal systems, which is exactly
+// the solver's sweet spot.
+//
+// Solves −∇²u = f on the unit square with u = 0 on the boundary and the
+// manufactured solution u* = sin(πx)·sin(2πy), iterating ADI sweeps
+// until the discrete residual stalls, then comparing against u*.
+//
+// Run with: go run ./examples/poisson
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"gputrid"
+)
+
+const (
+	nx, ny = 256, 256 // interior points
+	sweeps = 60
+	rho    = 1.2 // ADI pseudo-time parameter
+)
+
+func main() {
+	hx := 1.0 / float64(nx+1)
+	hy := 1.0 / float64(ny+1)
+	u := make([]float64, nx*ny)
+	f := make([]float64, nx*ny)
+	for j := 0; j < ny; j++ {
+		yy := float64(j+1) * hy
+		for i := 0; i < nx; i++ {
+			xx := float64(i+1) * hx
+			f[j*nx+i] = (math.Pi*math.Pi + 4*math.Pi*math.Pi) *
+				math.Sin(math.Pi*xx) * math.Sin(2*math.Pi*yy)
+		}
+	}
+
+	idx := func(i, j int) int { return j*nx + i }
+	lap := func(i, j int) (xpart, ypart float64) {
+		c := u[idx(i, j)]
+		var l, r, d, up float64
+		if i > 0 {
+			l = u[idx(i-1, j)]
+		}
+		if i < nx-1 {
+			r = u[idx(i+1, j)]
+		}
+		if j > 0 {
+			d = u[idx(i, j-1)]
+		}
+		if j < ny-1 {
+			up = u[idx(i, j+1)]
+		}
+		return (l - 2*c + r) / (hx * hx), (d - 2*c + up) / (hy * hy)
+	}
+
+	residual := func() float64 {
+		var worst float64
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				xp, yp := lap(i, j)
+				if e := math.Abs(-xp - yp - f[idx(i, j)]); e > worst {
+					worst = e
+				}
+			}
+		}
+		return worst
+	}
+
+	r0 := residual()
+	for s := 0; s < sweeps; s++ {
+		// Horizontal half-sweep: for each row j solve
+		// (rho/hx² tri-diag) u_row = f + ∂²u/∂y² + rho·u.
+		bx := gputrid.NewBatch[float64](ny, nx)
+		for j := 0; j < ny; j++ {
+			base := j * nx
+			for i := 0; i < nx; i++ {
+				if i > 0 {
+					bx.Lower[base+i] = -1 / (hx * hx)
+				}
+				bx.Diag[base+i] = 2/(hx*hx) + rho
+				if i < nx-1 {
+					bx.Upper[base+i] = -1 / (hx * hx)
+				}
+				_, yp := lap(i, j)
+				bx.RHS[base+i] = f[idx(i, j)] + yp + rho*u[idx(i, j)]
+			}
+		}
+		res, err := gputrid.SolveBatch(bx)
+		if err != nil {
+			log.Fatalf("sweep %d (rows): %v", s, err)
+		}
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				u[idx(i, j)] = res.X[j*nx+i]
+			}
+		}
+
+		// Vertical half-sweep, transposed.
+		by := gputrid.NewBatch[float64](nx, ny)
+		for i := 0; i < nx; i++ {
+			base := i * ny
+			for j := 0; j < ny; j++ {
+				if j > 0 {
+					by.Lower[base+j] = -1 / (hy * hy)
+				}
+				by.Diag[base+j] = 2/(hy*hy) + rho
+				if j < ny-1 {
+					by.Upper[base+j] = -1 / (hy * hy)
+				}
+				xp, _ := lap(i, j)
+				by.RHS[base+j] = f[idx(i, j)] + xp + rho*u[idx(i, j)]
+			}
+		}
+		res, err = gputrid.SolveBatch(by)
+		if err != nil {
+			log.Fatalf("sweep %d (cols): %v", s, err)
+		}
+		for i := 0; i < nx; i++ {
+			for j := 0; j < ny; j++ {
+				u[idx(i, j)] = res.X[i*ny+j]
+			}
+		}
+	}
+
+	rEnd := residual()
+	var errInf float64
+	for j := 0; j < ny; j++ {
+		yy := float64(j+1) * hy
+		for i := 0; i < nx; i++ {
+			xx := float64(i+1) * hx
+			exact := math.Sin(math.Pi*xx) * math.Sin(2*math.Pi*yy)
+			if e := math.Abs(u[idx(i, j)] - exact); e > errInf {
+				errInf = e
+			}
+		}
+	}
+	fmt.Printf("ADI on %dx%d grid, %d sweeps: residual %.3e -> %.3e (%.1fx reduction)\n",
+		nx, ny, sweeps, r0, rEnd, r0/rEnd)
+	fmt.Printf("max |u − u*| = %.3e (discretization O(h²) ≈ %.1e)\n", errInf, 40*hx*hx)
+	if rEnd > r0/100 || errInf > 1e-2 {
+		log.Fatal("poisson example FAILED: insufficient convergence")
+	}
+	fmt.Println("OK")
+}

@@ -1,0 +1,3 @@
+module gputrid
+
+go 1.24

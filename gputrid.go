@@ -1,0 +1,285 @@
+// Package gputrid is a scalable tridiagonal solver modeled on
+// "A Scalable Tridiagonal Solver for GPUs" (Kim, Wu, Chang, Hwu,
+// ICPP 2011). It solves batches of tridiagonal systems A·x = d with a
+// hybrid of tiled parallel cyclic reduction (a streaming front-end that
+// splits each system into 2^k independent interleaved subsystems using
+// a buffered sliding window in shared memory) and thread-level parallel
+// Thomas (a coalesced back-end that solves the subsystems one per
+// thread), choosing k at runtime from the batch size and the hardware's
+// parallelism.
+//
+// Because this environment has no GPU, kernels run on internal/gpusim,
+// a functional simulator of the CUDA execution model that also records
+// the architectural events (coalesced transactions, eliminations,
+// barriers, occupancy, launches) from which a deterministic
+// execution-time estimate is produced. Solutions are always computed
+// for real; see DESIGN.md for the substitution rationale.
+//
+// # Quick start
+//
+//	sys := gputrid.NewSystem[float64](1024)
+//	// ... fill sys.Lower, sys.Diag, sys.Upper, sys.RHS ...
+//	res, err := gputrid.Solve(sys)
+//	// res.X holds the solution.
+//
+// Batches use SolveBatch; options such as WithK, WithKernelFusion and
+// WithDevice tune the paper's knobs.
+package gputrid
+
+import (
+	"fmt"
+	"time"
+
+	"gputrid/internal/core"
+	"gputrid/internal/cpu"
+	"gputrid/internal/gpusim"
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+)
+
+// Real constrains the element types the solvers accept: float32 (the
+// paper's single-precision results) or float64 (its headline numbers).
+type Real = num.Real
+
+// System is one tridiagonal system in the row convention of the paper's
+// Eq. (1): Lower[i]·x[i-1] + Diag[i]·x[i] + Upper[i]·x[i+1] = RHS[i],
+// with Lower[0] and Upper[n-1] ignored.
+type System[T Real] = matrix.System[T]
+
+// Batch is M independent systems of N rows in the contiguous layout
+// (system i occupies [i*N, (i+1)*N) of each slice).
+type Batch[T Real] = matrix.Batch[T]
+
+// Interleaved is M systems in the coalescing-friendly interleaved
+// layout (row j of system i at j*M+i).
+type Interleaved[T Real] = matrix.Interleaved[T]
+
+// Device describes the simulated GPU executing the kernels.
+type Device = gpusim.Device
+
+// Stats are the architectural events recorded during a solve.
+type Stats = gpusim.Stats
+
+// NewSystem allocates an n-row system with zero coefficients.
+func NewSystem[T Real](n int) *System[T] { return matrix.NewSystem[T](n) }
+
+// NewBatch allocates an M×N batch with zero coefficients.
+func NewBatch[T Real](m, n int) *Batch[T] { return matrix.NewBatch[T](m, n) }
+
+// GTX480 returns the device description of the paper's test GPU, the
+// default device.
+func GTX480() *Device { return gpusim.GTX480() }
+
+// AutoK requests the paper's Table III heuristic for the PCR step
+// count (the default).
+const AutoK = core.KAuto
+
+type config struct {
+	device *Device
+	k      int
+	c      int
+	blocks int
+	fuse   bool
+	mux    int
+	verify bool
+}
+
+// Option customizes a solve.
+type Option func(*config)
+
+// WithDevice selects the simulated device (default GTX480).
+func WithDevice(d *Device) Option { return func(c *config) { c.device = d } }
+
+// WithK fixes the number of tiled-PCR steps; k = 0 goes straight to
+// p-Thomas. Without this option (or with WithK(AutoK)) the Table III
+// heuristic applies.
+func WithK(k int) Option { return func(c *config) { c.k = k } }
+
+// WithSubTileScale sets the Table I sub-tile scale factor c >= 1:
+// each thread produces c outputs per window advance.
+func WithSubTileScale(scale int) Option { return func(c *config) { c.c = scale } }
+
+// WithBlocksPerSystem splits every system across g thread blocks
+// (paper Fig. 11(b)); useful for small batches of very large systems.
+func WithBlocksPerSystem(g int) Option { return func(c *config) { c.blocks = g } }
+
+// WithKernelFusion enables the §III.C fusion of tiled PCR with the
+// p-Thomas forward sweep (one block per system required).
+func WithKernelFusion() Option { return func(c *config) { c.fuse = true } }
+
+// WithSystemsPerBlock multiplexes q systems (each with its own sliding
+// window) onto one thread block — paper Fig. 11(c).
+func WithSystemsPerBlock(q int) Option { return func(c *config) { c.mux = q } }
+
+// WithVerification checks the relative residual of every solution and
+// fails the solve if it exceeds the size-scaled tolerance. Off by
+// default (it costs an extra O(MN) host pass).
+func WithVerification() Option { return func(c *config) { c.verify = true } }
+
+// Result reports a solve: the solution and what the solver did.
+type Result[T Real] struct {
+	// X holds the solutions in natural order: row j of system i at
+	// X[i*N+j].
+	X []T
+	// K is the number of PCR steps actually used.
+	K int
+	// BlocksPerSystem is the Fig. 11 mapping used by the front-end.
+	BlocksPerSystem int
+	// Fused reports whether kernel fusion was active.
+	Fused bool
+	// Stats aggregates the recorded device events.
+	Stats *Stats
+	// ModeledTime is the device cost model's execution-time estimate
+	// for the kernels of this solve.
+	ModeledTime time.Duration
+	// WallTime is the measured host execution time of the simulated
+	// kernels (not comparable to real GPU time; use ModeledTime for
+	// paper-style comparisons).
+	WallTime time.Duration
+}
+
+func buildConfig(opts []Option) config {
+	c := config{k: AutoK}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.device == nil {
+		c.device = GTX480()
+	}
+	return c
+}
+
+// SolveBatch solves every system of the batch with the hybrid solver.
+func SolveBatch[T Real](b *Batch[T], opts ...Option) (*Result[T], error) {
+	c := buildConfig(opts)
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("gputrid: invalid batch: %w", err)
+	}
+	cfg := core.Config{
+		Device:          c.device,
+		K:               c.k,
+		C:               c.c,
+		BlocksPerSystem: c.blocks,
+		Fuse:            c.fuse,
+		SystemsPerBlock: c.mux,
+	}
+	start := time.Now()
+	x, rep, err := core.Solve(cfg, b)
+	if err != nil {
+		return nil, fmt.Errorf("gputrid: %w", err)
+	}
+	wall := time.Since(start)
+	if c.verify {
+		// The negated comparison also catches NaN residuals (from
+		// division by a vanishing pivot), which compare false against
+		// any threshold.
+		if r := matrix.MaxResidual(b, x); !(r <= matrix.ResidualTolerance[T](b.N)) {
+			return nil, fmt.Errorf("gputrid: verification failed: residual %.3e exceeds %.3e",
+				r, matrix.ResidualTolerance[T](b.N))
+		}
+	}
+	return &Result[T]{
+		X:               x,
+		K:               rep.K,
+		BlocksPerSystem: rep.BlocksPerSystem,
+		Fused:           rep.Fused,
+		Stats:           rep.Stats,
+		ModeledTime:     secondsToDuration(modeled[T](c.device, rep)),
+		WallTime:        wall,
+	}, nil
+}
+
+// Solve solves a single tridiagonal system.
+func Solve[T Real](s *System[T], opts ...Option) (*Result[T], error) {
+	b := matrix.NewBatch[T](1, s.N())
+	b.SetSystem(0, s)
+	return SolveBatch(b, opts...)
+}
+
+// SolveInterleaved solves a batch stored in the interleaved layout,
+// returning the solutions interleaved the same way (X[j*M+i]).
+func SolveInterleaved[T Real](v *Interleaved[T], opts ...Option) (*Result[T], error) {
+	b := v.ToBatch()
+	res, err := SolveBatch(b, opts...)
+	if err != nil {
+		return nil, err
+	}
+	res.X = matrix.InterleaveVector(res.X, v.M, v.N)
+	return res, nil
+}
+
+// SolveCPU solves the batch on the host with the sequential Thomas
+// algorithm — the reference/baseline path (MKL-sequential proxy).
+func SolveCPU[T Real](b *Batch[T]) ([]T, error) {
+	x, err := cpu.SolveBatchSeq(b)
+	if err != nil {
+		return nil, fmt.Errorf("gputrid: %w", err)
+	}
+	return x, nil
+}
+
+// Residual returns the worst normwise relative backward error of a
+// batch solution, for callers that verify selectively.
+func Residual[T Real](b *Batch[T], x []T) float64 {
+	return matrix.MaxResidual(b, x)
+}
+
+// ConditionEst estimates the 1-norm condition number of the system with
+// the Hager-Higham estimator (a handful of pivoted tridiagonal solves).
+// Large values warn that the non-pivoting fast path may lose accuracy;
+// +Inf indicates a numerically singular matrix.
+func ConditionEst[T Real](s *System[T]) float64 {
+	return matrix.Cond1Est(s, cpu.SolveGTSV[T])
+}
+
+// Factorization caches the elimination of a batch's matrices so
+// repeated solves against new right-hand sides (time stepping, ADI)
+// skip the matrix work.
+type Factorization[T Real] = cpu.BatchFactorization[T]
+
+// Factor eliminates every matrix of the batch once; call
+// Factorization.Solve for each new set of right-hand sides.
+func Factor[T Real](b *Batch[T]) (*Factorization[T], error) {
+	f, err := cpu.FactorBatch(b)
+	if err != nil {
+		return nil, fmt.Errorf("gputrid: %w", err)
+	}
+	return f, nil
+}
+
+// HybridFactorization caches a batch's k-step PCR transform and
+// p-Thomas pivots so new right-hand sides replay at a fraction of the
+// elimination work (see FactorHybrid).
+type HybridFactorization[T Real] = core.HybridFactorization[T]
+
+// FactorHybrid factors the batch for the hybrid algorithm at depth k
+// (AutoK applies the Table III heuristic). Use it when the same
+// matrices are solved against many right-hand sides, as in ADI time
+// stepping.
+func FactorHybrid[T Real](b *Batch[T], k int) (*HybridFactorization[T], error) {
+	f, err := core.FactorHybrid(b, k)
+	if err != nil {
+		return nil, fmt.Errorf("gputrid: %w", err)
+	}
+	return f, nil
+}
+
+// SolveCPUPivoting solves the batch on the host with LU decomposition
+// and partial pivoting (the dgtsv algorithm) — stable for any
+// nonsingular system, including ones the fast non-pivoting paths
+// cannot handle.
+func SolveCPUPivoting[T Real](b *Batch[T]) ([]T, error) {
+	x, err := cpu.SolveBatchGTSV(b)
+	if err != nil {
+		return nil, fmt.Errorf("gputrid: %w", err)
+	}
+	return x, nil
+}
+
+func modeled[T Real](d *Device, rep *core.Report) float64 {
+	return core.ModeledTime[T](d, rep)
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

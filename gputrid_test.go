@@ -1,0 +1,139 @@
+package gputrid
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gputrid/internal/matrix"
+	"gputrid/internal/workload"
+)
+
+func TestSolveSingleSystem(t *testing.T) {
+	s := workload.System[float64](workload.DiagDominant, 500, 1)
+	res, err := Solve(s, WithVerification())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.X) != 500 {
+		t.Fatalf("X length %d", len(res.X))
+	}
+	if res.K == 0 {
+		t.Error("single system should use PCR front-end")
+	}
+	if res.ModeledTime <= 0 || res.WallTime <= 0 {
+		t.Errorf("times: modeled %v wall %v", res.ModeledTime, res.WallTime)
+	}
+	if err := matrix.CheckSolution(s, res.X); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveBatchDefaults(t *testing.T) {
+	b := workload.Batch[float64](workload.DiagDominant, 64, 256, 2)
+	res, err := SolveBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(b, res.X); r > matrix.ResidualTolerance[float64](256) {
+		t.Errorf("residual %g", r)
+	}
+	if res.K != 6 { // Table III: 32 <= M < 512 -> 6
+		t.Errorf("auto K = %d, want 6", res.K)
+	}
+	if res.Stats == nil || res.Stats.Eliminations == 0 {
+		t.Error("stats missing")
+	}
+}
+
+func TestSolveOptions(t *testing.T) {
+	b := workload.Batch[float64](workload.DiagDominant, 4, 512, 3)
+	res, err := SolveBatch(b, WithK(5), WithSubTileScale(2), WithBlocksPerSystem(2), WithDevice(GTX480()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 5 || res.BlocksPerSystem != 2 {
+		t.Errorf("options not honored: %+v", res)
+	}
+}
+
+func TestSolveFusionOption(t *testing.T) {
+	b := workload.Batch[float64](workload.DiagDominant, 2, 512, 4)
+	res, err := SolveBatch(b, WithK(5), WithKernelFusion(), WithVerification())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fused {
+		t.Error("fusion not reported")
+	}
+}
+
+func TestSolveInterleavedRoundTrip(t *testing.T) {
+	m, n := 10, 64
+	v := workload.Interleaved[float64](workload.DiagDominant, m, n, 5)
+	res, err := SolveInterleaved(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify against the contiguous solve of the same data.
+	b := v.ToBatch()
+	want, err := SolveBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := matrix.DeinterleaveVector(res.X, m, n)
+	if d := matrix.MaxAbsDiff(back, want.X); d != 0 {
+		t.Errorf("interleaved solve differs by %g", d)
+	}
+}
+
+func TestSolveCPUBaseline(t *testing.T) {
+	b := workload.Batch[float64](workload.DiagDominant, 8, 100, 6)
+	x, err := SolveCPU(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxRelDiff(x, res.X); d > 1e-9 {
+		t.Errorf("CPU and GPU paths differ by %g", d)
+	}
+}
+
+func TestValidationRejectsBadInput(t *testing.T) {
+	b := NewBatch[float64](2, 4)
+	for i := range b.Diag {
+		b.Diag[i] = 1
+	}
+	b.RHS[5] = math.Inf(1)
+	if _, err := SolveBatch(b); err == nil || !strings.Contains(err.Error(), "invalid batch") {
+		t.Errorf("invalid batch accepted: %v", err)
+	}
+}
+
+func TestVerificationCatchesGarbage(t *testing.T) {
+	// A non-dominant system with a zero pivot path produces NaNs in the
+	// non-pivoting solver; WithVerification must catch it.
+	b := NewBatch[float64](1, 8)
+	for i := 0; i < 8; i++ {
+		b.Diag[i] = 0.0 // singular
+		b.RHS[i] = 1
+	}
+	// Make it structurally valid (finite) but singular.
+	if _, err := SolveBatch(b, WithVerification()); err == nil {
+		t.Error("singular system passed verification")
+	}
+}
+
+func TestFloat32API(t *testing.T) {
+	b := workload.Batch[float32](workload.DiagDominant, 4, 128, 7)
+	res, err := SolveBatch(b, WithVerification())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModeledTime <= 0 {
+		t.Error("modeled time missing")
+	}
+}

@@ -1,0 +1,176 @@
+package adi
+
+import (
+	"fmt"
+
+	"gputrid/internal/core"
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+)
+
+// Grid3D is a uniform interior grid on the unit cube: nx × ny × nz
+// unknowns, u = 0 on the boundary, index = (k*ny + j)*nx + i.
+type Grid3D struct {
+	NX, NY, NZ int
+	HX, HY, HZ float64
+}
+
+// NewGrid3D builds the grid for nx × ny × nz interior points.
+func NewGrid3D(nx, ny, nz int) Grid3D {
+	return Grid3D{
+		NX: nx, NY: ny, NZ: nz,
+		HX: 1 / float64(nx+1), HY: 1 / float64(ny+1), HZ: 1 / float64(nz+1),
+	}
+}
+
+func (g Grid3D) idx(i, j, k int) int { return (k*g.NY+j)*g.NX + i }
+
+// second differences along each axis (undivided).
+func dxx3[T num.Real](g Grid3D, u []T, i, j, k int) T {
+	c := u[g.idx(i, j, k)]
+	var l, r T
+	if i > 0 {
+		l = u[g.idx(i-1, j, k)]
+	}
+	if i < g.NX-1 {
+		r = u[g.idx(i+1, j, k)]
+	}
+	return l - 2*c + r
+}
+
+func dyy3[T num.Real](g Grid3D, u []T, i, j, k int) T {
+	c := u[g.idx(i, j, k)]
+	var l, r T
+	if j > 0 {
+		l = u[g.idx(i, j-1, k)]
+	}
+	if j < g.NY-1 {
+		r = u[g.idx(i, j+1, k)]
+	}
+	return l - 2*c + r
+}
+
+func dzz3[T num.Real](g Grid3D, u []T, i, j, k int) T {
+	c := u[g.idx(i, j, k)]
+	var l, r T
+	if k > 0 {
+		l = u[g.idx(i, j, k-1)]
+	}
+	if k < g.NZ-1 {
+		r = u[g.idx(i, j, k+1)]
+	}
+	return l - 2*c + r
+}
+
+// Heat3D integrates u_t = alpha ∇²u with the Douglas-Gunn scheme:
+// three tridiagonal sweeps per step, unconditionally stable and
+// second-order in time for the homogeneous problem.
+type Heat3D[T num.Real] struct {
+	Grid    Grid3D
+	Alpha   float64
+	Backend Backend[T]
+}
+
+// Step advances u (length NX*NY*NZ) by dt.
+func (h *Heat3D[T]) Step(u []T, dt float64) error {
+	g := h.Grid
+	total := g.NX * g.NY * g.NZ
+	if len(u) != total {
+		return fmt.Errorf("adi: state length %d != %d", len(u), total)
+	}
+	if h.Backend == nil {
+		h.Backend = GPUBackend[T](core.Config{K: core.KAuto})
+	}
+	lx := T(h.Alpha * dt / (g.HX * g.HX))
+	ly := T(h.Alpha * dt / (g.HY * g.HY))
+	lz := T(h.Alpha * dt / (g.HZ * g.HZ))
+
+	// Stage 1 (x-implicit):
+	// (I − lx/2 Dx) v1 = [I + lx/2 Dx + ly Dy + lz Dz] u
+	b1 := matrix.NewBatch[T](g.NY*g.NZ, g.NX)
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			base := (k*g.NY + j) * g.NX
+			for i := 0; i < g.NX; i++ {
+				if i > 0 {
+					b1.Lower[base+i] = -lx / 2
+				}
+				b1.Diag[base+i] = 1 + lx
+				if i < g.NX-1 {
+					b1.Upper[base+i] = -lx / 2
+				}
+				b1.RHS[base+i] = u[g.idx(i, j, k)] +
+					lx/2*dxx3(g, u, i, j, k) +
+					ly*dyy3(g, u, i, j, k) +
+					lz*dzz3(g, u, i, j, k)
+			}
+		}
+	}
+	v1, err := h.Backend(b1)
+	if err != nil {
+		return err
+	}
+	// v1 is already in grid layout (x-lines are contiguous).
+
+	// Stage 2 (y-implicit): (I − ly/2 Dy) v2 = v1 − ly/2 Dy u
+	b2 := matrix.NewBatch[T](g.NX*g.NZ, g.NY)
+	for k := 0; k < g.NZ; k++ {
+		for i := 0; i < g.NX; i++ {
+			base := (k*g.NX + i) * g.NY
+			for j := 0; j < g.NY; j++ {
+				if j > 0 {
+					b2.Lower[base+j] = -ly / 2
+				}
+				b2.Diag[base+j] = 1 + ly
+				if j < g.NY-1 {
+					b2.Upper[base+j] = -ly / 2
+				}
+				b2.RHS[base+j] = v1[g.idx(i, j, k)] - ly/2*dyy3(g, u, i, j, k)
+			}
+		}
+	}
+	x2, err := h.Backend(b2)
+	if err != nil {
+		return err
+	}
+	v2 := make([]T, total)
+	for k := 0; k < g.NZ; k++ {
+		for i := 0; i < g.NX; i++ {
+			base := (k*g.NX + i) * g.NY
+			for j := 0; j < g.NY; j++ {
+				v2[g.idx(i, j, k)] = x2[base+j]
+			}
+		}
+	}
+
+	// Stage 3 (z-implicit): (I − lz/2 Dz) u' = v2 − lz/2 Dz u
+	b3 := matrix.NewBatch[T](g.NX*g.NY, g.NZ)
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			base := (j*g.NX + i) * g.NZ
+			for k := 0; k < g.NZ; k++ {
+				if k > 0 {
+					b3.Lower[base+k] = -lz / 2
+				}
+				b3.Diag[base+k] = 1 + lz
+				if k < g.NZ-1 {
+					b3.Upper[base+k] = -lz / 2
+				}
+				b3.RHS[base+k] = v2[g.idx(i, j, k)] - lz/2*dzz3(g, u, i, j, k)
+			}
+		}
+	}
+	x3, err := h.Backend(b3)
+	if err != nil {
+		return err
+	}
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			base := (j*g.NX + i) * g.NZ
+			for k := 0; k < g.NZ; k++ {
+				u[g.idx(i, j, k)] = x3[base+k]
+			}
+		}
+	}
+	return nil
+}

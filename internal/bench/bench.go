@@ -1,0 +1,203 @@
+// Package bench implements the paper-reproduction harness: one runner
+// per table and figure of the evaluation section (§IV-§V), each
+// regenerating the corresponding rows/series. cmd/tridbench is the CLI
+// front-end and bench_test.go exposes the same runners as testing.B
+// benchmarks.
+//
+// Times reported for the GPU solvers come from the gpusim cost model
+// (deterministic, GTX480 parameters); times for the MKL proxies come
+// from the cpusim model (i7-975 parameters). Measured wall-clock of the
+// real Go implementations is reported where it is meaningful (the CPU
+// baselines). The reproduction target is the paper's curve shapes and
+// orderings, not its absolute microseconds; see EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gputrid/internal/core"
+	"gputrid/internal/cpu"
+	"gputrid/internal/cpusim"
+	"gputrid/internal/davidson"
+	"gputrid/internal/gpusim"
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+	"gputrid/internal/workload"
+)
+
+// Env carries the modeled hardware and run options.
+type Env struct {
+	GPU   *gpusim.Device
+	CPU   *cpusim.CPU
+	Seed  uint64
+	Scale int // divide problem sizes by this factor (>=1) for quick runs
+	// MeasureCPU additionally runs the real Go CPU baselines and
+	// reports wall-clock (skipped when false to keep sweeps fast).
+	MeasureCPU bool
+}
+
+// DefaultEnv returns the paper's hardware pairing.
+func DefaultEnv() *Env {
+	return &Env{GPU: gpusim.GTX480(), CPU: cpusim.I7_975(), Seed: 20110913, Scale: 1}
+}
+
+func (e *Env) scale(v int) int {
+	if e.Scale <= 1 {
+		return v
+	}
+	s := v / e.Scale
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // e.g. "fig12a"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	line(dashes(widths))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Header, ","))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		sb.WriteString(strings.Join(row, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func dashes(widths []int) []string {
+	out := make([]string, len(widths))
+	for i, w := range widths {
+		out[i] = strings.Repeat("-", w)
+	}
+	return out
+}
+
+// PointResult is one measured configuration.
+type PointResult struct {
+	M, N      int
+	SeqModel  float64 // MKL-sequential proxy, modeled seconds
+	MtModel   float64 // MKL-multithreaded proxy, modeled seconds
+	OursModel float64 // hybrid on the GPU model, modeled seconds
+	OursK     int
+	SeqWall   time.Duration // measured Go sequential Thomas (optional)
+	Residual  float64
+}
+
+// RunPoint solves one (M, N) configuration in precision T with the
+// hybrid and evaluates the baselines' models.
+func RunPoint[T num.Real](e *Env, m, n int) (*PointResult, error) {
+	b := workload.Batch[T](workload.DiagDominant, m, n, e.Seed)
+	cfg := core.Config{Device: e.GPU, K: core.KAuto}
+	x, rep, err := core.Solve(cfg, b)
+	if err != nil {
+		return nil, fmt.Errorf("bench: hybrid solve M=%d N=%d: %w", m, n, err)
+	}
+	res := &PointResult{
+		M: m, N: n,
+		OursModel: core.ModeledTime[T](e.GPU, rep),
+		OursK:     rep.K,
+		Residual:  matrix.MaxResidual(b, x),
+	}
+	elem := num.SizeOf[T]()
+	res.SeqModel = e.CPU.ThomasTime(m, n, elem, 1)
+	if m >= 2 {
+		res.MtModel = e.CPU.ThomasTime(m, n, elem, e.CPU.Cores*2)
+	} else {
+		res.MtModel = res.SeqModel
+	}
+	if e.MeasureCPU {
+		start := time.Now()
+		if _, err := cpu.SolveBatchSeq(b); err != nil {
+			return nil, err
+		}
+		res.SeqWall = time.Since(start)
+	}
+	return res, nil
+}
+
+// DavidsonPoint measures ours vs the Davidson baseline at one shape.
+type DavidsonPoint struct {
+	M, N           int
+	OursModel      float64
+	DavidsonModel  float64
+	DavidsonLaunch int
+}
+
+// RunDavidsonPoint compares the hybrid against the Davidson baseline.
+func RunDavidsonPoint[T num.Real](e *Env, m, n int) (*DavidsonPoint, error) {
+	b := workload.Batch[T](workload.DiagDominant, m, n, e.Seed)
+	_, rep, err := core.Solve(core.Config{Device: e.GPU, K: core.KAuto}, b)
+	if err != nil {
+		return nil, err
+	}
+	_, drep, err := davidson.Solve(davidson.Config{Device: e.GPU}, b)
+	if err != nil {
+		return nil, err
+	}
+	elem := num.SizeOf[T]()
+	var dt float64
+	for _, st := range drep.Kernels {
+		dt += e.GPU.EstimateTime(st, elem)
+	}
+	return &DavidsonPoint{
+		M: m, N: n,
+		OursModel:      core.ModeledTime[T](e.GPU, rep),
+		DavidsonModel:  dt,
+		DavidsonLaunch: drep.Stats.Launches,
+	}, nil
+}
+
+func us(sec float64) string { return fmt.Sprintf("%.1f", sec*1e6) }
+func ms(sec float64) string { return fmt.Sprintf("%.2f", sec*1e3) }
+func ratio(a, b float64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", a/b)
+}

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+
+func quickEnv() *Env {
+	e := DefaultEnv()
+	e.Scale = 16
+	return e
+}
+
+func TestExperimentIDsAllRun(t *testing.T) {
+	e := quickEnv()
+	for _, id := range Experiments() {
+		switch id {
+		case "fig13d", "summary", "fig14a", "fig14b", "table3":
+			continue // exercised separately (slower even when scaled)
+		}
+		tab, err := e.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+		if tab.ID != id {
+			t.Errorf("%s: table ID %q", id, tab.ID)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := quickEnv().Run("fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunPointOrderings(t *testing.T) {
+	// The core qualitative claims at a saturated point: ours beats the
+	// multithreaded proxy, which beats the sequential proxy.
+	e := quickEnv()
+	pt, err := RunPoint[float64](e, 4096, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pt.OursModel < pt.MtModel && pt.MtModel < pt.SeqModel) {
+		t.Errorf("ordering violated: ours=%g mt=%g seq=%g",
+			pt.OursModel, pt.MtModel, pt.SeqModel)
+	}
+	if pt.Residual > 1e-10 {
+		t.Errorf("residual %g", pt.Residual)
+	}
+	if pt.OursK != 0 {
+		t.Errorf("M=4096 should run k=0, got %d", pt.OursK)
+	}
+}
+
+func TestRunPointSmallMUsesPCR(t *testing.T) {
+	pt, err := RunPoint[float64](quickEnv(), 4, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.OursK == 0 {
+		t.Error("M=4 should use tiled PCR")
+	}
+}
+
+func TestDavidsonPointOursWins(t *testing.T) {
+	// §V: ours beats Davidson. At any shape with global steps the
+	// launch overhead and DRAM round trips must show up.
+	pt, err := RunDavidsonPoint[float64](quickEnv(), 2, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.DavidsonModel <= pt.OursModel {
+		t.Errorf("Davidson modeled faster: ours=%g dav=%g", pt.OursModel, pt.DavidsonModel)
+	}
+	if pt.DavidsonLaunch < 2 {
+		t.Errorf("Davidson launches = %d, expected global steps", pt.DavidsonLaunch)
+	}
+}
+
+func TestTableFormatAndCSV(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "T", Header: []string{"a", "bb"},
+		Rows:  [][]string{{"1", "2"}, {"333", "4"}},
+		Notes: []string{"hello"},
+	}
+	txt := tab.Format()
+	for _, want := range []string{"== x: T ==", "333", "note: hello"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Format missing %q in:\n%s", want, txt)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n1,2\n") {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestScaleClamps(t *testing.T) {
+	e := DefaultEnv()
+	e.Scale = 1000
+	if e.scale(512) != 1 {
+		t.Errorf("scale(512) = %d, want clamp to 1", e.scale(512))
+	}
+	e.Scale = 1
+	if e.scale(512) != 512 {
+		t.Error("scale=1 must be identity")
+	}
+}
+
+func TestMeasureCPUPopulatesWall(t *testing.T) {
+	e := quickEnv()
+	e.MeasureCPU = true
+	pt, err := RunPoint[float64](e, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.SeqWall <= 0 {
+		t.Error("SeqWall not measured")
+	}
+}
+
+func TestFig12ShapeSmallScale(t *testing.T) {
+	// Within one figure: the sequential proxy grows linearly in M while
+	// ours grows sub-linearly before the saturation knee.
+	e := quickEnv()
+	tab, err := e.Run("fig12a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 5 {
+		t.Fatalf("too few rows: %d", len(tab.Rows))
+	}
+	// Column 1 is MKLseq in us: last/first should be close to M ratio.
+	first := atof(t, tab.Rows[0][1])
+	last := atof(t, tab.Rows[len(tab.Rows)-1][1])
+	if last/first < 50 {
+		t.Errorf("MKLseq not ~linear in M: %g -> %g", first, last)
+	}
+}
+
+func atof(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmtSscan(s, &v); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}

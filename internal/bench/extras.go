@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"fmt"
+
+	"gputrid/internal/core"
+	"gputrid/internal/davidson"
+	"gputrid/internal/egloff"
+	"gputrid/internal/num"
+	"gputrid/internal/workload"
+	"gputrid/internal/zhang"
+)
+
+// Extras returns additional studies beyond the paper's own figures:
+// comparisons against the in-shared-memory solver family (§II refs
+// [3][10][16][17]) whose shared-memory size wall motivates tiled PCR.
+func Extras() []string {
+	return []string{"extra-small", "extra-wall", "extra-banks", "extra-large"}
+}
+
+// RunExtra executes one extra study by ID.
+func (e *Env) RunExtra(id string) (*Table, error) {
+	switch id {
+	case "extra-small":
+		return e.ExtraSmallSystems()
+	case "extra-wall":
+		return e.ExtraSharedWall()
+	case "extra-banks":
+		return e.ExtraBankConflicts()
+	case "extra-large":
+		return e.ExtraLargeBaselines()
+	default:
+		return nil, fmt.Errorf("bench: unknown extra %q (have %v)", id, Extras())
+	}
+}
+
+// ExtraSmallSystems compares the classic in-shared-memory solvers with
+// the scalable hybrid on a batch that fits shared memory — the regime
+// where the paper says its method "reduces to [16][17]".
+func (e *Env) ExtraSmallSystems() (*Table, error) {
+	t := &Table{
+		ID:     "extra-small",
+		Title:  "In-shared-memory solvers vs the hybrid (M=512, N=512, double)",
+		Header: []string{"solver", "modeled[ms]", "elims", "barriers", "bankConf", "sharedB/blk"},
+	}
+	m, n := e.scale(512), 512
+	if m < 1 {
+		m = 1
+	}
+	b := workload.Batch[float64](workload.DiagDominant, m, n, e.Seed)
+	add := func(name string, modeled float64, elims, barriers, conflicts int64, shared int) {
+		t.Rows = append(t.Rows, []string{
+			name, ms(modeled), fmt.Sprint(elims), fmt.Sprint(barriers),
+			fmt.Sprint(conflicts), fmt.Sprint(shared),
+		})
+	}
+
+	elem := num.SizeOf[float64]()
+	if _, st, err := zhang.KernelCR(e.GPU, b, false); err == nil {
+		add("CR (in-shared)", e.GPU.EstimateTime(st, elem), st.Eliminations, st.Barriers, st.SharedBankConflicts, st.SharedPerBlock)
+	} else {
+		return nil, err
+	}
+	if _, st, err := zhang.KernelCR(e.GPU, b, true); err == nil {
+		add("CR conflict-free [10]", e.GPU.EstimateTime(st, elem), st.Eliminations, st.Barriers, st.SharedBankConflicts, st.SharedPerBlock)
+	} else {
+		return nil, err
+	}
+	if _, st, err := zhang.KernelPCR(e.GPU, b); err == nil {
+		add("PCR (in-shared)", e.GPU.EstimateTime(st, elem), st.Eliminations, st.Barriers, st.SharedBankConflicts, st.SharedPerBlock)
+	} else {
+		return nil, err
+	}
+	if _, st, err := zhang.KernelCRPCR(e.GPU, b, 64); err == nil {
+		add("CR+PCR [16]", e.GPU.EstimateTime(st, elem), st.Eliminations, st.Barriers, st.SharedBankConflicts, st.SharedPerBlock)
+	} else {
+		return nil, err
+	}
+	if _, st, err := zhang.KernelPCRThomas(e.GPU, b, 5); err == nil {
+		add("PCR+Thomas [5][17]", e.GPU.EstimateTime(st, elem), st.Eliminations, st.Barriers, st.SharedBankConflicts, st.SharedPerBlock)
+	} else {
+		return nil, err
+	}
+	if _, rep, err := core.Solve(core.Config{Device: e.GPU, K: core.KAuto}, b); err == nil {
+		st := rep.Stats
+		add(fmt.Sprintf("ours (hybrid, k=%d)", rep.K), core.ModeledTime[float64](e.GPU, rep),
+			st.Eliminations, st.Barriers, st.SharedBankConflicts, st.SharedPerBlock)
+	} else {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ExtraSharedWall demonstrates the size wall: the in-shared family
+// refuses systems beyond shared-memory capacity while the hybrid keeps
+// scaling.
+func (e *Env) ExtraSharedWall() (*Table, error) {
+	t := &Table{
+		ID:     "extra-wall",
+		Title:  "Shared-memory size wall (M=4, double): who can solve N?",
+		Header: []string{"N", "CR", "PCR", "CR+PCR", "PCR+Thomas", "ours"},
+	}
+	status := func(err error) string {
+		if err != nil {
+			return "too large"
+		}
+		return "ok"
+	}
+	for _, n := range []int{512, 1024, 2048, 16384, 262144} {
+		b := workload.Batch[float64](workload.DiagDominant, 4, n, e.Seed)
+		_, _, e1 := zhang.KernelCR(e.GPU, b, false)
+		_, _, e2 := zhang.KernelPCR(e.GPU, b)
+		_, _, e3 := zhang.KernelCRPCR(e.GPU, b, 64)
+		_, _, e4 := zhang.KernelPCRThomas(e.GPU, b, 5)
+		_, _, e5 := core.Solve(core.Config{Device: e.GPU, K: core.KAuto}, b)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), status(e1), status(e2), status(e3), status(e4), status(e5),
+		})
+	}
+	return t, nil
+}
+
+// ExtraBankConflicts quantifies ref. [10]: bank conflicts of strided CR
+// vs the conflict-free padded layout, per system size.
+func (e *Env) ExtraBankConflicts() (*Table, error) {
+	t := &Table{
+		ID:     "extra-banks",
+		Title:  "CR shared-memory bank conflicts: plain vs conflict-free padding",
+		Header: []string{"N", "conflicts plain", "conflicts padded", "reduction"},
+	}
+	for _, n := range []int{128, 256, 512, 1024} {
+		b := workload.Batch[float64](workload.DiagDominant, 2, n, e.Seed)
+		_, sp, err := zhang.KernelCR(e.GPU, b, false)
+		if err != nil {
+			return nil, err
+		}
+		_, sq, err := zhang.KernelCR(e.GPU, b, true)
+		if err != nil {
+			return nil, err
+		}
+		red := "n/a"
+		if sp.SharedBankConflicts > 0 {
+			red = fmt.Sprintf("%.1fx", float64(sp.SharedBankConflicts)/float64(max64(sq.SharedBankConflicts, 1)))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(sp.SharedBankConflicts),
+			fmt.Sprint(sq.SharedBankConflicts), red,
+		})
+	}
+	return t, nil
+}
+
+// ExtraLargeBaselines compares the three scalable GPU approaches on
+// large systems: full global-memory PCR (Egloff, refs [14][15]), the
+// Davidson global-sync hybrid (§V), and the paper's tiled hybrid, with
+// the multithreaded MKL proxy for reference.
+func (e *Env) ExtraLargeBaselines() (*Table, error) {
+	t := &Table{
+		ID:    "extra-large",
+		Title: "Scalable GPU approaches on large systems (double)",
+		Header: []string{"MxN", "MKLmt[ms]", "EgloffPCR[ms]", "Davidson[ms]",
+			"ours[ms]", "egloff elims", "ours elims"},
+	}
+	elem := 8
+	for _, sh := range []struct{ m, n int }{
+		{4, 65536}, {1, 1048576}, {64, 16384},
+	} {
+		m, n := sh.m, e.scale(sh.n)
+		b := workload.Batch[float64](workload.DiagDominant, m, n, e.Seed)
+
+		_, erep, err := egloff.Solve(e.GPU, b)
+		if err != nil {
+			return nil, err
+		}
+		var et float64
+		for _, st := range erep.Kernels {
+			et += e.GPU.EstimateTime(st, elem)
+		}
+		_, drep, err := davidson.Solve(davidson.Config{Device: e.GPU}, b)
+		if err != nil {
+			return nil, err
+		}
+		var dt float64
+		for _, st := range drep.Kernels {
+			dt += e.GPU.EstimateTime(st, elem)
+		}
+		_, rep, err := core.Solve(core.Config{Device: e.GPU, K: core.KAuto}, b)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dx%d", m, n),
+			ms(e.CPU.ThomasTime(m, n, elem, e.CPU.Cores*2)),
+			ms(et), ms(dt), ms(core.ModeledTime[float64](e.GPU, rep)),
+			fmt.Sprint(erep.Stats.Eliminations), fmt.Sprint(rep.Stats.Eliminations),
+		})
+	}
+	return t, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

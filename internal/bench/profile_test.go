@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfileSolvers(t *testing.T) {
+	e := quickEnv()
+	for _, solver := range []string{"hybrid", "hybrid-fused", "davidson", "egloff"} {
+		out, err := e.Profile(solver, 4, 4096, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", solver, err)
+		}
+		for _, want := range []string{"profile:", "TOTAL", "bound"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s profile missing %q:\n%s", solver, want, out)
+			}
+		}
+	}
+	if _, err := e.Profile("nope", 1, 8, 0); err == nil {
+		t.Error("unknown solver accepted")
+	}
+}
+
+func TestAblationIDsAllRun(t *testing.T) {
+	e := quickEnv()
+	for _, id := range Ablations() {
+		if id == "ablation-blocks" {
+			continue // heavier; covered by the CLI run
+		}
+		tab, err := e.RunAblation(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+	}
+	if _, err := e.RunAblation("ablation-nope"); err == nil {
+		t.Error("unknown ablation accepted")
+	}
+}
+
+func TestExtraIDsAllRun(t *testing.T) {
+	e := quickEnv()
+	for _, id := range Extras() {
+		if id == "extra-large" {
+			continue // heavier; covered by the CLI run
+		}
+		var tab *Table
+		var err error
+		tab, err = e.RunExtra(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+	}
+	if _, err := e.RunExtra("extra-nope"); err == nil {
+		t.Error("unknown extra accepted")
+	}
+}
+
+func TestExtraWallShowsTheWall(t *testing.T) {
+	e := DefaultEnv()
+	e.Scale = 1
+	tab, err := e.RunExtra("extra-wall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last row (N = 262144): every in-shared solver must fail, ours must
+	// succeed — the paper's thesis as an assertion.
+	last := tab.Rows[len(tab.Rows)-1]
+	for col := 1; col <= 4; col++ {
+		if last[col] != "too large" {
+			t.Errorf("column %d at N=262144: %q, want 'too large'", col, last[col])
+		}
+	}
+	if last[5] != "ok" {
+		t.Errorf("ours at N=262144: %q, want ok", last[5])
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+	"gputrid/internal/workload"
+)
+
+func TestFactorHybridMatchesReferenceExactly(t *testing.T) {
+	for _, tc := range []struct{ m, n, k int }{
+		{1, 64, 3}, {4, 100, 2}, {2, 257, 4}, {3, 512, 6}, {2, 50, 0},
+	} {
+		b := workload.Batch[float64](workload.DiagDominant, tc.m, tc.n, uint64(tc.m*tc.n+tc.k))
+		f, err := FactorHybrid(b, tc.k)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		x := make([]float64, tc.m*tc.n)
+		if err := f.Solve(b.RHS, x); err != nil {
+			t.Fatal(err)
+		}
+		want := SolveReference(b, tc.k)
+		if d := matrix.MaxRelDiff(x, want); d > 1e-13 {
+			t.Errorf("%+v: factorized solve differs from reference by %g", tc, d)
+		}
+	}
+}
+
+func TestFactorHybridRepeatedRHS(t *testing.T) {
+	m, n, k := 4, 300, 5
+	b := workload.Batch[float64](workload.Heat, m, n, 7)
+	f, err := FactorHybrid(b, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := num.NewRNG(3)
+	x := make([]float64, m*n)
+	for step := 0; step < 4; step++ {
+		for i := range b.RHS {
+			b.RHS[i] = rng.Range(-2, 2)
+		}
+		if err := f.Solve(b.RHS, x); err != nil {
+			t.Fatal(err)
+		}
+		if r := matrix.MaxResidual(b, x); r > matrix.ResidualTolerance[float64](n) {
+			t.Fatalf("step %d: residual %g", step, r)
+		}
+	}
+}
+
+func TestFactorHybridAutoK(t *testing.T) {
+	b := workload.Batch[float64](workload.DiagDominant, 8, 1024, 9)
+	f, err := FactorHybrid(b, KAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.K() != 8 { // Table III: M < 16 -> 8
+		t.Errorf("auto k = %d, want 8", f.K())
+	}
+	x := make([]float64, 8*1024)
+	if err := f.Solve(b.RHS, x); err != nil {
+		t.Fatal(err)
+	}
+	if r := matrix.MaxResidual(b, x); r > matrix.ResidualTolerance[float64](1024) {
+		t.Errorf("residual %g", r)
+	}
+}
+
+func TestFactorHybridInPlaceAndErrors(t *testing.T) {
+	b := workload.Batch[float64](workload.DiagDominant, 2, 64, 5)
+	f, err := FactorHybrid(b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := append([]float64(nil), b.RHS...)
+	if err := f.Solve(rhs, rhs); err != nil {
+		t.Fatal(err)
+	}
+	if r := matrix.MaxResidual(b, rhs); r > matrix.ResidualTolerance[float64](64) {
+		t.Errorf("in-place residual %g", r)
+	}
+	if err := f.Solve(make([]float64, 3), rhs); err == nil {
+		t.Error("short rhs accepted")
+	}
+	sing := matrix.NewBatch[float64](1, 8)
+	if _, err := FactorHybrid(sing, 2); err == nil {
+		t.Error("singular factorization accepted")
+	}
+}
+
+func TestFactorHybridProperty(t *testing.T) {
+	f := func(seed uint32, mRaw, nRaw, kRaw uint8) bool {
+		m := int(mRaw)%6 + 1
+		n := int(nRaw)%200 + 1
+		k := int(kRaw) % 7
+		b := workload.Batch[float64](workload.DiagDominant, m, n, uint64(seed))
+		fac, err := FactorHybrid(b, k)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, m*n)
+		if err := fac.Solve(b.RHS, x); err != nil {
+			return false
+		}
+		return matrix.MaxRelDiff(x, SolveReference(b, fac.K())) <= 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

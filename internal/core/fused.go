@@ -1,0 +1,133 @@
+package core
+
+import (
+	"gputrid/internal/gpusim"
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+	"gputrid/internal/pthomas"
+	"gputrid/internal/tiledpcr"
+)
+
+// solveFused is the §III.C kernel-fusion path: one kernel per launch
+// runs the tiled-PCR window and, as each sub-tile of fully reduced rows
+// appears in the register tile, immediately applies the p-Thomas
+// forward recurrence. Only the forward results c' and d' are written to
+// global memory; the reduced coefficients a, b never leave the chip. A
+// second lightweight kernel then performs back-substitution.
+//
+// The fused kernel inherits tiled PCR's shared-memory footprint for its
+// whole lifetime, so its occupancy is the window's — the tradeoff the
+// paper warns about for large parallel workloads.
+func solveFused[T num.Real](dev *gpusim.Device, cfg Config, b *matrix.Batch[T], k int, rep *Report) ([]T, *Report, error) {
+	m, n := b.M, b.N
+	c := cfg.c()
+	p := 1 << k
+
+	cp := make([]T, m*n)
+	dp := make([]T, m*n)
+	x := make([]T, m*n)
+	in := tiledpcr.NewArrays(b.Lower, b.Diag, b.Upper, b.RHS)
+	gcp := gpusim.NewGlobal(cp)
+	gdp := gpusim.NewGlobal(dp)
+	gx := gpusim.NewGlobal(x)
+
+	st1, err := dev.Launch("tiledPCR+pThomasFwd", gpusim.LaunchConfig{Grid: m, Block: p},
+		func(blk *gpusim.Block) {
+			sys := blk.ID
+			w := tiledpcr.NewWindow(blk, k, c, n, sys*n, in)
+			// Per-thread forward state, kept in registers across the
+			// whole stream (the paper's register tiling).
+			cpPrev := make([]T, p)
+			dpPrev := make([]T, p)
+			started := make([]bool, p)
+			w.Run(0, n, func(outBase int) {
+				lo, hi := w.OutRange(outBase, 0, n)
+				blk.PhaseNoSync(func(t *gpusim.Thread) {
+					r := t.ID
+					for e := 0; e < c; e++ {
+						pos := r + e*p
+						if pos < lo || pos >= hi {
+							continue
+						}
+						i := outBase + pos // row index within the system
+						row := w.Out[pos]
+						var cv, dv T
+						if !started[r] {
+							cv = row.C / row.B
+							dv = row.D / row.B
+							started[r] = true
+						} else {
+							den := row.B - cpPrev[r]*row.A
+							inv := 1 / den
+							cv = row.C * inv
+							dv = (row.D - dpPrev[r]*row.A) * inv
+						}
+						cpPrev[r], dpPrev[r] = cv, dv
+						gi := sys*n + i
+						gcp.Store(t, gi, cv)
+						gdp.Store(t, gi, dv)
+						t.ThomasSteps(1)
+					}
+				})
+			})
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Kernels = append(rep.Kernels, st1)
+	rep.Stats.Add(st1)
+
+	// Back-substitution kernel: thread r of block sys walks subsystem r
+	// backwards through the stored c', d'.
+	st2, err := dev.Launch("pThomasBwd", gpusim.LaunchConfig{Grid: m, Block: p},
+		func(blk *gpusim.Block) {
+			base := blk.ID * n
+			blk.PhaseNoSync(func(t *gpusim.Thread) {
+				r := t.ID
+				if r >= n {
+					return
+				}
+				L := (n - r + p - 1) / p
+				idx := base + r + (L-1)*p
+				xNext := gdp.Load(t, idx)
+				gx.Store(t, idx, xNext)
+				for l := L - 2; l >= 0; l-- {
+					idx = base + r + l*p
+					xNext = gdp.Load(t, idx) - gcp.Load(t, idx)*xNext
+					gx.Store(t, idx, xNext)
+					t.ThomasSteps(1)
+				}
+			})
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Kernels = append(rep.Kernels, st2)
+	rep.Stats.Add(st2)
+	return x, rep, nil
+}
+
+// SolveReference solves the batch with the pure-Go streaming pipeline +
+// reference p-Thomas — the executable specification of the hybrid, used
+// to validate the kernels and as a host-side fallback.
+func SolveReference[T num.Real](b *matrix.Batch[T], k int) []T {
+	m, n := b.M, b.N
+	if k < 0 {
+		k = 0
+	}
+	for k > 0 && 1<<k > n {
+		k--
+	}
+	ra := make([]T, m*n)
+	rb := make([]T, m*n)
+	rc := make([]T, m*n)
+	rd := make([]T, m*n)
+	for i := 0; i < m; i++ {
+		r := tiledpcr.StreamReduce(b.System(i), k)
+		copy(ra[i*n:], r.Lower)
+		copy(rb[i*n:], r.Diag)
+		copy(rc[i*n:], r.Upper)
+		copy(rd[i*n:], r.RHS)
+	}
+	return pthomas.SolveStridedRef(ra, rb, rc, rd, m, n, k)
+}

@@ -1,0 +1,240 @@
+// Package core implements the paper's proposed solver: the hybrid of
+// tiled PCR (the parallelism-excavating front-end, internal/tiledpcr)
+// and thread-level parallel Thomas (the efficient back-end,
+// internal/pthomas), with the runtime algorithm-transition logic of
+// §III.D choosing how many PCR steps k to take from the batch size M
+// and the device's parallelism.
+//
+// Data flow for a batch of M systems × N rows (contiguous layout):
+//
+//	k = 0:  interleave on the host, one p-Thomas thread per system.
+//	k >= 1: tiled-PCR kernel streams every system through the buffered
+//	        sliding window (one or more blocks per system, Fig. 11(a/b)),
+//	        leaving 2^k independent interleaved subsystems per system in
+//	        global memory; the strided p-Thomas kernel then solves the
+//	        M·2^k subsystems with one block of 2^k threads per system.
+//	Fused:  §III.C — the PCR output feeds the p-Thomas forward sweep in
+//	        registers inside one kernel (only c', d' ever reach global
+//	        memory), and a light second kernel runs back-substitution.
+package core
+
+import (
+	"fmt"
+
+	"gputrid/internal/gpusim"
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+	"gputrid/internal/pthomas"
+	"gputrid/internal/tiledpcr"
+)
+
+// KAuto selects the number of PCR steps with the Table III heuristic.
+const KAuto = -1
+
+// Config controls the hybrid solver.
+type Config struct {
+	// Device is the simulated GPU; nil selects GTX480.
+	Device *gpusim.Device
+	// K is the number of tiled-PCR steps before p-Thomas takes over.
+	// KAuto (-1) applies the paper's Table III heuristic.
+	K int
+	// C is the sub-tile scale factor (Table I); 0 means 1.
+	C int
+	// BlocksPerSystem splits each system across several thread blocks
+	// (Fig. 11(b)); 0 chooses automatically: 1 when M alone fills the
+	// device, more for small batches of large systems.
+	BlocksPerSystem int
+	// Fuse enables the §III.C kernel fusion of tiled PCR with the
+	// p-Thomas forward sweep. Requires BlocksPerSystem == 1.
+	Fuse bool
+	// SystemsPerBlock multiplexes several systems (each with its own
+	// sliding window) onto one thread block, advanced round-robin per
+	// sub-tile — the Fig. 11(c) configuration that overlaps the
+	// windows' independent global loads. 0 or 1 disables multiplexing;
+	// requires BlocksPerSystem <= 1 and no fusion.
+	SystemsPerBlock int
+	// BlockSizeK0 is the thread-block size of the k = 0 p-Thomas path;
+	// 0 means 128.
+	BlockSizeK0 int
+}
+
+// Report describes what the solver did and what it cost.
+type Report struct {
+	K               int
+	C               int
+	BlocksPerSystem int
+	Fused           bool
+	// Stats aggregates all kernel launches of the solve.
+	Stats *gpusim.Stats
+	// Kernels holds the per-launch statistics in execution order.
+	Kernels []*gpusim.Stats
+}
+
+func (cfg *Config) device() *gpusim.Device {
+	if cfg.Device == nil {
+		return gpusim.GTX480()
+	}
+	return cfg.Device
+}
+
+func (cfg *Config) c() int {
+	if cfg.C <= 0 {
+		return 1
+	}
+	return cfg.C
+}
+
+// resolveK picks the PCR step count for a batch of m systems of n rows.
+func (cfg *Config) resolveK(m, n int) int {
+	k := cfg.K
+	if k == KAuto {
+		k = HeuristicK(m)
+	}
+	if k < 0 {
+		k = 0
+	}
+	// 2^k may not exceed the system size, the thread-block limit, or
+	// what the shared memory of the device can hold.
+	dev := cfg.device()
+	for k > 0 && (1<<k > n || 1<<k > dev.MaxThreadsPerBlock ||
+		tiledpcr.SharedBytes[float64](k, cfg.c()) > dev.SharedMemPerSM) {
+		k--
+	}
+	return k
+}
+
+// resolveBlocks picks the Fig. 11 block mapping for the k >= 1 path.
+func (cfg *Config) resolveBlocks(m, n, k int) int {
+	if cfg.BlocksPerSystem > 0 {
+		return cfg.BlocksPerSystem
+	}
+	if cfg.Fuse {
+		// Fusion carries p-Thomas state per subsystem inside the block,
+		// so a system cannot span blocks (Fig. 11(a) shape).
+		return 1
+	}
+	dev := cfg.device()
+	target := 2 * dev.NumSMs // enough blocks to cover every SM twice
+	if m >= target {
+		return 1
+	}
+	g := num.CeilDiv(target, m)
+	// Keep tiles no smaller than a few sub-tiles, or the halo warm-up
+	// dominates useful work.
+	s := cfg.c() << k
+	if maxG := n / (4 * s); g > maxG {
+		g = maxG
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Solve solves every system of the batch on the simulated device and
+// returns the solutions in natural order (system i occupying
+// [i*N, (i+1)*N)) along with the execution report.
+func Solve[T num.Real](cfg Config, b *matrix.Batch[T]) ([]T, *Report, error) {
+	dev := cfg.device()
+	m, n := b.M, b.N
+	k := cfg.resolveK(m, n)
+	rep := &Report{K: k, C: cfg.c(), Stats: &gpusim.Stats{}}
+
+	if k == 0 {
+		// Pure p-Thomas on the interleaved layout. The host-side
+		// transpose stands in for the application storing its batch
+		// interleaved, as the paper's benchmarks do.
+		v := b.ToInterleaved()
+		bs := cfg.BlockSizeK0
+		if bs <= 0 {
+			bs = 128
+		}
+		xi, st, err := pthomas.KernelInterleaved(dev, v, bs)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.BlocksPerSystem = 1
+		rep.Kernels = append(rep.Kernels, st)
+		rep.Stats.Add(st)
+		return matrix.DeinterleaveVector(xi, m, n), rep, nil
+	}
+
+	g := cfg.resolveBlocks(m, n, k)
+	rep.BlocksPerSystem = g
+	if cfg.Fuse {
+		if g != 1 {
+			return nil, nil, fmt.Errorf("core: kernel fusion requires one block per system, got %d", g)
+		}
+		rep.Fused = true
+		return solveFused(dev, cfg, b, k, rep)
+	}
+	if cfg.SystemsPerBlock > 1 {
+		if cfg.BlocksPerSystem > 1 {
+			return nil, nil, fmt.Errorf("core: SystemsPerBlock and BlocksPerSystem > 1 are mutually exclusive")
+		}
+		rep.BlocksPerSystem = 1
+		return solveMultiplexed(dev, cfg, b, k, rep)
+	}
+
+	// Stage 1: tiled PCR over all M systems, G blocks per system.
+	ra := make([]T, m*n)
+	rb := make([]T, m*n)
+	rc := make([]T, m*n)
+	rd := make([]T, m*n)
+	in := tiledpcr.NewArrays(b.Lower, b.Diag, b.Upper, b.RHS)
+	out := tiledpcr.NewArrays(ra, rb, rc, rd)
+	c := cfg.c()
+	per := num.CeilDiv(n, g)
+	st1, err := dev.Launch("tiledPCR", gpusim.LaunchConfig{Grid: m * g, Block: 1 << k},
+		func(blk *gpusim.Block) {
+			sys := blk.ID / g
+			slice := blk.ID % g
+			w := tiledpcr.NewWindow(blk, k, c, n, sys*n, in)
+			outStart := slice * per
+			outEnd := outStart + per
+			if outEnd > n {
+				outEnd = n
+			}
+			if outStart >= outEnd {
+				return
+			}
+			w.Run(outStart, outEnd, func(outBase int) {
+				lo, hi := w.OutRange(outBase, outStart, outEnd)
+				blk.PhaseNoSync(func(t *gpusim.Thread) {
+					for e := 0; e < c; e++ {
+						p := t.ID + e*w.Threads()
+						if p < lo || p >= hi {
+							continue
+						}
+						gi := sys*n + outBase + p
+						r := w.Out[p]
+						out.A.Store(t, gi, r.A)
+						out.B.Store(t, gi, r.B)
+						out.C.Store(t, gi, r.C)
+						out.D.Store(t, gi, r.D)
+					}
+				})
+			})
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Kernels = append(rep.Kernels, st1)
+	rep.Stats.Add(st1)
+
+	// Stage 2: p-Thomas over the M·2^k interleaved subsystems.
+	x, st2, err := pthomas.KernelStrided(dev, ra, rb, rc, rd, m, n, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Kernels = append(rep.Kernels, st2)
+	rep.Stats.Add(st2)
+	return x, rep, nil
+}
+
+// SolveSystem solves a single system with the hybrid (M = 1).
+func SolveSystem[T num.Real](cfg Config, s *matrix.System[T]) ([]T, *Report, error) {
+	b := matrix.NewBatch[T](1, s.N())
+	b.SetSystem(0, s)
+	return Solve(cfg, b)
+}

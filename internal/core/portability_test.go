@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"gputrid/internal/gpusim"
+	"gputrid/internal/matrix"
+	"gputrid/internal/tiledpcr"
+	"gputrid/internal/workload"
+)
+
+// TestPortabilityAcrossDevices checks the paper's §III.A claim that the
+// controllable window size makes the hybrid portable: the solver must
+// adapt k to each device's shared memory and block limits and still
+// solve correctly — including on a GT200-class GPU with only 16 KB of
+// shared memory and 512-thread blocks.
+func TestPortabilityAcrossDevices(t *testing.T) {
+	b := workload.Batch[float64](workload.DiagDominant, 3, 4096, 21)
+	for name, dev := range gpusim.Devices() {
+		x, rep, err := Solve(Config{Device: dev, K: KAuto}, b)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r := matrix.MaxResidual(b, x); r > matrix.ResidualTolerance[float64](4096) {
+			t.Errorf("%s: residual %g", name, r)
+		}
+		// The chosen configuration must fit the device.
+		if fit := tiledpcr.SharedBytes[float64](rep.K, rep.C); rep.K > 0 && fit > dev.SharedMemPerSM {
+			t.Errorf("%s: k=%d needs %d bytes shared, device has %d",
+				name, rep.K, fit, dev.SharedMemPerSM)
+		}
+		if rep.K > 0 && 1<<rep.K > dev.MaxThreadsPerBlock {
+			t.Errorf("%s: k=%d exceeds block limit", name, rep.K)
+		}
+	}
+}
+
+// TestGTX280ClampsK verifies that the 16 KB device forces a smaller
+// window than the heuristic's k=8.
+func TestGTX280ClampsK(t *testing.T) {
+	dev := gpusim.GTX280()
+	b := workload.Batch[float64](workload.DiagDominant, 1, 8192, 5)
+	_, rep, err := Solve(Config{Device: dev, K: KAuto}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.K >= 8 {
+		t.Errorf("k = %d on 16KB device, expected clamped below 8", rep.K)
+	}
+	if rep.K == 0 {
+		t.Error("k clamped all the way to 0; window should still fit at moderate k")
+	}
+}
+
+// TestDevicePresetsValidate ensures every preset is self-consistent.
+func TestDevicePresetsValidate(t *testing.T) {
+	for name, dev := range gpusim.Devices() {
+		if err := dev.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if dev.HardwareParallelism() <= 0 {
+			t.Errorf("%s: nonpositive parallelism", name)
+		}
+	}
+}

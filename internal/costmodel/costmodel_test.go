@@ -1,0 +1,113 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+const p480 = 15 * 1536 // GTX480 hardware parallelism
+
+func TestThomasCost(t *testing.T) {
+	// M <= P: time is one system's span regardless of M.
+	if ThomasCost(512, 1, p480) != ThomasCost(512, 100, p480) {
+		t.Error("Thomas cost should be flat while M <= P")
+	}
+	if got := ThomasCost(512, 1, p480); got != 1023 {
+		t.Errorf("Thomas span = %g, want 1023", got)
+	}
+	// M > P: scales as M/P.
+	a := ThomasCost(512, 2*p480, p480)
+	b := ThomasCost(512, 4*p480, p480)
+	if b/a < 1.99 || b/a > 2.01 {
+		t.Errorf("Thomas M>P scaling = %g, want 2", b/a)
+	}
+}
+
+func TestPCRCostDividesByP(t *testing.T) {
+	// PCR parallelizes within a system: doubling P halves the cost in
+	// the work-bound regime.
+	a := PCRCost(1<<20, 64, p480)
+	b := PCRCost(1<<20, 64, 2*p480)
+	if a/b < 1.99 || a/b > 2.01 {
+		t.Errorf("PCR P-scaling = %g, want 2", a/b)
+	}
+	// Critical-path floor.
+	if got := PCRCost(1024, 1, 1<<30); got != 11 {
+		t.Errorf("PCR floor = %g, want log2(1024)+1 = 11", got)
+	}
+}
+
+func TestHybridCostKZeroIsThomas(t *testing.T) {
+	// k = 0 leaves only the Thomas term.
+	for _, m := range []int{1, 100, 100000} {
+		h := HybridCost(1024, m, p480, 0)
+		th := ThomasCost(1024, m, p480)
+		// The hybrid's M<=P accounting divides the span among the M
+		// workers in its own way; only the M>P regime must coincide
+		// exactly with (M/P)·(2N−1).
+		if m > p480 {
+			if diff := h - th; diff < 0 || diff > float64(m)/float64(p480) {
+				t.Errorf("M=%d: hybrid k=0 cost %g vs Thomas %g", m, h, th)
+			}
+		}
+		if h <= 0 {
+			t.Errorf("M=%d: non-positive cost %g", m, h)
+		}
+	}
+}
+
+func TestOptimalKMatchesPaperRule(t *testing.T) {
+	// §III.D: M > P -> k = 0; M < P -> max k with 2^k·M <= P.
+	if k := OptimalK(512, 2*p480, p480); k != 0 {
+		t.Errorf("M > P: k = %d, want 0", k)
+	}
+	for _, tc := range []struct{ n, m, wantK int }{
+		// P/M = 23040/8 = 2880 -> k = 11, capped by log2(n)=9 for n=512.
+		{512, 8, 9},
+		// P/M = 23040/1440 = 16 -> k = 4.
+		{1 << 20, 1440, 4},
+		// P/M = 23040/23040 = 1 -> k = 0.
+		{1 << 20, p480, 0},
+	} {
+		if k := OptimalK(tc.n, tc.m, p480); k != tc.wantK {
+			t.Errorf("n=%d m=%d: k = %d, want %d", tc.n, tc.m, k, tc.wantK)
+		}
+	}
+}
+
+func TestOptimalKMonotoneInM(t *testing.T) {
+	// More systems -> the machine saturates sooner -> fewer PCR steps.
+	prev := 1 << 30
+	for _, m := range []int{1, 4, 16, 64, 256, 1024, 4096, 65536} {
+		k := OptimalK(1<<16, m, p480)
+		if k > prev {
+			t.Errorf("OptimalK increased from %d to %d as M grew to %d", prev, k, m)
+		}
+		prev = k
+	}
+}
+
+func TestHybridCostProperty(t *testing.T) {
+	f := func(nRaw, mRaw uint16, kRaw uint8) bool {
+		n := int(nRaw)%4096 + 2
+		m := int(mRaw) + 1
+		k := int(kRaw) % 12
+		c := HybridCost(n, m, p480, k)
+		return c > 0 && c < 1e15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHybridCostClampsKToSystemSize(t *testing.T) {
+	// k with 2^k > n is clamped rather than nonsense.
+	a := HybridCost(8, 1, p480, 3)
+	b := HybridCost(8, 1, p480, 30)
+	if a != b {
+		t.Errorf("oversized k not clamped: %g vs %g", a, b)
+	}
+	if HybridCost(8, 1, p480, -5) != HybridCost(8, 1, p480, 0) {
+		t.Error("negative k not clamped to 0")
+	}
+}

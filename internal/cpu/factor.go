@@ -1,0 +1,83 @@
+package cpu
+
+import (
+	"fmt"
+
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+)
+
+// BatchFactorization caches the Thomas elimination of a batch's
+// matrices (the LU of each tridiagonal matrix) so that time-stepping
+// applications — ADI, Crank-Nicolson, splines with fixed knots — can
+// re-solve against new right-hand sides at roughly half the work and
+// without touching the matrix again.
+type BatchFactorization[T num.Real] struct {
+	m, n   int
+	lower  []T // copy of the sub-diagonals
+	cp     []T // c'[i] = c[i] / den[i]
+	invDen []T // 1 / (b[i] − c'[i-1]·a[i])
+}
+
+// FactorBatch eliminates every matrix of the batch. The batch's RHS is
+// ignored; the returned factorization is independent of b's storage.
+func FactorBatch[T num.Real](b *matrix.Batch[T]) (*BatchFactorization[T], error) {
+	m, n := b.M, b.N
+	f := &BatchFactorization[T]{
+		m: m, n: n,
+		lower:  append([]T(nil), b.Lower...),
+		cp:     make([]T, m*n),
+		invDen: make([]T, m*n),
+	}
+	for i := 0; i < m; i++ {
+		base := i * n
+		den := b.Diag[base]
+		if den == 0 {
+			return nil, fmt.Errorf("cpu: system %d: %w", i, ErrZeroPivot)
+		}
+		f.invDen[base] = 1 / den
+		if n > 1 {
+			f.cp[base] = b.Upper[base] / den
+		}
+		for j := 1; j < n; j++ {
+			k := base + j
+			den = b.Diag[k] - f.cp[k-1]*b.Lower[k]
+			if den == 0 {
+				return nil, fmt.Errorf("cpu: system %d row %d: %w", i, j, ErrZeroPivot)
+			}
+			f.invDen[k] = 1 / den
+			if j < n-1 {
+				f.cp[k] = b.Upper[k] / den
+			}
+		}
+	}
+	return f, nil
+}
+
+// Shape returns the batch shape (M systems × N rows).
+func (f *BatchFactorization[T]) Shape() (m, n int) { return f.m, f.n }
+
+// Solve computes the solutions for the given right-hand sides (length
+// M·N, contiguous) into x (same length). rhs and x may alias.
+func (f *BatchFactorization[T]) Solve(rhs, x []T) error {
+	if len(rhs) != f.m*f.n || len(x) != f.m*f.n {
+		return fmt.Errorf("cpu: factorization solve length mismatch (want %d)", f.m*f.n)
+	}
+	for i := 0; i < f.m; i++ {
+		base := i * f.n
+		// Forward substitution with cached pivots.
+		prev := rhs[base] * f.invDen[base]
+		x[base] = prev
+		for j := 1; j < f.n; j++ {
+			k := base + j
+			prev = (rhs[k] - prev*f.lower[k]) * f.invDen[k]
+			x[k] = prev
+		}
+		// Backward substitution.
+		for j := f.n - 2; j >= 0; j-- {
+			k := base + j
+			x[k] -= f.cp[k] * x[k+1]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+	"gputrid/internal/workload"
+)
+
+func TestFactorBatchMatchesThomas(t *testing.T) {
+	b := workload.Batch[float64](workload.DiagDominant, 6, 77, 3)
+	f, err := FactorBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, b.M*b.N)
+	if err := f.Solve(b.RHS, x); err != nil {
+		t.Fatal(err)
+	}
+	want, err := SolveBatchSeq(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(x, want); d > 1e-14 {
+		t.Errorf("factored solve differs from Thomas by %g", d)
+	}
+}
+
+func TestFactorBatchRepeatedSolves(t *testing.T) {
+	// Time-stepping pattern: one factorization, many right-hand sides.
+	b := workload.Batch[float64](workload.Heat, 4, 64, 9)
+	f, err := FactorBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := num.NewRNG(5)
+	x := make([]float64, b.M*b.N)
+	for step := 0; step < 5; step++ {
+		for i := range b.RHS {
+			b.RHS[i] = rng.Range(-1, 1)
+		}
+		if err := f.Solve(b.RHS, x); err != nil {
+			t.Fatal(err)
+		}
+		if r := matrix.MaxResidual(b, x); r > matrix.ResidualTolerance[float64](b.N) {
+			t.Fatalf("step %d: residual %g", step, r)
+		}
+	}
+}
+
+func TestFactorBatchInPlace(t *testing.T) {
+	b := workload.Batch[float64](workload.DiagDominant, 3, 40, 11)
+	f, err := FactorBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := append([]float64(nil), b.RHS...)
+	if err := f.Solve(rhs, rhs); err != nil { // aliased
+		t.Fatal(err)
+	}
+	want, _ := SolveBatchSeq(b)
+	if d := matrix.MaxAbsDiff(rhs, want); d > 1e-14 {
+		t.Errorf("in-place solve differs by %g", d)
+	}
+}
+
+func TestFactorBatchIndependentOfInput(t *testing.T) {
+	// Mutating the batch after factoring must not change results.
+	b := workload.Batch[float64](workload.DiagDominant, 2, 16, 13)
+	f, err := FactorBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := append([]float64(nil), b.RHS...)
+	want := make([]float64, len(rhs))
+	if err := f.Solve(rhs, want); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Lower {
+		b.Lower[i] = 999
+		b.Diag[i] = -1
+		b.Upper[i] = 42
+	}
+	got := make([]float64, len(rhs))
+	if err := f.Solve(rhs, got); err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(got, want); d != 0 {
+		t.Errorf("factorization aliased the input batch (diff %g)", d)
+	}
+}
+
+func TestFactorBatchErrors(t *testing.T) {
+	sing := matrix.NewBatch[float64](1, 4) // zero matrix
+	if _, err := FactorBatch(sing); err == nil {
+		t.Error("singular factorization accepted")
+	}
+	b := workload.Batch[float64](workload.DiagDominant, 2, 8, 1)
+	f, err := FactorBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Solve(make([]float64, 3), make([]float64, 16)); err == nil {
+		t.Error("short rhs accepted")
+	}
+	if m, n := f.Shape(); m != 2 || n != 8 {
+		t.Errorf("Shape = %d,%d", m, n)
+	}
+}
+
+func TestFactorBatchProperty(t *testing.T) {
+	f := func(seed uint32, mRaw, nRaw uint8) bool {
+		m := int(mRaw)%8 + 1
+		n := int(nRaw)%100 + 1
+		b := workload.Batch[float64](workload.DiagDominant, m, n, uint64(seed))
+		fac, err := FactorBatch(b)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, m*n)
+		if err := fac.Solve(b.RHS, x); err != nil {
+			return false
+		}
+		return matrix.MaxResidual(b, x) <= matrix.ResidualTolerance[float64](n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+	"gputrid/internal/workload"
+)
+
+func TestGTSVMatchesDense(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 17, 64, 255} {
+		s := workload.System[float64](workload.DiagDominant, n, uint64(n)*5+3)
+		x, err := SolveGTSV(s)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		ref, err := matrix.SolveDense(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := matrix.MaxRelDiff(x, ref); d > 1e-11 {
+			t.Errorf("n=%d: max rel diff %g", n, d)
+		}
+	}
+}
+
+func TestGTSVHandlesZeroDiagonal(t *testing.T) {
+	// [0 1; 1 0] x = [2; 3]: Thomas fails, pivoting succeeds.
+	s := matrix.NewSystem[float64](2)
+	s.Upper[0], s.RHS[0] = 1, 2
+	s.Lower[1], s.RHS[1] = 1, 3
+	if _, err := Thomas(s); err != ErrZeroPivot {
+		t.Fatalf("Thomas err = %v, want ErrZeroPivot", err)
+	}
+	x, err := SolveGTSV(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num.Abs(x[0]-3) > 1e-14 || num.Abs(x[1]-2) > 1e-14 {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestGTSVZeroDiagonalInterior(t *testing.T) {
+	// Interior zero pivots needing swaps on several rows.
+	n := 6
+	s := matrix.NewSystem[float64](n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s.Lower[i] = 2
+		}
+		if i < n-1 {
+			s.Upper[i] = 1
+		}
+		s.Diag[i] = 0
+		s.RHS[i] = float64(i + 1)
+	}
+	x, err := SolveGTSV(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := matrix.CheckSolution(s, x); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGTSVNearSingularBeatsThomas(t *testing.T) {
+	// On near-singular systems the pivoted solve must stay accurate.
+	s := workload.System[float64](workload.NearSingular, 96, 7)
+	x, err := SolveGTSV(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := matrix.Residual(s, x); r > 1e-12 {
+		t.Errorf("pivoted residual %g", r)
+	}
+}
+
+func TestGTSVSingular(t *testing.T) {
+	s := matrix.NewSystem[float64](3) // zero matrix
+	if _, err := SolveGTSV(s); err != ErrZeroPivot {
+		t.Errorf("err = %v, want ErrZeroPivot", err)
+	}
+}
+
+func TestGTSVEmptyAndSingle(t *testing.T) {
+	if x, err := SolveGTSV(matrix.NewSystem[float64](0)); err != nil || len(x) != 0 {
+		t.Error("empty solve failed")
+	}
+	s := matrix.NewSystem[float64](1)
+	s.Diag[0], s.RHS[0] = 2, 6
+	x, err := SolveGTSV(s)
+	if err != nil || x[0] != 3 {
+		t.Errorf("x = %v err = %v", x, err)
+	}
+}
+
+func TestGTSVBatch(t *testing.T) {
+	b := workload.Batch[float64](workload.NearSingular, 5, 40, 9)
+	x, err := SolveBatchGTSV(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := matrix.MaxResidual(b, x); r > 1e-11 {
+		t.Errorf("batch residual %g", r)
+	}
+}
+
+func TestGTSVAgreesWithThomasOnDominant(t *testing.T) {
+	f := func(seed uint32, nRaw uint16) bool {
+		n := int(nRaw)%400 + 1
+		s := workload.System[float64](workload.DiagDominant, n, uint64(seed))
+		xg, err := SolveGTSV(s)
+		if err != nil {
+			return false
+		}
+		xt, err := Thomas(s)
+		if err != nil {
+			return false
+		}
+		return matrix.MaxRelDiff(xg, xt) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGTSVFloat32(t *testing.T) {
+	s := workload.System[float32](workload.DiagDominant, 128, 11)
+	x, err := SolveGTSV(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := matrix.CheckSolution(s, x); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package cpu implements the CPU reference solvers that stand in for
+// the paper's Intel MKL baselines: a tuned sequential Thomas solver
+// (MKL's dgtsv on one thread is LU on a tridiagonal matrix — the Thomas
+// algorithm) and a batch-parallel variant that solves independent
+// systems on separate goroutines (MKL becomes multithreaded exactly
+// when M >= 2 independent systems exist, per the paper §IV).
+package cpu
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+)
+
+// ErrZeroPivot is returned when forward elimination meets a vanishing
+// pivot; the non-pivoting Thomas algorithm cannot continue.
+var ErrZeroPivot = errors.New("cpu: zero pivot in Thomas elimination")
+
+// Workspace holds the scratch vectors for a Thomas solve so repeated
+// solves (time stepping, benchmarks) do not reallocate.
+type Workspace[T num.Real] struct {
+	cp []T // modified upper diagonal c'
+	dp []T // modified right-hand side d'
+}
+
+// NewWorkspace returns a workspace for systems of up to n rows.
+func NewWorkspace[T num.Real](n int) *Workspace[T] {
+	return &Workspace[T]{cp: make([]T, n), dp: make([]T, n)}
+}
+
+func (w *Workspace[T]) grow(n int) {
+	if len(w.cp) < n {
+		w.cp = make([]T, n)
+		w.dp = make([]T, n)
+	}
+}
+
+// Thomas solves one tridiagonal system with the classic two-phase
+// Thomas algorithm (paper Eqs. 2-4): forward reduction then backward
+// substitution. 2n-1 elimination steps, O(n) work.
+func Thomas[T num.Real](s *matrix.System[T]) ([]T, error) {
+	x := make([]T, s.N())
+	w := NewWorkspace[T](s.N())
+	if err := ThomasInto(s, x, w); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// ThomasInto is Thomas with caller-provided output and workspace.
+func ThomasInto[T num.Real](s *matrix.System[T], x []T, w *Workspace[T]) error {
+	n := s.N()
+	if n == 0 {
+		return nil
+	}
+	if len(x) != n {
+		panic("cpu: ThomasInto output length mismatch")
+	}
+	w.grow(n)
+	a, b, c, d := s.Lower, s.Diag, s.Upper, s.RHS
+	cp, dp := w.cp, w.dp
+
+	if b[0] == 0 {
+		return ErrZeroPivot
+	}
+	cp[0] = c[0] / b[0]
+	dp[0] = d[0] / b[0]
+	for i := 1; i < n; i++ {
+		den := b[i] - cp[i-1]*a[i]
+		if den == 0 {
+			return ErrZeroPivot
+		}
+		inv := 1 / den
+		if i < n-1 {
+			cp[i] = c[i] * inv
+		}
+		dp[i] = (d[i] - dp[i-1]*a[i]) * inv
+	}
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+	return nil
+}
+
+// SolveBatchSeq solves every system of the batch one after another on
+// the calling goroutine — the MKL-sequential proxy. The returned slice
+// holds the M solutions contiguously.
+func SolveBatchSeq[T num.Real](b *matrix.Batch[T]) ([]T, error) {
+	x := make([]T, b.M*b.N)
+	w := NewWorkspace[T](b.N)
+	for i := 0; i < b.M; i++ {
+		if err := ThomasInto(b.System(i), x[i*b.N:(i+1)*b.N], w); err != nil {
+			return nil, err
+		}
+	}
+	return x, nil
+}
+
+// SolveBatchParallel solves the batch with one goroutine per worker,
+// systems distributed round-robin — the MKL-multithreaded proxy.
+// workers <= 0 selects GOMAXPROCS.
+func SolveBatchParallel[T num.Real](b *matrix.Batch[T], workers int) ([]T, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > b.M {
+		workers = b.M
+	}
+	x := make([]T, b.M*b.N)
+	if workers <= 1 {
+		if r, err := SolveBatchSeq(b); err != nil {
+			return nil, err
+		} else {
+			copy(x, r)
+			return x, nil
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	wg.Add(workers)
+	for wkr := 0; wkr < workers; wkr++ {
+		go func(wkr int) {
+			defer wg.Done()
+			ws := NewWorkspace[T](b.N)
+			for i := wkr; i < b.M; i += workers {
+				if err := ThomasInto(b.System(i), x[i*b.N:(i+1)*b.N], ws); err != nil {
+					errs[wkr] = err
+					return
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return x, nil
+}
+
+// ThomasEliminationSteps returns the paper's step count for one n-row
+// Thomas solve: 2n - 1.
+func ThomasEliminationSteps(n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return 2*int64(n) - 1
+}

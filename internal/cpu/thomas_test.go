@@ -1,0 +1,158 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gputrid/internal/matrix"
+	"gputrid/internal/workload"
+)
+
+func TestThomasKnown(t *testing.T) {
+	// [2 1; 1 2] x = [3; 3] -> x = (1, 1)
+	s := matrix.NewSystem[float64](2)
+	s.Diag[0], s.Upper[0], s.RHS[0] = 2, 1, 3
+	s.Lower[1], s.Diag[1], s.RHS[1] = 1, 2, 3
+	x, err := Thomas(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matrix.MaxAbsDiff(x, []float64{1, 1}) > 1e-14 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestThomasSingleRow(t *testing.T) {
+	s := matrix.NewSystem[float64](1)
+	s.Diag[0], s.RHS[0] = 4, 8
+	x, err := Thomas(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 2 {
+		t.Errorf("x = %v, want [2]", x)
+	}
+}
+
+func TestThomasEmpty(t *testing.T) {
+	s := matrix.NewSystem[float64](0)
+	x, err := Thomas(s)
+	if err != nil || len(x) != 0 {
+		t.Errorf("empty solve: x=%v err=%v", x, err)
+	}
+}
+
+func TestThomasAgainstDense(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8, 17, 64, 255} {
+		s := workload.System[float64](workload.DiagDominant, n, uint64(n))
+		x, err := Thomas(s)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		ref, err := matrix.SolveDense(s)
+		if err != nil {
+			t.Fatalf("n=%d dense: %v", n, err)
+		}
+		if d := matrix.MaxRelDiff(x, ref); d > 1e-10 {
+			t.Errorf("n=%d: max rel diff vs dense = %g", n, d)
+		}
+	}
+}
+
+func TestThomasResidualProperty(t *testing.T) {
+	f := func(seed uint32, nRaw uint16, kindRaw uint8) bool {
+		n := int(nRaw)%500 + 1
+		kind := workload.Kind(int(kindRaw) % 4)
+		s := workload.System[float64](kind, n, uint64(seed))
+		x, err := Thomas(s)
+		if err != nil {
+			return false
+		}
+		return matrix.CheckSolution(s, x) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThomasFloat32(t *testing.T) {
+	s := workload.System[float32](workload.DiagDominant, 128, 5)
+	x, err := Thomas(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := matrix.CheckSolution(s, x); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThomasZeroPivot(t *testing.T) {
+	s := matrix.NewSystem[float64](2)
+	// b[0] = 0 defeats non-pivoting elimination.
+	s.Upper[0], s.RHS[0] = 1, 2
+	s.Lower[1], s.RHS[1] = 1, 3
+	if _, err := Thomas(s); err != ErrZeroPivot {
+		t.Errorf("err = %v, want ErrZeroPivot", err)
+	}
+}
+
+func TestThomasIntoWorkspaceReuse(t *testing.T) {
+	w := NewWorkspace[float64](4)
+	x := make([]float64, 64)
+	for trial := 0; trial < 3; trial++ {
+		s := workload.System[float64](workload.Toeplitz, 64, uint64(trial))
+		if err := ThomasInto(s, x, w); err != nil { // forces grow
+			t.Fatal(err)
+		}
+		if err := matrix.CheckSolution(s, x); err != nil {
+			t.Errorf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSolveBatchSeq(t *testing.T) {
+	b := workload.Batch[float64](workload.DiagDominant, 7, 33, 3)
+	x, err := SolveBatchSeq(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := matrix.MaxResidual(b, x); r > matrix.ResidualTolerance[float64](33) {
+		t.Errorf("max residual %g", r)
+	}
+}
+
+func TestSolveBatchParallelMatchesSeq(t *testing.T) {
+	b := workload.Batch[float64](workload.DiagDominant, 16, 50, 9)
+	seq, err := SolveBatchSeq(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		par, err := SolveBatchParallel(b, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if d := matrix.MaxAbsDiff(seq, par); d != 0 {
+			t.Errorf("workers=%d: parallel differs from sequential by %g", workers, d)
+		}
+	}
+}
+
+func TestSolveBatchParallelError(t *testing.T) {
+	b := matrix.NewBatch[float64](4, 3) // all-zero systems: zero pivot
+	if _, err := SolveBatchParallel(b, 2); err == nil {
+		t.Error("zero-pivot batch accepted")
+	}
+	if _, err := SolveBatchSeq(b); err == nil {
+		t.Error("zero-pivot batch accepted (seq)")
+	}
+}
+
+func TestThomasEliminationSteps(t *testing.T) {
+	if ThomasEliminationSteps(512) != 1023 {
+		t.Error("2n-1 wrong")
+	}
+	if ThomasEliminationSteps(0) != 0 || ThomasEliminationSteps(-3) != 0 {
+		t.Error("degenerate step counts wrong")
+	}
+}

@@ -1,0 +1,87 @@
+package cpusim
+
+import "testing"
+
+func TestValidate(t *testing.T) {
+	if err := I7_975().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := I7_975()
+	bad.Cores = 0
+	if bad.Validate() == nil {
+		t.Error("zero cores accepted")
+	}
+	bad = I7_975()
+	bad.EffectiveHT = 0.5
+	if bad.Validate() == nil {
+		t.Error("HT < 1 accepted")
+	}
+}
+
+func TestThomasTimeScalesLinearlyInWork(t *testing.T) {
+	c := I7_975()
+	t1 := c.ThomasTime(1024, 512, 8, 1)
+	t2 := c.ThomasTime(2048, 512, 8, 1)
+	ratio := (t2 - c.CallOverhead) / (t1 - c.CallOverhead)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("doubling M changed time by %.2fx, want ~2x", ratio)
+	}
+}
+
+func TestThomasTimeParallelSpeedup(t *testing.T) {
+	c := I7_975()
+	seq := c.ThomasTime(4096, 512, 8, 1)
+	par := c.ThomasTime(4096, 512, 8, 8)
+	sp := seq / par
+	if sp < 2 {
+		t.Errorf("parallel speedup only %.2fx", sp)
+	}
+	if sp > float64(c.Cores)*c.EffectiveHT+0.5 {
+		t.Errorf("parallel speedup %.2fx exceeds modeled worker count", sp)
+	}
+}
+
+func TestThomasTimeParallelLimitedByM(t *testing.T) {
+	c := I7_975()
+	// With M=2 only two workers can be busy.
+	seq := c.ThomasTime(2, 1<<20, 8, 1)
+	par := c.ThomasTime(2, 1<<20, 8, 8)
+	if sp := seq / par; sp > 2.3 {
+		t.Errorf("speedup %.2fx with only 2 systems", sp)
+	}
+}
+
+func TestThomasTimeSequentialIgnoresSpawn(t *testing.T) {
+	c := I7_975()
+	a := c.ThomasTime(1, 1000, 8, 1)
+	b := c.ThomasTime(1, 1000, 8, 2) // m=1: workers clamp to 1, but spawn is paid
+	if b < a {
+		t.Error("threaded call cheaper than sequential for M=1")
+	}
+}
+
+func TestThomasTimeSinglePrecisionNotSlower(t *testing.T) {
+	c := I7_975()
+	// Large N so the memory term dominates; float32 moves half the bytes.
+	if c.ThomasTime(64, 1<<20, 4, 1) > c.ThomasTime(64, 1<<20, 8, 1) {
+		t.Error("float32 slower than float64 in memory-bound regime")
+	}
+}
+
+func TestThomasTimeCacheEffect(t *testing.T) {
+	c := I7_975()
+	// Same total rows; small-N batch fits the workspace in cache and
+	// must not be slower than one huge system.
+	small := c.ThomasTime(1024, 1024, 8, 1)
+	big := c.ThomasTime(1, 1024*1024, 8, 1)
+	if small > big {
+		t.Errorf("cache-resident workload slower: %g vs %g", small, big)
+	}
+}
+
+func TestThomasTimeDegenerate(t *testing.T) {
+	c := I7_975()
+	if got := c.ThomasTime(0, 100, 8, 1); got != c.CallOverhead {
+		t.Errorf("empty call = %g, want overhead", got)
+	}
+}

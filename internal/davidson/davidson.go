@@ -1,0 +1,314 @@
+// Package davidson implements the comparison baseline of paper §V: the
+// Davidson, Zhang & Owens (IPDPS'11) style auto-tuned PCR + p-Thomas
+// hybrid for large systems. Structurally it differs from the paper's
+// tiled-PCR hybrid in exactly the two ways §V blames for its lower
+// performance:
+//
+//  1. Lock-step global PCR: while a system's subsystems are still too
+//     large for shared memory, each PCR step runs as its own kernel
+//     launch over the whole batch — a global synchronization (kernel
+//     termination + relaunch) per step, with every intermediate
+//     coefficient making a full round trip through DRAM.
+//
+//  2. Coarse-grained tiles: once subsystems fit, each thread block
+//     loads one entire subsystem into shared memory (maximally
+//     occupying it, which caps residency at about one block per SM),
+//     finishes the reduction with barrier-synchronized in-shared PCR
+//     steps, and solves the final chains with per-thread Thomas.
+//
+// The arithmetic is the same pcr.Combine / Thomas recurrence as the
+// rest of the module, so results agree with every other solver.
+package davidson
+
+import (
+	"fmt"
+
+	"gputrid/internal/gpusim"
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+	"gputrid/internal/pcr"
+)
+
+// Config tunes the baseline.
+type Config struct {
+	// Device is the simulated GPU; nil selects GTX480.
+	Device *gpusim.Device
+	// BlockThreads is the phase-2 block size (default 256).
+	BlockThreads int
+	// SharedBudget is the shared-memory budget per block in bytes for
+	// the in-shared phase (default: the device's full per-SM capacity,
+	// "maximally occupying shared memory").
+	SharedBudget int
+}
+
+// Report describes the execution.
+type Report struct {
+	GlobalSteps   int // lock-step global PCR steps (= extra launches)
+	SubsystemLen  int // rows per subsystem entering the in-shared phase
+	InSharedSteps int // PCR steps performed inside shared memory
+	Stats         *gpusim.Stats
+	Kernels       []*gpusim.Stats
+}
+
+func (cfg *Config) device() *gpusim.Device {
+	if cfg.Device == nil {
+		return gpusim.GTX480()
+	}
+	return cfg.Device
+}
+
+// Solve solves the batch with the Davidson-style hybrid and returns the
+// solutions in natural order.
+func Solve[T num.Real](cfg Config, b *matrix.Batch[T]) ([]T, *Report, error) {
+	dev := cfg.device()
+	m, n := b.M, b.N
+	bt := cfg.BlockThreads
+	if bt <= 0 {
+		bt = 256
+	}
+	if bt > dev.MaxThreadsPerBlock {
+		bt = dev.MaxThreadsPerBlock
+	}
+	budget := cfg.SharedBudget
+	if budget <= 0 {
+		budget = dev.SharedMemPerSM
+	}
+	elem := num.SizeOf[T]()
+	// The in-shared phase double-buffers the four coefficient arrays.
+	maxSub := budget / (8 * elem)
+	if maxSub < 2 {
+		return nil, nil, fmt.Errorf("davidson: shared budget %dB cannot hold any subsystem", budget)
+	}
+
+	rep := &Report{Stats: &gpusim.Stats{}}
+
+	// Working copy, normalized (Lower[0] = Upper[N-1] = 0 per system).
+	cur := cloneArrays(b)
+	nxt := &arrays[T]{
+		a: make([]T, m*n), bb: make([]T, m*n), c: make([]T, m*n), d: make([]T, m*n),
+	}
+
+	// Phase 1: lock-step global PCR until subsystems fit shared memory.
+	j := 0
+	for num.CeilDiv(n, 1<<j) > maxSub {
+		if err := globalStep(dev, cur, nxt, m, n, 1<<j, rep); err != nil {
+			return nil, nil, err
+		}
+		cur, nxt = nxt, cur
+		j++
+	}
+	rep.GlobalSteps = j
+	subLen := num.CeilDiv(n, 1<<j)
+	rep.SubsystemLen = subLen
+
+	// Phase 2: one block per (system, subsystem); in-shared PCR down to
+	// per-thread chains, then per-thread Thomas.
+	x := make([]T, m*n)
+	if err := inSharedSolve(dev, cur, x, m, n, j, bt, rep); err != nil {
+		return nil, nil, err
+	}
+	return x, rep, nil
+}
+
+type arrays[T num.Real] struct {
+	a, bb, c, d []T
+}
+
+func cloneArrays[T num.Real](b *matrix.Batch[T]) *arrays[T] {
+	m, n := b.M, b.N
+	w := &arrays[T]{
+		a:  append([]T(nil), b.Lower...),
+		bb: append([]T(nil), b.Diag...),
+		c:  append([]T(nil), b.Upper...),
+		d:  append([]T(nil), b.RHS...),
+	}
+	for i := 0; i < m; i++ {
+		w.a[i*n] = 0
+		w.c[i*n+n-1] = 0
+	}
+	return w
+}
+
+// globalStep launches one lock-step PCR step over the whole batch:
+// every row is rewritten against its neighbors at ±stride, reading the
+// current buffers and writing the next. One launch per step — this is
+// the global synchronization the paper's §V highlights.
+func globalStep[T num.Real](dev *gpusim.Device, cur, nxt *arrays[T], m, n, stride int, rep *Report) error {
+	ga, gb := gpusim.NewGlobal(cur.a), gpusim.NewGlobal(cur.bb)
+	gc, gd := gpusim.NewGlobal(cur.c), gpusim.NewGlobal(cur.d)
+	na, nb := gpusim.NewGlobal(nxt.a), gpusim.NewGlobal(nxt.bb)
+	nc, nd := gpusim.NewGlobal(nxt.c), gpusim.NewGlobal(nxt.d)
+
+	const bt = 256
+	total := m * n
+	grid := num.CeilDiv(total, bt)
+	load := func(t *gpusim.Thread, sys, i int) pcr.Row[T] {
+		if i < 0 || i >= n {
+			return pcr.Identity[T]()
+		}
+		g := sys*n + i
+		return pcr.Row[T]{A: ga.Load(t, g), B: gb.Load(t, g), C: gc.Load(t, g), D: gd.Load(t, g)}
+	}
+	st, err := dev.Launch("davidsonGlobalPCR", gpusim.LaunchConfig{Grid: grid, Block: bt},
+		func(blk *gpusim.Block) {
+			blk.PhaseNoSync(func(t *gpusim.Thread) {
+				gi := blk.ID*bt + t.ID
+				if gi >= total {
+					return
+				}
+				sys, i := gi/n, gi%n
+				r := pcr.Combine(load(t, sys, i-stride), load(t, sys, i), load(t, sys, i+stride))
+				t.Eliminations(1)
+				na.Store(t, gi, r.A)
+				nb.Store(t, gi, r.B)
+				nc.Store(t, gi, r.C)
+				nd.Store(t, gi, r.D)
+			})
+		})
+	if err != nil {
+		return err
+	}
+	rep.Kernels = append(rep.Kernels, st)
+	rep.Stats.Add(st)
+	return nil
+}
+
+// inSharedSolve finishes the solve: block (sys, r) loads subsystem r of
+// system sys (rows r, r+2^j, ...) into shared memory, reduces it with
+// barrier-synchronized PCR steps until one chain per thread remains,
+// solves the chains with per-thread Thomas in shared memory, and stores
+// the solution back.
+func inSharedSolve[T num.Real](dev *gpusim.Device, cur *arrays[T], x []T, m, n, j, bt int, rep *Report) error {
+	p := 1 << j
+	subMax := num.CeilDiv(n, p)
+	// In-shared PCR steps: down to one chain per thread.
+	steps := 0
+	for 1<<steps < bt && 1<<steps < subMax {
+		steps++
+	}
+	rep.InSharedSteps = steps
+
+	ga, gb := gpusim.NewGlobal(cur.a), gpusim.NewGlobal(cur.bb)
+	gc, gd := gpusim.NewGlobal(cur.c), gpusim.NewGlobal(cur.d)
+	gx := gpusim.NewGlobal(x)
+
+	st, err := dev.Launch("davidsonInShared", gpusim.LaunchConfig{Grid: m * p, Block: bt},
+		func(blk *gpusim.Block) {
+			sys := blk.ID / p
+			r := blk.ID % p
+			if r >= n {
+				return
+			}
+			L := (n - r + p - 1) / p // rows in this subsystem
+			// Double-buffered shared storage for the subsystem.
+			var sh [2][4]gpusim.Shared[T]
+			for q := 0; q < 4; q++ {
+				sh[0][q] = gpusim.NewShared[T](blk, L)
+				sh[1][q] = gpusim.NewShared[T](blk, L)
+			}
+			getRow := func(buf int, i int) pcr.Row[T] {
+				if i < 0 || i >= L {
+					return pcr.Identity[T]()
+				}
+				return pcr.Row[T]{
+					A: sh[buf][0].Data[i], B: sh[buf][1].Data[i],
+					C: sh[buf][2].Data[i], D: sh[buf][3].Data[i],
+				}
+			}
+			putRow := func(buf int, i int, v pcr.Row[T]) {
+				sh[buf][0].Data[i] = v.A
+				sh[buf][1].Data[i] = v.B
+				sh[buf][2].Data[i] = v.C
+				sh[buf][3].Data[i] = v.D
+			}
+
+			// Load the subsystem (stride-2^j global reads: the
+			// coarse-grained mapping's poorly coalesced access).
+			blk.Phase(func(t *gpusim.Thread) {
+				for i := t.ID; i < L; i += bt {
+					g := sys*n + r + i*p
+					row := pcr.Row[T]{
+						A: ga.Load(t, g), B: gb.Load(t, g),
+						C: gc.Load(t, g), D: gd.Load(t, g),
+					}
+					if i == 0 {
+						row.A = 0
+					}
+					if i == L-1 {
+						row.C = 0
+					}
+					putRow(0, i, row)
+				}
+			})
+			blk.CountShared(0, int64(L)*4)
+
+			// In-shared PCR with a block barrier per step (§V: "where
+			// synchronization of threads within a thread block is also
+			// required at each step of PCR").
+			cb := 0
+			for s := 0; s < steps; s++ {
+				stride := 1 << s
+				blk.Phase(func(t *gpusim.Thread) {
+					for i := t.ID; i < L; i += bt {
+						putRow(1-cb, i, pcr.Combine(getRow(cb, i-stride), getRow(cb, i), getRow(cb, i+stride)))
+						t.Eliminations(1)
+					}
+				})
+				blk.CountShared(int64(L)*12, int64(L)*4)
+				cb = 1 - cb
+			}
+
+			// Per-thread Thomas on the 2^steps chains, entirely in
+			// shared memory (c/d rows are overwritten with c'/d').
+			q := 1 << steps
+			blk.Phase(func(t *gpusim.Thread) {
+				cc := t.ID
+				if cc >= q || cc >= L {
+					return
+				}
+				rows := (L - cc + q - 1) / q
+				// Forward.
+				first := getRow(cb, cc)
+				cp := first.C / first.B
+				dp := first.D / first.B
+				putRow(cb, cc, pcr.Row[T]{A: first.A, B: first.B, C: cp, D: dp})
+				t.ThomasSteps(1)
+				for l := 1; l < rows; l++ {
+					i := cc + l*q
+					row := getRow(cb, i)
+					prev := getRow(cb, i-q)
+					den := row.B - prev.C*row.A
+					inv := 1 / den
+					cp = row.C * inv
+					dp = (row.D - prev.D*row.A) * inv
+					putRow(cb, i, pcr.Row[T]{A: row.A, B: row.B, C: cp, D: dp})
+					t.ThomasSteps(1)
+				}
+				// Backward; x overwrites D in shared.
+				xn := getRow(cb, cc+(rows-1)*q).D
+				putRow(cb, cc+(rows-1)*q, pcr.Row[T]{D: xn})
+				for l := rows - 2; l >= 0; l-- {
+					i := cc + l*q
+					row := getRow(cb, i)
+					xn = row.D - row.C*xn
+					putRow(cb, i, pcr.Row[T]{D: xn})
+					t.ThomasSteps(1)
+				}
+			})
+			blk.CountShared(int64(L)*10, int64(L)*8)
+
+			// Store the solution (strided global writes).
+			blk.PhaseNoSync(func(t *gpusim.Thread) {
+				for i := t.ID; i < L; i += bt {
+					gx.Store(t, sys*n+r+i*p, getRow(cb, i).D)
+				}
+			})
+			blk.CountShared(int64(L), 0)
+		})
+	if err != nil {
+		return err
+	}
+	rep.Kernels = append(rep.Kernels, st)
+	rep.Stats.Add(st)
+	return nil
+}

@@ -1,0 +1,141 @@
+package davidson
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gputrid/internal/cpu"
+	"gputrid/internal/gpusim"
+	"gputrid/internal/matrix"
+	"gputrid/internal/workload"
+)
+
+func dev() *gpusim.Device { return gpusim.GTX480() }
+
+func TestSolveMatchesThomas(t *testing.T) {
+	for _, tc := range []struct{ m, n int }{
+		{1, 64},    // fits shared: no global steps
+		{4, 500},   // fits shared
+		{1, 4096},  // needs global PCR steps
+		{2, 10000}, // several global steps, non-power-of-two
+		{8, 2048},  // batch + global steps
+		{3, 1},     // degenerate rows
+	} {
+		b := workload.Batch[float64](workload.DiagDominant, tc.m, tc.n, uint64(tc.m*tc.n))
+		x, rep, err := Solve(Config{Device: dev()}, b)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		want, err := cpu.SolveBatchSeq(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := matrix.MaxRelDiff(x, want); d > 1e-8 {
+			t.Errorf("%+v: differs from Thomas by %g (report %+v)", tc, d, rep)
+		}
+	}
+}
+
+func TestGlobalStepCount(t *testing.T) {
+	// Double precision, 48KB budget, double-buffered: subsystems of up
+	// to 48K/(8·8) = 768 rows fit. N=4096 needs ceil(N/2^j) <= 768:
+	// j = 3 global steps.
+	b := workload.Batch[float64](workload.DiagDominant, 1, 4096, 7)
+	_, rep, err := Solve(Config{Device: dev()}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GlobalSteps != 3 {
+		t.Errorf("global steps = %d, want 3", rep.GlobalSteps)
+	}
+	if rep.SubsystemLen != 512 {
+		t.Errorf("subsystem len = %d, want 512", rep.SubsystemLen)
+	}
+	// One launch per global step plus the in-shared kernel.
+	if got := len(rep.Kernels); got != rep.GlobalSteps+1 {
+		t.Errorf("kernel launches = %d, want %d", got, rep.GlobalSteps+1)
+	}
+	if rep.Stats.Launches != rep.GlobalSteps+1 {
+		t.Errorf("stats launches = %d", rep.Stats.Launches)
+	}
+}
+
+func TestSmallSystemSkipsGlobalPhase(t *testing.T) {
+	b := workload.Batch[float64](workload.DiagDominant, 4, 300, 3)
+	_, rep, err := Solve(Config{Device: dev()}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GlobalSteps != 0 {
+		t.Errorf("global steps = %d, want 0", rep.GlobalSteps)
+	}
+}
+
+func TestCoarseTilesLimitOccupancy(t *testing.T) {
+	// The in-shared kernel must allocate (close to) the full shared
+	// budget, capping occupancy at one block per SM — §V's structural
+	// point about coarse-grained tiling.
+	b := workload.Batch[float64](workload.DiagDominant, 1, 6144, 5)
+	_, rep, err := Solve(Config{Device: dev()}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rep.Kernels[len(rep.Kernels)-1]
+	if occ := dev().Occupancy(last.ThreadsPerBlock, last.SharedPerBlock); occ != 1 {
+		t.Errorf("in-shared kernel occupancy = %d blocks/SM, want 1 (shared=%dB)",
+			occ, last.SharedPerBlock)
+	}
+}
+
+func TestGlobalPhaseMovesFullSystemPerStep(t *testing.T) {
+	// Every global PCR step reads and writes all four coefficient
+	// arrays: the DRAM round trip per step that tiled PCR avoids.
+	m, n := 2, 4096
+	b := workload.Batch[float64](workload.DiagDominant, m, n, 6)
+	_, rep, err := Solve(Config{Device: dev()}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rep.Kernels[0]
+	wantStores := int64(m*n) * 4 * 8
+	if first.StoredBytes != wantStores {
+		t.Errorf("global step stored %d bytes, want %d", first.StoredBytes, wantStores)
+	}
+	if first.LoadedBytes < wantStores {
+		t.Errorf("global step loaded %d bytes, want >= %d", first.LoadedBytes, wantStores)
+	}
+}
+
+func TestSharedBudgetTooSmall(t *testing.T) {
+	b := workload.Batch[float64](workload.DiagDominant, 1, 64, 1)
+	if _, _, err := Solve(Config{Device: dev(), SharedBudget: 32}, b); err == nil {
+		t.Error("absurd shared budget accepted")
+	}
+}
+
+func TestFloat32(t *testing.T) {
+	b := workload.Batch[float32](workload.DiagDominant, 2, 3000, 9)
+	x, _, err := Solve(Config{Device: dev()}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := matrix.MaxResidual(b, x); r > matrix.ResidualTolerance[float32](3000) {
+		t.Errorf("residual %g", r)
+	}
+}
+
+func TestSolveProperty(t *testing.T) {
+	f := func(seed uint32, mRaw uint8, nRaw uint16) bool {
+		m := int(mRaw)%6 + 1
+		n := int(nRaw)%3000 + 1
+		b := workload.Batch[float64](workload.DiagDominant, m, n, uint64(seed))
+		x, _, err := Solve(Config{Device: dev()}, b)
+		if err != nil {
+			return false
+		}
+		return matrix.MaxResidual(b, x) <= matrix.ResidualTolerance[float64](n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

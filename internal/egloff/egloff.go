@@ -1,0 +1,120 @@
+// Package egloff implements the global-memory PCR solver for large
+// tridiagonal systems in the style of Egloff's finite-difference PDE
+// solvers (paper refs [14][15]): every PCR step runs over the whole
+// batch in global memory, one kernel launch per step, until all rows
+// decouple and the solution is read off as x = d/b.
+//
+// It is the natural "scalable but brute-force" baseline between the
+// in-shared-memory family (internal/zhang, capacity-limited) and the
+// paper's hybrid (internal/core): it handles any size, but does
+// O(N·log N) work with a full DRAM round trip and a global
+// synchronization per step. The harness's extra-large experiment
+// quantifies exactly that gap.
+package egloff
+
+import (
+	"gputrid/internal/gpusim"
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+	"gputrid/internal/pcr"
+)
+
+// Report describes the execution.
+type Report struct {
+	Steps   int // PCR steps = kernel launches (excluding the final read-off)
+	Stats   *gpusim.Stats
+	Kernels []*gpusim.Stats
+}
+
+// Solve solves the batch with full global-memory PCR on the device,
+// returning the solutions in natural order.
+func Solve[T num.Real](dev *gpusim.Device, b *matrix.Batch[T]) ([]T, *Report, error) {
+	if dev == nil {
+		dev = gpusim.GTX480()
+	}
+	m, n := b.M, b.N
+	rep := &Report{Stats: &gpusim.Stats{}}
+
+	cur := &buffers[T]{
+		a: append([]T(nil), b.Lower...),
+		b: append([]T(nil), b.Diag...),
+		c: append([]T(nil), b.Upper...),
+		d: append([]T(nil), b.RHS...),
+	}
+	for i := 0; i < m; i++ {
+		cur.a[i*n] = 0
+		cur.c[i*n+n-1] = 0
+	}
+	nxt := &buffers[T]{
+		a: make([]T, m*n), b: make([]T, m*n), c: make([]T, m*n), d: make([]T, m*n),
+	}
+
+	const bt = 256
+	total := m * n
+	grid := num.CeilDiv(total, bt)
+
+	for stride := 1; stride < n; stride <<= 1 {
+		ga, gb := gpusim.NewGlobal(cur.a), gpusim.NewGlobal(cur.b)
+		gc, gd := gpusim.NewGlobal(cur.c), gpusim.NewGlobal(cur.d)
+		na, nb := gpusim.NewGlobal(nxt.a), gpusim.NewGlobal(nxt.b)
+		nc, nd := gpusim.NewGlobal(nxt.c), gpusim.NewGlobal(nxt.d)
+		s := stride
+		load := func(t *gpusim.Thread, sys, i int) pcr.Row[T] {
+			if i < 0 || i >= n {
+				return pcr.Identity[T]()
+			}
+			g := sys*n + i
+			return pcr.Row[T]{A: ga.Load(t, g), B: gb.Load(t, g), C: gc.Load(t, g), D: gd.Load(t, g)}
+		}
+		st, err := dev.Launch("egloffPCR", gpusim.LaunchConfig{Grid: grid, Block: bt},
+			func(blk *gpusim.Block) {
+				blk.PhaseNoSync(func(t *gpusim.Thread) {
+					gi := blk.ID*bt + t.ID
+					if gi >= total {
+						return
+					}
+					sys, i := gi/n, gi%n
+					r := pcr.Combine(load(t, sys, i-s), load(t, sys, i), load(t, sys, i+s))
+					t.Eliminations(1)
+					na.Store(t, gi, r.A)
+					nb.Store(t, gi, r.B)
+					nc.Store(t, gi, r.C)
+					nd.Store(t, gi, r.D)
+				})
+			})
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Steps++
+		rep.Kernels = append(rep.Kernels, st)
+		rep.Stats.Add(st)
+		cur, nxt = nxt, cur
+	}
+
+	// Read-off kernel: x = d / b.
+	x := make([]T, total)
+	gb := gpusim.NewGlobal(cur.b)
+	gd := gpusim.NewGlobal(cur.d)
+	gx := gpusim.NewGlobal(x)
+	st, err := dev.Launch("egloffReadoff", gpusim.LaunchConfig{Grid: grid, Block: bt},
+		func(blk *gpusim.Block) {
+			blk.PhaseNoSync(func(t *gpusim.Thread) {
+				gi := blk.ID*bt + t.ID
+				if gi >= total {
+					return
+				}
+				gx.Store(t, gi, gd.Load(t, gi)/gb.Load(t, gi))
+				t.Flops(1)
+			})
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Kernels = append(rep.Kernels, st)
+	rep.Stats.Add(st)
+	return x, rep, nil
+}
+
+type buffers[T num.Real] struct {
+	a, b, c, d []T
+}

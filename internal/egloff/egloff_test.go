@@ -1,0 +1,83 @@
+package egloff
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gputrid/internal/cpu"
+	"gputrid/internal/gpusim"
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+	"gputrid/internal/workload"
+)
+
+func dev() *gpusim.Device { return gpusim.GTX480() }
+
+func TestSolveMatchesThomas(t *testing.T) {
+	for _, tc := range []struct{ m, n int }{
+		{1, 1}, {1, 2}, {2, 64}, {3, 100}, {1, 4096}, {4, 1000},
+	} {
+		b := workload.Batch[float64](workload.DiagDominant, tc.m, tc.n, uint64(tc.m*tc.n))
+		x, rep, err := Solve(dev(), b)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		want, err := cpu.SolveBatchSeq(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := matrix.MaxRelDiff(x, want); d > 1e-9 {
+			t.Errorf("%+v: differs from Thomas by %g", tc, d)
+		}
+		if wantSteps := num.CeilLog2(tc.n); rep.Steps != wantSteps {
+			t.Errorf("%+v: steps = %d, want %d", tc, rep.Steps, wantSteps)
+		}
+	}
+}
+
+func TestLaunchPerStep(t *testing.T) {
+	b := workload.Batch[float64](workload.DiagDominant, 1, 1024, 3)
+	_, rep, err := Solve(dev(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 PCR steps + 1 read-off, each a separate launch: the global
+	// synchronization cost this baseline pays.
+	if rep.Stats.Launches != 11 {
+		t.Errorf("launches = %d, want 11", rep.Stats.Launches)
+	}
+}
+
+func TestWorkIsNLogN(t *testing.T) {
+	b := workload.Batch[float64](workload.DiagDominant, 1, 4096, 5)
+	_, rep, err := Solve(dev(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(4096) * 12; rep.Stats.Eliminations != want {
+		t.Errorf("eliminations = %d, want N·log2(N) = %d", rep.Stats.Eliminations, want)
+	}
+}
+
+func TestNilDeviceDefaults(t *testing.T) {
+	b := workload.Batch[float64](workload.DiagDominant, 1, 32, 7)
+	if _, _, err := Solve(nil, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProperty(t *testing.T) {
+	f := func(seed uint32, mRaw, nRaw uint8) bool {
+		m := int(mRaw)%4 + 1
+		n := int(nRaw)%300 + 1
+		b := workload.Batch[float64](workload.DiagDominant, m, n, uint64(seed))
+		x, _, err := Solve(dev(), b)
+		if err != nil {
+			return false
+		}
+		return matrix.MaxResidual(b, x) <= matrix.ResidualTolerance[float64](n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

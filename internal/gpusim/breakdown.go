@@ -1,0 +1,107 @@
+package gpusim
+
+import "fmt"
+
+// Breakdown decomposes an EstimateTime result into its model terms, so
+// the harness can report not just how long a kernel takes but what it
+// is bound by — the vocabulary of the paper's performance discussion
+// (bandwidth-bound back-end, latency-exposed small batches,
+// launch-dominated Davidson global phase, ...).
+type Breakdown struct {
+	Total     float64
+	Launch    float64 // kernel-launch overhead
+	Bandwidth float64 // DRAM bytes / peak bandwidth
+	Latency   float64 // Little's-law latency bound
+	Compute   float64 // flops / derated peak
+	Shared    float64 // shared traffic + bank conflicts
+	Barrier   float64
+	Bound     string // the binding constraint: "bandwidth", "latency", "compute", "shared", "launch"
+}
+
+// EstimateBreakdown returns the termwise decomposition of the cost
+// model for the given stats. EstimateTime(s, elemBytes) ==
+// Breakdown.Total exactly.
+func (d *Device) EstimateBreakdown(s *Stats, elemBytes int) Breakdown {
+	bd := Breakdown{}
+	bd.Launch = float64(s.Launches) * d.KernelLaunchOverhead
+	if s.Blocks == 0 || s.ThreadsPerBlock == 0 {
+		bd.Total = bd.Launch
+		bd.Bound = "launch"
+		return bd
+	}
+
+	blocksPerSM := d.Occupancy(s.ThreadsPerBlock, s.SharedPerBlock)
+	if blocksPerSM == 0 {
+		blocksPerSM = 1
+	}
+	residentBlocks := blocksPerSM * d.NumSMs
+	activeBlocks := s.Blocks
+	if activeBlocks > residentBlocks {
+		activeBlocks = residentBlocks
+	}
+	activeThreads := activeBlocks * s.ThreadsPerBlock
+	activeWarps := (activeThreads + d.WarpSize - 1) / d.WarpSize
+	activeSMs := activeBlocks
+	if activeSMs > d.NumSMs {
+		activeSMs = d.NumSMs
+	}
+
+	bd.Bandwidth = float64(s.TransactionBytes(d.TransactionBytes)) / d.GlobalBandwidth
+	const inflightPerWarp = 6
+	inflight := activeWarps * inflightPerWarp
+	if cap := d.MaxInflightPerSM * activeSMs; inflight > cap {
+		inflight = cap
+	}
+	if inflight < 1 {
+		inflight = 1
+	}
+	bd.Latency = float64(s.Transactions()) * d.GlobalLatency / float64(inflight)
+
+	peak := d.DPFlops
+	if elemBytes == 4 {
+		peak = d.SPFlops
+	}
+	knee := float64(d.HardwareParallelism()) / 2
+	util := float64(activeThreads) / knee
+	if util > 1 {
+		util = 1
+	}
+	bd.Compute = float64(s.Flops) / (peak * util)
+	bd.Shared = (float64(s.SharedLoads+s.SharedStores)*d.SharedAccessCost +
+		float64(s.SharedBankConflicts)*d.SharedConflictCost) / float64(activeSMs)
+	bd.Barrier = float64(s.Barriers) * d.BarrierCost / float64(activeSMs)
+
+	tMem := bd.Bandwidth
+	memBound := "bandwidth"
+	if bd.Latency > tMem {
+		tMem = bd.Latency
+		memBound = "latency"
+	}
+	onChip := bd.Compute + bd.Shared + bd.Barrier
+	if onChip > tMem {
+		bd.Total = bd.Launch + onChip
+		switch {
+		case bd.Compute >= bd.Shared && bd.Compute >= bd.Barrier:
+			bd.Bound = "compute"
+		case bd.Shared >= bd.Barrier:
+			bd.Bound = "shared"
+		default:
+			bd.Bound = "barrier"
+		}
+	} else {
+		bd.Total = bd.Launch + tMem
+		bd.Bound = memBound
+	}
+	if bd.Launch > bd.Total-bd.Launch {
+		bd.Bound = "launch"
+	}
+	return bd
+}
+
+// String formats the breakdown compactly (microseconds).
+func (b Breakdown) String() string {
+	us := func(x float64) float64 { return x * 1e6 }
+	return fmt.Sprintf("total=%.1fus bound=%s (launch=%.1f bw=%.1f lat=%.1f comp=%.1f shmem=%.1f barrier=%.1f)",
+		us(b.Total), b.Bound, us(b.Launch), us(b.Bandwidth), us(b.Latency),
+		us(b.Compute), us(b.Shared), us(b.Barrier))
+}

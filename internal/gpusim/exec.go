@@ -1,0 +1,192 @@
+package gpusim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// LaunchConfig shapes a kernel launch: a 1-D grid of Grid blocks, each
+// with Block threads.
+type LaunchConfig struct {
+	Grid  int
+	Block int
+}
+
+// Kernel is the body executed by every thread block of a launch. It
+// receives the block context, from which it runs lockstep phases and
+// allocates shared memory.
+type Kernel func(b *Block)
+
+// Launch executes the kernel over the grid, functionally, and returns
+// the recorded Stats. Blocks execute independently (possibly in
+// parallel across OS threads); the returned stats are deterministic.
+//
+// name tags the Stats. The launch itself counts as one kernel launch.
+func (d *Device) Launch(name string, cfg LaunchConfig, k Kernel) (*Stats, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Grid <= 0 || cfg.Block <= 0 {
+		return nil, fmt.Errorf("gpusim: launch %q: invalid config %+v", name, cfg)
+	}
+	if cfg.Block > d.MaxThreadsPerBlock {
+		return nil, fmt.Errorf("gpusim: launch %q: %d threads/block exceeds device limit %d",
+			name, cfg.Block, d.MaxThreadsPerBlock)
+	}
+
+	blockStats := make([]Stats, cfg.Grid)
+	run := func(id int) {
+		b := &Block{
+			ID:      id,
+			Threads: cfg.Block,
+			dev:     d,
+			stats:   &blockStats[id],
+		}
+		k(b)
+		b.endPhaseSlots() // flush any pending coalescing state
+		b.endPhaseBankSlots()
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Grid {
+		workers = cfg.Grid
+	}
+	if workers <= 1 {
+		for id := 0; id < cfg.Grid; id++ {
+			run(id)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int, cfg.Grid)
+		for id := 0; id < cfg.Grid; id++ {
+			next <- id
+		}
+		close(next)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for id := range next {
+					run(id)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	total := &Stats{
+		Kernel:          name,
+		Launches:        1,
+		Blocks:          cfg.Grid,
+		ThreadsPerBlock: cfg.Block,
+	}
+	for i := range blockStats {
+		bs := &blockStats[i]
+		total.LoadTransactions += bs.LoadTransactions
+		total.StoreTransactions += bs.StoreTransactions
+		total.LoadedBytes += bs.LoadedBytes
+		total.StoredBytes += bs.StoredBytes
+		total.SharedLoads += bs.SharedLoads
+		total.SharedStores += bs.SharedStores
+		total.SharedBankConflicts += bs.SharedBankConflicts
+		total.Eliminations += bs.Eliminations
+		total.Flops += bs.Flops
+		total.Barriers += bs.Barriers
+		total.Phases += bs.Phases
+		if bs.SharedPerBlock > total.SharedPerBlock {
+			total.SharedPerBlock = bs.SharedPerBlock
+		}
+	}
+	if total.SharedPerBlock > d.SharedMemPerSM {
+		return total, fmt.Errorf("gpusim: launch %q: block allocated %d bytes shared memory, device SM has %d",
+			name, total.SharedPerBlock, d.SharedMemPerSM)
+	}
+	return total, nil
+}
+
+// Block is the per-thread-block execution context handed to kernels.
+type Block struct {
+	ID      int
+	Threads int
+
+	dev       *Device
+	stats     *Stats
+	slots     []slotState // per-instruction-slot coalescing state, reset each phase
+	bankSlots []bankSlotState
+	sharedSeq int32
+}
+
+// Thread identifies one thread within a phase. It carries the
+// instruction-slot cursor used for coalescing analysis.
+type Thread struct {
+	ID       int // tid within the block
+	blk      *Block
+	slot     int
+	bankSlot int
+}
+
+// Phase runs body for every thread of the block in lockstep-equivalent
+// order (tid 0..Threads-1) and then executes a block-wide barrier,
+// mirroring the "compute; __syncthreads()" structure of the CUDA
+// kernels in the paper. Global accesses issued at the same instruction
+// slot by threads of one warp are coalesced.
+func (b *Block) Phase(body func(t *Thread)) {
+	t := Thread{blk: b}
+	for tid := 0; tid < b.Threads; tid++ {
+		t.ID = tid
+		t.slot = 0
+		t.bankSlot = 0
+		body(&t)
+	}
+	b.endPhaseSlots()
+	b.endPhaseBankSlots()
+	b.stats.Phases++
+	b.stats.Barriers++
+}
+
+// PhaseNoSync is Phase without the trailing barrier, for the final
+// phase of a kernel (CUDA kernels need no __syncthreads before exit).
+func (b *Block) PhaseNoSync(body func(t *Thread)) {
+	t := Thread{blk: b}
+	for tid := 0; tid < b.Threads; tid++ {
+		t.ID = tid
+		t.slot = 0
+		t.bankSlot = 0
+		body(&t)
+	}
+	b.endPhaseSlots()
+	b.endPhaseBankSlots()
+	b.stats.Phases++
+}
+
+// Eliminations records n PCR elimination steps (the paper's unit of
+// computational cost) performed by the calling thread, charging the
+// PCR per-step flop count.
+func (t *Thread) Eliminations(n int) {
+	t.blk.stats.Eliminations += int64(n)
+	t.blk.stats.Flops += int64(n) * FlopsPerElimination
+}
+
+// ThomasSteps records n Thomas-recurrence steps (forward or backward
+// rows), which are elimination steps in the paper's accounting but
+// carry a much lighter flop cost than a PCR row update.
+func (t *Thread) ThomasSteps(n int) {
+	t.blk.stats.Eliminations += int64(n)
+	t.blk.stats.Flops += int64(n) * FlopsPerThomasStep
+}
+
+// Flops records n raw floating-point operations not tied to an
+// elimination step.
+func (t *Thread) Flops(n int) {
+	t.blk.stats.Flops += int64(n)
+}
+
+// FlopsPerElimination is the flop cost charged per PCR elimination
+// step: one row update (Eqs. 5-6) is 2 divisions, 8 multiplications and
+// 6 subtractions ≈ 16 flops with division weighted.
+const FlopsPerElimination = 16
+
+// FlopsPerThomasStep is the flop cost of one Thomas forward or backward
+// row: about 1 division plus 2 multiply-adds ≈ 6 weighted flops.
+const FlopsPerThomasStep = 6

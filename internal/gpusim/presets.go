@@ -1,0 +1,73 @@
+package gpusim
+
+// TeslaC2070 returns the HPC-market Fermi (GF100 Tesla): fewer, slower
+// SMs than the GTX480 but full-rate double precision (1/2 of SP) and
+// ECC-derated bandwidth. Useful for checking that conclusions are not
+// artifacts of the GeForce's 1/8-rate DP.
+func TeslaC2070() *Device {
+	return &Device{
+		Name:               "TeslaC2070",
+		NumSMs:             14,
+		CoresPerSM:         32,
+		WarpSize:           32,
+		MaxThreadsPerBlock: 1024,
+		MaxThreadsPerSM:    1536,
+		MaxBlocksPerSM:     8,
+		SharedMemPerSM:     48 * 1024,
+		ClockHz:            1.15e9,
+
+		SPFlops: 1.03e12,
+		DPFlops: 0.515e12,
+
+		GlobalBandwidth:  144e9,
+		GlobalLatency:    400 / 1.15e9,
+		TransactionBytes: 128,
+		MaxInflightPerSM: 64,
+
+		KernelLaunchOverhead: 5e-6,
+		BarrierCost:          30e-9,
+		SharedAccessCost:     0.6e-9 / 32,
+		SharedConflictCost:   0.6e-9,
+	}
+}
+
+// GTX280 returns the pre-Fermi GT200 GeForce: many narrow SMs, only
+// 16 KB of shared memory, half-warp 64-byte coalescing, and a token
+// double-precision unit. The tiled window's small footprint is what
+// lets the hybrid run at useful k even here (paper §III.A: "expands the
+// portability of our method to virtually all GPUs").
+func GTX280() *Device {
+	return &Device{
+		Name:               "GTX280",
+		NumSMs:             30,
+		CoresPerSM:         8,
+		WarpSize:           32,
+		MaxThreadsPerBlock: 512,
+		MaxThreadsPerSM:    1024,
+		MaxBlocksPerSM:     8,
+		SharedMemPerSM:     16 * 1024,
+		ClockHz:            1.296e9,
+
+		SPFlops: 0.622e12,
+		DPFlops: 0.078e12,
+
+		GlobalBandwidth:  141.7e9,
+		GlobalLatency:    500 / 1.296e9,
+		TransactionBytes: 64,
+		MaxInflightPerSM: 32,
+
+		KernelLaunchOverhead: 7e-6,
+		BarrierCost:          40e-9,
+		SharedAccessCost:     0.77e-9 / 32,
+		SharedConflictCost:   0.77e-9,
+	}
+}
+
+// Devices returns every built-in device preset by name.
+func Devices() map[string]*Device {
+	return map[string]*Device{
+		"gtx480":     GTX480(),
+		"teslac2070": TeslaC2070(),
+		"gtx280":     GTX280(),
+	}
+}

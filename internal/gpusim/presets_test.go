@@ -1,0 +1,112 @@
+package gpusim
+
+import "testing"
+
+func TestPresetsValid(t *testing.T) {
+	devs := Devices()
+	if len(devs) != 3 {
+		t.Fatalf("got %d presets", len(devs))
+	}
+	for name, d := range devs {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// Relationships the models rely on.
+	if TeslaC2070().DPFlops <= GTX480().DPFlops {
+		t.Error("Tesla's full-rate DP should exceed the GeForce's 1/8 rate")
+	}
+	if GTX280().SharedMemPerSM >= GTX480().SharedMemPerSM {
+		t.Error("GT200 should have less shared memory than Fermi")
+	}
+	if GTX280().TransactionBytes != 64 {
+		t.Error("GT200 coalesces at 64B granularity")
+	}
+}
+
+func TestValidateAllBranches(t *testing.T) {
+	mutations := []func(*Device){
+		func(d *Device) { d.NumSMs = 0 },
+		func(d *Device) { d.WarpSize = 0 },
+		func(d *Device) { d.MaxThreadsPerBlock = 0 },
+		func(d *Device) { d.MaxThreadsPerSM = 0 },
+		func(d *Device) { d.MaxBlocksPerSM = 0 },
+		func(d *Device) { d.SharedMemPerSM = -1 },
+		func(d *Device) { d.GlobalBandwidth = 0 },
+		func(d *Device) { d.GlobalLatency = 0 },
+		func(d *Device) { d.TransactionBytes = 0 },
+		func(d *Device) { d.SPFlops = 0 },
+		func(d *Device) { d.DPFlops = 0 },
+		func(d *Device) { d.MaxInflightPerSM = 0 },
+	}
+	for i, mutate := range mutations {
+		d := GTX480()
+		mutate(d)
+		if d.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestLaunchRejectsInvalidDevice(t *testing.T) {
+	d := GTX480()
+	d.NumSMs = 0
+	if _, err := d.Launch("k", LaunchConfig{Grid: 1, Block: 1}, func(b *Block) {}); err == nil {
+		t.Error("invalid device launched")
+	}
+}
+
+func TestSharedAccessorsAndLens(t *testing.T) {
+	d := GTX480()
+	st, err := d.Launch("acc", LaunchConfig{Grid: 1, Block: 4}, func(b *Block) {
+		sh := NewShared[float64](b, 8)
+		if sh.Len() != 8 {
+			t.Errorf("Shared.Len = %d", sh.Len())
+		}
+		b.PhaseNoSync(func(th *Thread) {
+			sh.StoreT(th, th.ID, float64(th.ID))
+			sh.Store(th.ID+4, 1)
+			_ = sh.Load(th.ID)
+			th.ThomasSteps(2)
+		})
+		b.CountShared(10, 20)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SharedStores != 28 || st.SharedLoads != 14 {
+		t.Errorf("shared counters: loads=%d stores=%d", st.SharedLoads, st.SharedStores)
+	}
+	if st.Eliminations != 8 || st.Flops != 8*FlopsPerThomasStep {
+		t.Errorf("ThomasSteps accounting: elims=%d flops=%d", st.Eliminations, st.Flops)
+	}
+	g := NewGlobal(make([]float32, 7))
+	if g.Len() != 7 {
+		t.Errorf("Global.Len = %d", g.Len())
+	}
+}
+
+func TestLoadEfficiencyNoTraffic(t *testing.T) {
+	s := &Stats{}
+	if s.LoadEfficiency(128) != 1 {
+		t.Error("zero-traffic efficiency should be 1")
+	}
+}
+
+func TestGTX280Coalescing64B(t *testing.T) {
+	// On the GT200 model a warp of unit-stride float64 loads spans
+	// 256B = 4 transactions of 64B.
+	d := GTX280()
+	g := NewGlobal(make([]float64, 32))
+	st, err := d.Launch("gt200", LaunchConfig{Grid: 1, Block: 32}, func(b *Block) {
+		b.PhaseNoSync(func(th *Thread) {
+			g.Load(th, th.ID)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LoadTransactions != 4 {
+		t.Errorf("GT200 transactions = %d, want 4", st.LoadTransactions)
+	}
+}

@@ -1,0 +1,70 @@
+package gpusim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Timeline records a sequence of kernel launches with their statistics
+// and model breakdowns — the simulator's equivalent of a profiler
+// trace. Solvers append to it; the harness renders it as a per-kernel
+// profile report.
+type Timeline struct {
+	dev     *Device
+	entries []TimelineEntry
+}
+
+// TimelineEntry is one profiled kernel launch.
+type TimelineEntry struct {
+	Name      string
+	Stats     *Stats
+	Breakdown Breakdown
+}
+
+// NewTimeline creates a profiler bound to the device.
+func NewTimeline(dev *Device) *Timeline {
+	return &Timeline{dev: dev}
+}
+
+// Record appends one kernel's stats, computing its breakdown for the
+// given element width.
+func (tl *Timeline) Record(st *Stats, elemBytes int) {
+	tl.entries = append(tl.entries, TimelineEntry{
+		Name:      st.Kernel,
+		Stats:     st,
+		Breakdown: tl.dev.EstimateBreakdown(st, elemBytes),
+	})
+}
+
+// Entries returns the recorded launches in order.
+func (tl *Timeline) Entries() []TimelineEntry { return tl.entries }
+
+// Total returns the summed modeled time.
+func (tl *Timeline) Total() float64 {
+	var t float64
+	for _, e := range tl.entries {
+		t += e.Breakdown.Total
+	}
+	return t
+}
+
+// Report renders an aligned per-kernel profile: time, share, binding
+// constraint, and the headline counters.
+func (tl *Timeline) Report() string {
+	var sb strings.Builder
+	total := tl.Total()
+	fmt.Fprintf(&sb, "%-24s %10s %6s %-9s %12s %12s %10s %8s\n",
+		"kernel", "time[us]", "share", "bound", "ldTx", "stTx", "elims", "barriers")
+	for _, e := range tl.entries {
+		share := 0.0
+		if total > 0 {
+			share = e.Breakdown.Total / total * 100
+		}
+		fmt.Fprintf(&sb, "%-24s %10.1f %5.1f%% %-9s %12d %12d %10d %8d\n",
+			e.Name, e.Breakdown.Total*1e6, share, e.Breakdown.Bound,
+			e.Stats.LoadTransactions, e.Stats.StoreTransactions,
+			e.Stats.Eliminations, e.Stats.Barriers)
+	}
+	fmt.Fprintf(&sb, "%-24s %10.1f\n", "TOTAL", total*1e6)
+	return sb.String()
+}

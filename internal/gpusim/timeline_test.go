@@ -1,0 +1,41 @@
+package gpusim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTimelineRecordAndReport(t *testing.T) {
+	d := GTX480()
+	tl := NewTimeline(d)
+	a := &Stats{Kernel: "pcr", Launches: 1, Blocks: 8, ThreadsPerBlock: 256,
+		LoadTransactions: 1 << 16, Eliminations: 1 << 18, Barriers: 100}
+	b := &Stats{Kernel: "thomas", Launches: 1, Blocks: 8, ThreadsPerBlock: 256,
+		LoadTransactions: 1 << 17, Eliminations: 1 << 19}
+	tl.Record(a, 8)
+	tl.Record(b, 8)
+	if len(tl.Entries()) != 2 {
+		t.Fatalf("entries = %d", len(tl.Entries()))
+	}
+	wantTotal := d.EstimateTime(a, 8) + d.EstimateTime(b, 8)
+	if math.Abs(tl.Total()-wantTotal) > 1e-15 {
+		t.Errorf("Total = %g, want %g", tl.Total(), wantTotal)
+	}
+	rep := tl.Report()
+	for _, want := range []string{"pcr", "thomas", "TOTAL", "bound"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	tl := NewTimeline(GTX480())
+	if tl.Total() != 0 {
+		t.Error("empty timeline total nonzero")
+	}
+	if !strings.Contains(tl.Report(), "TOTAL") {
+		t.Error("empty report missing TOTAL")
+	}
+}

@@ -1,0 +1,202 @@
+package matrix
+
+import (
+	"fmt"
+
+	"gputrid/internal/num"
+)
+
+// Batch holds M independent tridiagonal systems of N rows each in the
+// "contiguous" layout: system i occupies [i*N, (i+1)*N) of each diagonal
+// slice. This is the natural CPU layout (one system after another) and
+// the layout the MKL-proxy baselines consume.
+type Batch[T num.Real] struct {
+	M, N  int
+	Lower []T
+	Diag  []T
+	Upper []T
+	RHS   []T
+}
+
+// NewBatch allocates an M×N batch with all coefficients zero.
+func NewBatch[T num.Real](m, n int) *Batch[T] {
+	if m <= 0 || n <= 0 {
+		panic(fmt.Sprintf("matrix: invalid batch shape %dx%d", m, n))
+	}
+	size := m * n
+	return &Batch[T]{
+		M: m, N: n,
+		Lower: make([]T, size),
+		Diag:  make([]T, size),
+		Upper: make([]T, size),
+		RHS:   make([]T, size),
+	}
+}
+
+// System returns a view (shared storage) of system i as a System.
+func (b *Batch[T]) System(i int) *System[T] {
+	if i < 0 || i >= b.M {
+		panic("matrix: batch system index out of range")
+	}
+	lo, hi := i*b.N, (i+1)*b.N
+	return &System[T]{
+		Lower: b.Lower[lo:hi],
+		Diag:  b.Diag[lo:hi],
+		Upper: b.Upper[lo:hi],
+		RHS:   b.RHS[lo:hi],
+	}
+}
+
+// SetSystem copies s into slot i of the batch.
+func (b *Batch[T]) SetSystem(i int, s *System[T]) {
+	if s.N() != b.N {
+		panic("matrix: SetSystem size mismatch")
+	}
+	dst := b.System(i)
+	copy(dst.Lower, s.Lower)
+	copy(dst.Diag, s.Diag)
+	copy(dst.Upper, s.Upper)
+	copy(dst.RHS, s.RHS)
+}
+
+// Clone returns a deep copy of the batch.
+func (b *Batch[T]) Clone() *Batch[T] {
+	c := NewBatch[T](b.M, b.N)
+	copy(c.Lower, b.Lower)
+	copy(c.Diag, b.Diag)
+	copy(c.Upper, b.Upper)
+	copy(c.RHS, b.RHS)
+	return c
+}
+
+// Validate checks every system in the batch.
+func (b *Batch[T]) Validate() error {
+	if len(b.Lower) != b.M*b.N || len(b.Diag) != b.M*b.N ||
+		len(b.Upper) != b.M*b.N || len(b.RHS) != b.M*b.N {
+		return fmt.Errorf("matrix: batch slice lengths do not match M*N=%d", b.M*b.N)
+	}
+	for i := 0; i < b.M; i++ {
+		if err := b.System(i).Validate(); err != nil {
+			return fmt.Errorf("system %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Interleaved holds M independent tridiagonal systems of N rows each in
+// the "interleaved" layout: row j of system i lives at index j*M + i.
+// Threads t, t+1, ... walking their own systems row-by-row therefore
+// touch adjacent memory — the coalesced layout p-Thomas requires
+// (paper §III.B), and the layout k-step PCR naturally produces for its
+// 2^k subsystems.
+type Interleaved[T num.Real] struct {
+	M, N  int
+	Lower []T
+	Diag  []T
+	Upper []T
+	RHS   []T
+}
+
+// NewInterleaved allocates an M×N interleaved batch with all
+// coefficients zero.
+func NewInterleaved[T num.Real](m, n int) *Interleaved[T] {
+	if m <= 0 || n <= 0 {
+		panic(fmt.Sprintf("matrix: invalid interleaved shape %dx%d", m, n))
+	}
+	size := m * n
+	return &Interleaved[T]{
+		M: m, N: n,
+		Lower: make([]T, size),
+		Diag:  make([]T, size),
+		Upper: make([]T, size),
+		RHS:   make([]T, size),
+	}
+}
+
+// Idx returns the flat index of row j of system i.
+func (v *Interleaved[T]) Idx(i, j int) int { return j*v.M + i }
+
+// Clone returns a deep copy.
+func (v *Interleaved[T]) Clone() *Interleaved[T] {
+	c := NewInterleaved[T](v.M, v.N)
+	copy(c.Lower, v.Lower)
+	copy(c.Diag, v.Diag)
+	copy(c.Upper, v.Upper)
+	copy(c.RHS, v.RHS)
+	return c
+}
+
+// ExtractSystem copies system i out into a standalone System.
+func (v *Interleaved[T]) ExtractSystem(i int) *System[T] {
+	s := NewSystem[T](v.N)
+	for j := 0; j < v.N; j++ {
+		k := v.Idx(i, j)
+		s.Lower[j] = v.Lower[k]
+		s.Diag[j] = v.Diag[k]
+		s.Upper[j] = v.Upper[k]
+		s.RHS[j] = v.RHS[k]
+	}
+	return s
+}
+
+// ToInterleaved converts a contiguous batch to the interleaved layout.
+func (b *Batch[T]) ToInterleaved() *Interleaved[T] {
+	v := NewInterleaved[T](b.M, b.N)
+	for i := 0; i < b.M; i++ {
+		base := i * b.N
+		for j := 0; j < b.N; j++ {
+			k := j*b.M + i
+			v.Lower[k] = b.Lower[base+j]
+			v.Diag[k] = b.Diag[base+j]
+			v.Upper[k] = b.Upper[base+j]
+			v.RHS[k] = b.RHS[base+j]
+		}
+	}
+	return v
+}
+
+// ToBatch converts an interleaved batch back to the contiguous layout.
+func (v *Interleaved[T]) ToBatch() *Batch[T] {
+	b := NewBatch[T](v.M, v.N)
+	for i := 0; i < v.M; i++ {
+		base := i * v.N
+		for j := 0; j < v.N; j++ {
+			k := j*v.M + i
+			b.Lower[base+j] = v.Lower[k]
+			b.Diag[base+j] = v.Diag[k]
+			b.Upper[base+j] = v.Upper[k]
+			b.RHS[base+j] = v.RHS[k]
+		}
+	}
+	return b
+}
+
+// DeinterleaveVector converts a solution vector in interleaved order
+// (row j of system i at j*M+i) into contiguous order (system i occupies
+// [i*N,(i+1)*N)).
+func DeinterleaveVector[T num.Real](x []T, m, n int) []T {
+	if len(x) != m*n {
+		panic("matrix: DeinterleaveVector length mismatch")
+	}
+	out := make([]T, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out[i*n+j] = x[j*m+i]
+		}
+	}
+	return out
+}
+
+// InterleaveVector is the inverse of DeinterleaveVector.
+func InterleaveVector[T num.Real](x []T, m, n int) []T {
+	if len(x) != m*n {
+		panic("matrix: InterleaveVector length mismatch")
+	}
+	out := make([]T, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out[j*m+i] = x[i*n+j]
+		}
+	}
+	return out
+}

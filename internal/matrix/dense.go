@@ -1,0 +1,76 @@
+package matrix
+
+import (
+	"errors"
+
+	"gputrid/internal/num"
+)
+
+// ErrSingular is returned by SolveDense when elimination encounters a
+// zero (or numerically vanishing) pivot.
+var ErrSingular = errors.New("matrix: singular system")
+
+// SolveDense solves the tridiagonal system by expanding it into a dense
+// n×n matrix and running Gaussian elimination with partial pivoting.
+// It is O(n^3)-ish in storage terms (O(n^2)) and exists purely as an
+// independently-trustworthy reference for verifying the fast solvers on
+// small systems; it shares no code path with any of them.
+func SolveDense[T num.Real](s *System[T]) ([]T, error) {
+	n := s.N()
+	if n == 0 {
+		return nil, nil
+	}
+	// Build augmented dense matrix in float64 regardless of T so the
+	// reference is always the most accurate answer available.
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n+1)
+		a[i][i] = float64(s.Diag[i])
+		if i > 0 {
+			a[i][i-1] = float64(s.Lower[i])
+		}
+		if i < n-1 {
+			a[i][i+1] = float64(s.Upper[i])
+		}
+		a[i][n] = float64(s.RHS[i])
+	}
+	// Forward elimination with partial pivoting.
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if abs64(a[r][col]) > abs64(a[piv][col]) {
+				piv = r
+			}
+		}
+		if abs64(a[piv][col]) == 0 {
+			return nil, ErrSingular
+		}
+		a[col], a[piv] = a[piv], a[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	// Back substitution.
+	x := make([]T, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := a[i][n]
+		for c := i + 1; c < n; c++ {
+			sum -= a[i][c] * float64(x[c])
+		}
+		x[i] = T(sum / a[i][i])
+	}
+	return x, nil
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

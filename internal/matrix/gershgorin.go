@@ -1,0 +1,40 @@
+package matrix
+
+import "gputrid/internal/num"
+
+// GershgorinBounds returns an interval [lo, hi] containing every
+// eigenvalue of the tridiagonal matrix, from the Gershgorin circle
+// theorem: each eigenvalue lies within |b_i| ± (|a_i| + |c_i|) of some
+// diagonal entry. For a symmetric positive-definite operator (e.g. a
+// discrete Laplacian) the bounds feed ADI parameter selection
+// (adi.WachspressParams).
+func GershgorinBounds[T num.Real](s *System[T]) (lo, hi float64) {
+	n := s.N()
+	if n == 0 {
+		return 0, 0
+	}
+	first := true
+	for i := 0; i < n; i++ {
+		var off T
+		if i > 0 {
+			off += num.Abs(s.Lower[i])
+		}
+		if i < n-1 {
+			off += num.Abs(s.Upper[i])
+		}
+		l := float64(s.Diag[i]) - float64(off)
+		h := float64(s.Diag[i]) + float64(off)
+		if first {
+			lo, hi = l, h
+			first = false
+			continue
+		}
+		if l < lo {
+			lo = l
+		}
+		if h > hi {
+			hi = h
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,77 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGershgorinPoisson(t *testing.T) {
+	// The -1, 2, -1 matrix has eigenvalues in (0, 4); Gershgorin gives
+	// exactly [0, 4].
+	n := 32
+	s := NewSystem[float64](n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s.Lower[i] = -1
+		}
+		if i < n-1 {
+			s.Upper[i] = -1
+		}
+		s.Diag[i] = 2
+	}
+	lo, hi := GershgorinBounds(s)
+	if lo != 0 || hi != 4 {
+		t.Errorf("bounds [%g, %g], want [0, 4]", lo, hi)
+	}
+	// True eigenvalues 2 - 2cos(kπ/(n+1)) must be inside.
+	for k := 1; k <= n; k++ {
+		ev := 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+		if ev < lo || ev > hi {
+			t.Errorf("eigenvalue %g outside [%g, %g]", ev, lo, hi)
+		}
+	}
+}
+
+func TestGershgorinDiagonal(t *testing.T) {
+	s := NewSystem[float64](3)
+	s.Diag[0], s.Diag[1], s.Diag[2] = -1, 5, 2
+	lo, hi := GershgorinBounds(s)
+	if lo != -1 || hi != 5 {
+		t.Errorf("bounds [%g, %g], want [-1, 5]", lo, hi)
+	}
+}
+
+func TestGershgorinEmpty(t *testing.T) {
+	lo, hi := GershgorinBounds(NewSystem[float64](0))
+	if lo != 0 || hi != 0 {
+		t.Errorf("empty bounds [%g, %g]", lo, hi)
+	}
+}
+
+func TestGershgorinContainsDenseSolveSpectrumSample(t *testing.T) {
+	// Rayleigh quotients of random vectors always lie within the
+	// eigenvalue range of a symmetric matrix, hence within Gershgorin.
+	n := 24
+	s := testSystem(n, 77)
+	// Symmetrize: upper := lower transposed.
+	for i := 0; i < n-1; i++ {
+		s.Upper[i] = s.Lower[i+1]
+	}
+	lo, hi := GershgorinBounds(s)
+	for trial := 0; trial < 10; trial++ {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(float64(trial*7 + i*13))
+		}
+		ax := s.Apply(x)
+		var num, den float64
+		for i := range x {
+			num += x[i] * ax[i]
+			den += x[i] * x[i]
+		}
+		r := num / den
+		if r < lo-1e-12 || r > hi+1e-12 {
+			t.Errorf("Rayleigh quotient %g outside Gershgorin [%g, %g]", r, lo, hi)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package matrix defines the tridiagonal-system containers shared by all
+// solvers in this module, the memory layouts the paper distinguishes
+// (one-system-contiguous versus batch-interleaved), a dense
+// partial-pivoting reference solver used to verify every fast algorithm,
+// and residual/verification helpers.
+//
+// Conventions follow Eq. (1) of the paper: system rows are
+//
+//	a[i]*x[i-1] + b[i]*x[i] + c[i]*x[i+1] = d[i]
+//
+// with a[0] and c[n-1] ignored (treated as zero).
+package matrix
+
+import (
+	"fmt"
+
+	"gputrid/internal/num"
+)
+
+// System is a single tridiagonal system A x = d of size N.
+// A is stored as three diagonals: Lower (a), Diag (b), Upper (c).
+type System[T num.Real] struct {
+	Lower []T // a: sub-diagonal; Lower[0] is ignored
+	Diag  []T // b: main diagonal
+	Upper []T // c: super-diagonal; Upper[n-1] is ignored
+	RHS   []T // d: right-hand side
+}
+
+// NewSystem allocates an n-row system with all coefficients zero.
+func NewSystem[T num.Real](n int) *System[T] {
+	return &System[T]{
+		Lower: make([]T, n),
+		Diag:  make([]T, n),
+		Upper: make([]T, n),
+		RHS:   make([]T, n),
+	}
+}
+
+// N returns the number of rows.
+func (s *System[T]) N() int { return len(s.Diag) }
+
+// Clone returns a deep copy of s.
+func (s *System[T]) Clone() *System[T] {
+	c := NewSystem[T](s.N())
+	copy(c.Lower, s.Lower)
+	copy(c.Diag, s.Diag)
+	copy(c.Upper, s.Upper)
+	copy(c.RHS, s.RHS)
+	return c
+}
+
+// Validate checks structural consistency: all four slices share one
+// length and every coefficient is finite.
+func (s *System[T]) Validate() error {
+	n := s.N()
+	if len(s.Lower) != n || len(s.Upper) != n || len(s.RHS) != n {
+		return fmt.Errorf("matrix: inconsistent slice lengths (a=%d b=%d c=%d d=%d)",
+			len(s.Lower), n, len(s.Upper), len(s.RHS))
+	}
+	for i := 0; i < n; i++ {
+		if !num.IsFinite(s.Lower[i]) || !num.IsFinite(s.Diag[i]) ||
+			!num.IsFinite(s.Upper[i]) || !num.IsFinite(s.RHS[i]) {
+			return fmt.Errorf("matrix: non-finite coefficient at row %d", i)
+		}
+	}
+	return nil
+}
+
+// Apply computes y = A x for the tridiagonal matrix of s.
+// It does not read s.RHS.
+func (s *System[T]) Apply(x []T) []T {
+	n := s.N()
+	if len(x) != n {
+		panic("matrix: Apply dimension mismatch")
+	}
+	y := make([]T, n)
+	for i := 0; i < n; i++ {
+		v := s.Diag[i] * x[i]
+		if i > 0 {
+			v += s.Lower[i] * x[i-1]
+		}
+		if i < n-1 {
+			v += s.Upper[i] * x[i+1]
+		}
+		y[i] = v
+	}
+	return y
+}
+
+// DiagonallyDominant reports whether |b[i]| >= |a[i]| + |c[i]| + margin
+// holds on every row, the standard sufficient condition for Thomas/PCR
+// stability without pivoting.
+func (s *System[T]) DiagonallyDominant(margin T) bool {
+	n := s.N()
+	for i := 0; i < n; i++ {
+		off := T(0)
+		if i > 0 {
+			off += num.Abs(s.Lower[i])
+		}
+		if i < n-1 {
+			off += num.Abs(s.Upper[i])
+		}
+		if num.Abs(s.Diag[i]) < off+margin {
+			return false
+		}
+	}
+	return true
+}
+
+// InfNorm returns the infinity norm of the tridiagonal matrix
+// (maximum absolute row sum).
+func (s *System[T]) InfNorm() T {
+	n := s.N()
+	var m T
+	for i := 0; i < n; i++ {
+		row := num.Abs(s.Diag[i])
+		if i > 0 {
+			row += num.Abs(s.Lower[i])
+		}
+		if i < n-1 {
+			row += num.Abs(s.Upper[i])
+		}
+		m = num.Max(m, row)
+	}
+	return m
+}

@@ -1,0 +1,120 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+
+	"gputrid/internal/num"
+)
+
+// Residual returns the normwise relative backward error of a candidate
+// solution x:
+//
+//	||A x − d||_inf / (||A||_inf ||x||_inf + ||d||_inf)
+//
+// For a backward-stable solve on a well-conditioned system this is a
+// small multiple of machine epsilon.
+func Residual[T num.Real](s *System[T], x []T) float64 {
+	n := s.N()
+	if len(x) != n {
+		panic("matrix: Residual dimension mismatch")
+	}
+	ax := s.Apply(x)
+	var rmax, xmax, dmax float64
+	for i := 0; i < n; i++ {
+		if !num.IsFinite(x[i]) || !num.IsFinite(ax[i]) {
+			return math.Inf(1)
+		}
+		r := float64(ax[i]) - float64(s.RHS[i])
+		if r < 0 {
+			r = -r
+		}
+		if r > rmax {
+			rmax = r
+		}
+		xa := float64(num.Abs(x[i]))
+		if xa > xmax {
+			xmax = xa
+		}
+		da := float64(num.Abs(s.RHS[i]))
+		if da > dmax {
+			dmax = da
+		}
+	}
+	den := float64(s.InfNorm())*xmax + dmax
+	if den == 0 {
+		return rmax
+	}
+	return rmax / den
+}
+
+// MaxResidual returns the worst Residual over all systems in a batch,
+// where x holds the M solutions contiguously (system i in [i*N,(i+1)*N)).
+func MaxResidual[T num.Real](b *Batch[T], x []T) float64 {
+	if len(x) != b.M*b.N {
+		panic("matrix: MaxResidual dimension mismatch")
+	}
+	var worst float64
+	for i := 0; i < b.M; i++ {
+		r := Residual(b.System(i), x[i*b.N:(i+1)*b.N])
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// ResidualTolerance returns a pass/fail threshold for the relative
+// residual of an n-row solve in precision T: c·n·eps with a generous
+// constant, loose enough for the non-pivoting parallel algorithms on
+// diagonally dominant systems, tight enough to catch real bugs (which
+// produce O(1) residuals).
+func ResidualTolerance[T num.Real](n int) float64 {
+	eps := float64(num.Eps[T]())
+	c := 64.0
+	t := c * float64(n) * eps
+	if t > 1e-2 {
+		t = 1e-2
+	}
+	return t
+}
+
+// CheckSolution verifies x against the system with ResidualTolerance and
+// returns a descriptive error on failure.
+func CheckSolution[T num.Real](s *System[T], x []T) error {
+	for i, v := range x {
+		if !num.IsFinite(v) {
+			return fmt.Errorf("matrix: non-finite solution entry x[%d]=%v", i, v)
+		}
+	}
+	r := Residual(s, x)
+	tol := ResidualTolerance[T](s.N())
+	if r > tol {
+		return fmt.Errorf("matrix: residual %.3e exceeds tolerance %.3e (n=%d)", r, tol, s.N())
+	}
+	return nil
+}
+
+// MaxAbsDiff returns the largest elementwise |a[i]−b[i]|.
+func MaxAbsDiff[T num.Real](a, b []T) T {
+	if len(a) != len(b) {
+		panic("matrix: MaxAbsDiff length mismatch")
+	}
+	var m T
+	for i := range a {
+		m = num.Max(m, num.Abs(a[i]-b[i]))
+	}
+	return m
+}
+
+// MaxRelDiff returns the largest elementwise num.RelDiff(a[i], b[i]).
+func MaxRelDiff[T num.Real](a, b []T) T {
+	if len(a) != len(b) {
+		panic("matrix: MaxRelDiff length mismatch")
+	}
+	var m T
+	for i := range a {
+		m = num.Max(m, num.RelDiff(a[i], b[i]))
+	}
+	return m
+}

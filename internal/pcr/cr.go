@@ -1,0 +1,64 @@
+package pcr
+
+import (
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+)
+
+// SolveCR solves the system with cyclic (odd-even) reduction, the
+// two-phase O(n) parallel algorithm of paper §II.A.2: forward reduction
+// halves the active rows each level; backward substitution then solves
+// the eliminated rows down the tree (paper Figs. 1-2). Handles
+// arbitrary n, not just powers of two. The input is not modified.
+func SolveCR[T num.Real](s *matrix.System[T]) []T {
+	n := s.N()
+	x := make([]T, n)
+	if n == 0 {
+		return x
+	}
+	w := s.Clone()
+	Normalize(w)
+
+	// Forward reduction. At level with span s, rows whose 1-based index
+	// is a multiple of s are rewritten (one Combine with stride s/2) to
+	// couple only to rows at ±s. Updates within a level are
+	// independent; later levels only read rows updated at earlier
+	// levels, so in-place updating is safe because the rows a level
+	// writes (multiples of s) are disjoint from the rows it reads
+	// (odd multiples of s/2).
+	for span := 2; span <= n; span <<= 1 {
+		half := span >> 1
+		for i := span - 1; i < n; i += span {
+			SetRow(w, i, Combine(RowAt(w, i-half), RowAt(w, i), RowAt(w, i+half)))
+		}
+	}
+
+	// Backward substitution. The top level holds rows whose neighbors
+	// at ±span/2 all fell outside the matrix; solve them directly,
+	// then descend, solving each level from its already-solved parents
+	// (paper Eq. 7). solved[i] tracks availability for safety checks.
+	top := num.NextPow2(n + 1)
+	for span := top; span >= 2; span >>= 1 {
+		half := span >> 1
+		for i := half - 1; i < n; i += span {
+			v := w.RHS[i]
+			if j := i - half; j >= 0 {
+				v -= w.Lower[i] * x[j]
+			}
+			if j := i + half; j < n {
+				v -= w.Upper[i] * x[j]
+			}
+			x[i] = v / w.Diag[i]
+		}
+	}
+	return x
+}
+
+// CREliminationSteps returns the paper's step count for CR on an n-row
+// system: 2·log2(n) + 1 parallel steps (Table/§II.A.2 accounting).
+func CREliminationSteps(n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return 2*int64(num.CeilLog2(n)) + 1
+}

@@ -1,0 +1,237 @@
+// Package pthomas implements the thread-level parallel Thomas algorithm
+// of paper §III.B: every thread solves one complete tridiagonal system
+// with the classic O(n) two-sweep recurrence, and coalescing comes
+// entirely from the memory layout — systems are interleaved so that
+// consecutive threads touch consecutive addresses on every step.
+//
+// Two kernels are provided:
+//
+//   - KernelInterleaved solves M independent systems stored in the
+//     interleaved layout (row j of system i at j·M+i) with one thread
+//     per system. This is the k = 0 path of the hybrid and the
+//     standalone GPU p-Thomas baseline.
+//
+//   - KernelStrided solves the 2^k interleaved subsystems that k-step
+//     PCR leaves inside each of M contiguously stored systems (row l of
+//     subsystem r of system i at i·N + r + l·2^k), one thread block of
+//     2^k threads per original system. This is the hybrid's back-end;
+//     the access pattern is consecutive across the block's threads,
+//     which is why the paper calls PCR's output a "perfect match".
+package pthomas
+
+import (
+	"fmt"
+
+	"gputrid/internal/gpusim"
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+)
+
+// KernelInterleaved solves the M interleaved systems of v on the
+// device and returns the solutions in interleaved order (x[j*M+i] is
+// row j of system i) together with the recorded statistics.
+// blockSize threads per block; <= 0 selects 128.
+//
+// The Thomas recurrence does not pivot: a vanishing pivot produces
+// Inf/NaN in the affected system's solution rather than an error, as on
+// real hardware. Callers solving non-dominant systems should verify
+// residuals.
+func KernelInterleaved[T num.Real](dev *gpusim.Device, v *matrix.Interleaved[T], blockSize int) ([]T, *gpusim.Stats, error) {
+	m, n := v.M, v.N
+	if blockSize <= 0 {
+		blockSize = 128
+	}
+	if blockSize > dev.MaxThreadsPerBlock {
+		blockSize = dev.MaxThreadsPerBlock
+	}
+	x := make([]T, m*n)
+	cp := make([]T, m*n)
+	dp := make([]T, m*n)
+
+	ga, gb := gpusim.NewGlobal(v.Lower), gpusim.NewGlobal(v.Diag)
+	gc, gd := gpusim.NewGlobal(v.Upper), gpusim.NewGlobal(v.RHS)
+	gcp, gdp := gpusim.NewGlobal(cp), gpusim.NewGlobal(dp)
+	gx := gpusim.NewGlobal(x)
+
+	grid := num.CeilDiv(m, blockSize)
+	st, err := dev.Launch("pThomas", gpusim.LaunchConfig{Grid: grid, Block: blockSize},
+		func(b *gpusim.Block) {
+			b.PhaseNoSync(func(t *gpusim.Thread) {
+				sys := b.ID*blockSize + t.ID
+				if sys >= m {
+					return
+				}
+				solveOne(t, sys, m, n, ga, gb, gc, gd, gcp, gdp, gx)
+			})
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, st, nil
+}
+
+// KernelStrided solves, for every system of the contiguous batch
+// (a, b, c, d) of M systems × N rows, the 2^k interleaved subsystems
+// produced by k-step PCR. One thread block of 2^k threads handles one
+// system; thread r solves subsystem r (rows r, r+2^k, r+2·2^k, ...).
+// The returned solution vector is in natural row order (length M·N).
+func KernelStrided[T num.Real](dev *gpusim.Device, a, b, c, d []T, m, n, k int) ([]T, *gpusim.Stats, error) {
+	if k < 0 {
+		return nil, nil, fmt.Errorf("pthomas: negative k")
+	}
+	p := 1 << k
+	if p > dev.MaxThreadsPerBlock {
+		return nil, nil, fmt.Errorf("pthomas: 2^k = %d exceeds max threads per block %d", p, dev.MaxThreadsPerBlock)
+	}
+	if len(a) != m*n || len(b) != m*n || len(c) != m*n || len(d) != m*n {
+		return nil, nil, fmt.Errorf("pthomas: array lengths do not match M*N = %d", m*n)
+	}
+	x := make([]T, m*n)
+	cp := make([]T, m*n)
+	dp := make([]T, m*n)
+
+	ga, gb := gpusim.NewGlobal(a), gpusim.NewGlobal(b)
+	gc, gd := gpusim.NewGlobal(c), gpusim.NewGlobal(d)
+	gcp, gdp := gpusim.NewGlobal(cp), gpusim.NewGlobal(dp)
+	gx := gpusim.NewGlobal(x)
+
+	st, err := dev.Launch("pThomasStrided", gpusim.LaunchConfig{Grid: m, Block: p},
+		func(blk *gpusim.Block) {
+			base := blk.ID * n
+			blk.PhaseNoSync(func(t *gpusim.Thread) {
+				r := t.ID
+				if r >= n {
+					return
+				}
+				solveStrided(t, base, r, p, n, ga, gb, gc, gd, gcp, gdp, gx)
+			})
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, st, nil
+}
+
+// solveOne runs Thomas for one system of an interleaved batch:
+// row l lives at l*m + sys.
+func solveOne[T num.Real](t *gpusim.Thread, sys, m, n int,
+	ga, gb, gc, gd, gcp, gdp, gx gpusim.Global[T]) {
+	// Forward reduction (paper Eqs. 2-3).
+	idx := sys
+	bv := gb.Load(t, idx)
+	cpPrev := gc.Load(t, idx) / bv
+	dpPrev := gd.Load(t, idx) / bv
+	gcp.Store(t, idx, cpPrev)
+	gdp.Store(t, idx, dpPrev)
+	t.ThomasSteps(1)
+	for l := 1; l < n; l++ {
+		idx = l*m + sys
+		av := ga.Load(t, idx)
+		den := gb.Load(t, idx) - cpPrev*av
+		inv := 1 / den
+		cpPrev = gc.Load(t, idx) * inv
+		dpPrev = (gd.Load(t, idx) - dpPrev*av) * inv
+		gcp.Store(t, idx, cpPrev)
+		gdp.Store(t, idx, dpPrev)
+		t.ThomasSteps(1)
+	}
+	// Backward substitution (paper Eq. 4).
+	xNext := dpPrev
+	gx.Store(t, (n-1)*m+sys, xNext)
+	for l := n - 2; l >= 0; l-- {
+		idx = l*m + sys
+		xNext = gdp.Load(t, idx) - gcp.Load(t, idx)*xNext
+		gx.Store(t, idx, xNext)
+		t.ThomasSteps(1)
+	}
+}
+
+// solveStrided runs Thomas over rows base+r, base+r+p, ... base+r+(L-1)p.
+func solveStrided[T num.Real](t *gpusim.Thread, base, r, p, n int,
+	ga, gb, gc, gd, gcp, gdp, gx gpusim.Global[T]) {
+	L := (n - r + p - 1) / p
+	if L <= 0 {
+		return
+	}
+	idx := base + r
+	bv := gb.Load(t, idx)
+	cpPrev := gc.Load(t, idx) / bv
+	dpPrev := gd.Load(t, idx) / bv
+	gcp.Store(t, idx, cpPrev)
+	gdp.Store(t, idx, dpPrev)
+	t.ThomasSteps(1)
+	for l := 1; l < L; l++ {
+		idx = base + r + l*p
+		av := ga.Load(t, idx)
+		den := gb.Load(t, idx) - cpPrev*av
+		inv := 1 / den
+		cpPrev = gc.Load(t, idx) * inv
+		dpPrev = (gd.Load(t, idx) - dpPrev*av) * inv
+		gcp.Store(t, idx, cpPrev)
+		gdp.Store(t, idx, dpPrev)
+		t.ThomasSteps(1)
+	}
+	xNext := dpPrev
+	gx.Store(t, base+r+(L-1)*p, xNext)
+	for l := L - 2; l >= 0; l-- {
+		idx = base + r + l*p
+		xNext = gdp.Load(t, idx) - gcp.Load(t, idx)*xNext
+		gx.Store(t, idx, xNext)
+		t.ThomasSteps(1)
+	}
+}
+
+// SolveInterleavedRef is the plain-Go reference for KernelInterleaved:
+// it extracts each system and solves it with the same non-pivoting
+// recurrence, returning the interleaved solution vector.
+func SolveInterleavedRef[T num.Real](v *matrix.Interleaved[T]) []T {
+	m, n := v.M, v.N
+	x := make([]T, m*n)
+	cp := make([]T, n)
+	dp := make([]T, n)
+	for i := 0; i < m; i++ {
+		thomasStrided(v.Lower, v.Diag, v.Upper, v.RHS, x, cp, dp, i, m, n)
+	}
+	return x
+}
+
+// SolveStridedRef is the plain-Go reference for KernelStrided.
+func SolveStridedRef[T num.Real](a, b, c, d []T, m, n, k int) []T {
+	p := 1 << k
+	x := make([]T, m*n)
+	L := num.CeilDiv(n, p)
+	cp := make([]T, L)
+	dp := make([]T, L)
+	for i := 0; i < m; i++ {
+		for r := 0; r < p && r < n; r++ {
+			base := i * n
+			thomasStrided(a[base:], b[base:], c[base:], d[base:], x[base:], cp, dp, r, p, (n-r+p-1)/p)
+		}
+	}
+	return x
+}
+
+// thomasStrided solves the system whose row l lives at flat index
+// start + l*stride, writing x at the same indices. cp/dp are scratch of
+// at least rows elements.
+func thomasStrided[T num.Real](a, b, c, d, x, cp, dp []T, start, stride, rows int) {
+	if rows <= 0 {
+		return
+	}
+	idx := start
+	cp[0] = c[idx] / b[idx]
+	dp[0] = d[idx] / b[idx]
+	for l := 1; l < rows; l++ {
+		idx = start + l*stride
+		den := b[idx] - cp[l-1]*a[idx]
+		inv := 1 / den
+		cp[l] = c[idx] * inv
+		dp[l] = (d[idx] - dp[l-1]*a[idx]) * inv
+	}
+	xn := dp[rows-1]
+	x[start+(rows-1)*stride] = xn
+	for l := rows - 2; l >= 0; l-- {
+		xn = dp[l] - cp[l]*xn
+		x[start+l*stride] = xn
+	}
+}

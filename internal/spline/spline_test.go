@@ -1,0 +1,206 @@
+package spline
+
+import (
+	"math"
+	"testing"
+
+	"gputrid/internal/cpu"
+)
+
+func cpuBackend() SolveBatch[float64] {
+	return cpu.SolveBatchSeq[float64]
+}
+
+func sample(m, knots int, h float64, f func(curve int, x float64) float64) []float64 {
+	y := make([]float64, m*knots)
+	for i := 0; i < m; i++ {
+		for j := 0; j < knots; j++ {
+			y[i*knots+j] = f(i, float64(j)*h)
+		}
+	}
+	return y
+}
+
+func TestNaturalFitInterpolatesKnots(t *testing.T) {
+	m, knots := 3, 33
+	h := 1.0 / float64(knots-1)
+	y := sample(m, knots, h, func(i int, x float64) float64 {
+		return math.Sin(2*math.Pi*x + float64(i))
+	})
+	s, err := Fit(m, knots, 0, h, y, FitOptions[float64]{Backend: cpuBackend()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < knots; j++ {
+			x := float64(j) * h
+			if d := math.Abs(s.Eval(i, x) - y[i*knots+j]); d > 1e-12 {
+				t.Fatalf("curve %d knot %d: interpolation broken by %g", i, j, d)
+			}
+		}
+	}
+	// Natural ends: zero second derivative.
+	if s.SecondDeriv(0, 0) != 0 || s.SecondDeriv(0, knots-1) != 0 {
+		t.Error("natural end conditions violated")
+	}
+}
+
+func TestNaturalConvergesAtMidpoints(t *testing.T) {
+	// Quartic convergence: halving h reduces midpoint error ~16x.
+	errAt := func(knots int) float64 {
+		h := 1.0 / float64(knots-1)
+		y := sample(1, knots, h, func(_ int, x float64) float64 {
+			return math.Sin(2 * math.Pi * x)
+		})
+		s, err := Fit(1, knots, 0, h, y, FitOptions[float64]{Backend: cpuBackend()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst float64
+		// Interior midpoints only: the natural BC carries an O(h²)
+		// boundary layer near the ends.
+		for j := knots / 4; j < 3*knots/4; j++ {
+			x := (float64(j) + 0.5) * h
+			if e := math.Abs(s.Eval(0, x) - math.Sin(2*math.Pi*x)); e > worst {
+				worst = e
+			}
+		}
+		return worst
+	}
+	e1 := errAt(65)
+	e2 := errAt(129)
+	if ratio := e1 / e2; ratio < 8 {
+		t.Errorf("midpoint error ratio %g, want ~16 (quartic)", ratio)
+	}
+}
+
+func TestClampedExactForCubic(t *testing.T) {
+	// A clamped spline through samples of a cubic with exact end slopes
+	// reproduces the cubic exactly (up to roundoff).
+	f := func(x float64) float64 { return 2*x*x*x - 3*x*x + x - 5 }
+	df := func(x float64) float64 { return 6*x*x - 6*x + 1 }
+	knots := 9
+	h := 1.0 / float64(knots-1)
+	y := sample(1, knots, h, func(_ int, x float64) float64 { return f(x) })
+	s, err := Fit(1, knots, 0, h, y, FitOptions[float64]{
+		BC:      Clamped,
+		DerivLo: []float64{df(0)},
+		DerivHi: []float64{df(1)},
+		Backend: cpuBackend(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.05, 0.3, 0.333, 0.5, 0.77, 0.95} {
+		if d := math.Abs(s.Eval(0, x) - f(x)); d > 1e-10 {
+			t.Errorf("x=%g: clamped spline off a cubic by %g", x, d)
+		}
+		if d := math.Abs(s.Deriv(0, x) - df(x)); d > 1e-9 {
+			t.Errorf("x=%g: derivative off by %g", x, d)
+		}
+	}
+}
+
+func TestDerivMatchesFiniteDifference(t *testing.T) {
+	knots := 65
+	h := 1.0 / float64(knots-1)
+	y := sample(1, knots, h, func(_ int, x float64) float64 { return math.Exp(-x) * math.Sin(5*x) })
+	s, err := Fit(1, knots, 0, h, y, FitOptions[float64]{Backend: cpuBackend()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-6
+	for _, x := range []float64{0.2, 0.41, 0.68} {
+		fd := (s.Eval(0, x+eps) - s.Eval(0, x-eps)) / (2 * eps)
+		if d := math.Abs(s.Deriv(0, x) - fd); d > 1e-5 {
+			t.Errorf("x=%g: Deriv %g vs FD %g", x, s.Deriv(0, x), fd)
+		}
+	}
+}
+
+func TestIntegral(t *testing.T) {
+	knots := 129
+	h := 1.0 / float64(knots-1)
+	y := sample(1, knots, h, func(_ int, x float64) float64 { return math.Sin(math.Pi * x) })
+	s, err := Fit(1, knots, 0, h, y, FitOptions[float64]{Backend: cpuBackend()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 / math.Pi // ∫ sin(πx) over [0,1]
+	if d := math.Abs(float64(s.Integral(0)) - want); d > 1e-6 {
+		t.Errorf("integral = %g, want %g (diff %g)", s.Integral(0), want, d)
+	}
+}
+
+func TestDefaultBackendGPU(t *testing.T) {
+	// Fit through the default (hybrid GPU) backend and cross-check the
+	// second derivatives against the CPU backend exactly.
+	m, knots := 40, 65
+	h := 1.0 / float64(knots-1)
+	y := sample(m, knots, h, func(i int, x float64) float64 {
+		return math.Cos(float64(i+1) * x)
+	})
+	sg, err := Fit(m, knots, 0, h, y, FitOptions[float64]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Fit(m, knots, 0, h, y, FitOptions[float64]{Backend: cpuBackend()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i := 0; i < m; i++ {
+		for j := 0; j < knots; j++ {
+			if d := math.Abs(float64(sg.SecondDeriv(i, j) - sc.SecondDeriv(i, j))); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 1e-10 {
+		t.Errorf("GPU vs CPU spline fits differ by %g", worst)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(0, 5, 0, 0.1, nil, FitOptions[float64]{}); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := Fit(1, 5, 0, 0.1, make([]float64, 3), FitOptions[float64]{}); err == nil {
+		t.Error("short y accepted")
+	}
+	if _, err := Fit(1, 5, 0, -1, make([]float64, 5), FitOptions[float64]{}); err == nil {
+		t.Error("negative h accepted")
+	}
+	if _, err := Fit(1, 5, 0, 0.1, make([]float64, 5), FitOptions[float64]{BC: Clamped}); err == nil {
+		t.Error("clamped without slopes accepted")
+	}
+}
+
+func TestTwoKnotDegenerate(t *testing.T) {
+	s, err := Fit(1, 2, 0, 1, []float64{1, 3}, FitOptions[float64]{Backend: cpuBackend()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Eval(0, 0.5); math.Abs(float64(v)-2) > 1e-14 {
+		t.Errorf("two-knot spline midpoint = %g, want 2 (linear)", v)
+	}
+}
+
+func TestClampedFloat32(t *testing.T) {
+	knots := 17
+	h := float64(1) / float64(knots-1)
+	y := make([]float32, knots)
+	for j := range y {
+		y[j] = float32(j) * float32(h) // linear
+	}
+	s, err := Fit(1, knots, 0, h, y, FitOptions[float32]{
+		BC: Clamped, DerivLo: []float32{1}, DerivHi: []float32{1},
+		Backend: cpu.SolveBatchSeq[float32],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Eval(0, 0.31); math.Abs(float64(v)-0.31) > 1e-5 {
+		t.Errorf("linear clamped spline at 0.31 = %g", v)
+	}
+}

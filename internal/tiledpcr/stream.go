@@ -1,0 +1,233 @@
+package tiledpcr
+
+import (
+	"fmt"
+
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+	"gputrid/internal/pcr"
+)
+
+// ring retains the most recent values of one pipeline level, indexed by
+// absolute row index. Reads outside [0, n) return the boundary identity
+// row; reads of retained interior indices return the stored value.
+type ring[T num.Real] struct {
+	buf []pcr.Row[T]
+	n   int // system size, for identity clamping
+	hi  int // highest index stored so far
+}
+
+func newRing[T num.Real](capacity, n int) *ring[T] {
+	return &ring[T]{buf: make([]pcr.Row[T], capacity), n: n, hi: -1 << 30}
+}
+
+func (r *ring[T]) put(i int, v pcr.Row[T]) {
+	r.buf[mod(i, len(r.buf))] = v
+	if i > r.hi {
+		r.hi = i
+	}
+}
+
+func (r *ring[T]) get(i int) pcr.Row[T] {
+	if i < 0 || i >= r.n {
+		return pcr.Identity[T]()
+	}
+	if i > r.hi || i <= r.hi-len(r.buf) {
+		panic(fmt.Sprintf("tiledpcr: ring read of index %d outside retained window (hi=%d cap=%d)",
+			i, r.hi, len(r.buf)))
+	}
+	return r.buf[mod(i, len(r.buf))]
+}
+
+func mod(i, m int) int {
+	i %= m
+	if i < 0 {
+		i += m
+	}
+	return i
+}
+
+// Streamer is the row-at-a-time buffered sliding window: push raw rows
+// in order and it emits fully k-step-reduced rows, each exactly once,
+// with the minimal dependency cache of the paper §III.A (level j keeps
+// its newest 2^(j+1)+1 values).
+//
+// rawStart is the index of the first raw row that will be pushed. For a
+// whole-system reduction it is -f(k) (rows before 0 are virtual
+// identity rows and are pushed as such); for an interior tile it is
+// tileStart - f(k), making the first f(k) pushed rows the halo whose
+// reduction work is the g(k) warm-up redundancy.
+type Streamer[T num.Real] struct {
+	k, n     int
+	rawStart int
+	next     int // next raw index expected by Push
+	levels   []*ring[T]
+	emit     func(i int, row pcr.Row[T])
+
+	// Eliminations counts Combine invocations, the paper's cost unit.
+	Eliminations int64
+	// WarmupBefore marks the start of this streamer's useful output
+	// range; eliminations of values below it are counted separately in
+	// WarmupElims (they re-create values another tile also computes).
+	WarmupBefore int
+	WarmupElims  int64
+}
+
+// NewStreamer builds a streamer for an n-row system and k PCR steps.
+// emit receives each level-k row in strictly increasing index order.
+func NewStreamer[T num.Real](n, k, rawStart int, emit func(i int, row pcr.Row[T])) *Streamer[T] {
+	if k < 0 {
+		panic("tiledpcr: negative k")
+	}
+	st := &Streamer[T]{k: k, n: n, rawStart: rawStart, next: rawStart, emit: emit,
+		WarmupBefore: -1 << 30}
+	st.levels = make([]*ring[T], k)
+	for l := 0; l < k; l++ {
+		st.levels[l] = newRing[T]((2<<l)+2, n)
+	}
+	return st
+}
+
+// Push feeds the next raw row (index st.next). Rows outside [0, n) must
+// be pushed as identity rows; PushAuto handles that for callers reading
+// from a System.
+func (st *Streamer[T]) Push(row pcr.Row[T]) {
+	r := st.next
+	st.next++
+	if st.k == 0 {
+		if r >= 0 && r < st.n {
+			st.emit(r, row)
+		}
+		return
+	}
+	if r >= 0 && r < st.n {
+		st.levels[0].put(r, row)
+	}
+	for j := 1; j <= st.k; j++ {
+		i := r - F(j)
+		if i < 0 || i >= st.n {
+			continue
+		}
+		// Values whose dependency cone dips below rawStart would be
+		// garbage; they are exactly the ones no valid output needs.
+		if st.rawStart > -F(st.k) && i < st.rawStart+F(j) {
+			continue
+		}
+		h := 1 << (j - 1)
+		lv := st.levels[j-1]
+		v := pcr.Combine(lv.get(i-h), lv.get(i), lv.get(i+h))
+		st.Eliminations++
+		if i < st.WarmupBefore {
+			st.WarmupElims++
+		}
+		if j == st.k {
+			st.emit(i, v)
+		} else {
+			st.levels[j].put(i, v)
+		}
+	}
+}
+
+// Drain pushes the trailing f(k) virtual rows so the pipeline emits its
+// final outputs. After Drain, all rows in [firstOut, n) have been
+// emitted.
+func (st *Streamer[T]) Drain() {
+	for i := 0; i < F(st.k); i++ {
+		st.Push(pcr.Identity[T]())
+	}
+}
+
+// StreamReduce performs a k-step PCR reduction of s in a single
+// streaming pass with zero redundant work and O(2^k) state, returning
+// the reduced system. It produces coefficients identical to
+// pcr.Reduce(s, k) (up to signs of zeros at boundaries).
+func StreamReduce[T num.Real](s *matrix.System[T], k int) *matrix.System[T] {
+	n := s.N()
+	out := matrix.NewSystem[T](n)
+	st := NewStreamer(n, k, -F(k), func(i int, row pcr.Row[T]) {
+		pcr.SetRow(out, i, row)
+	})
+	src := s.Clone()
+	pcr.Normalize(src)
+	for r := -F(k); r < n; r++ {
+		st.Push(pcr.RowAt(src, r))
+	}
+	st.Drain()
+	return out
+}
+
+// BlockedStats reports the work performed by ReduceBlocked and the
+// redundancy predicted by the paper's Eq. 8-9 for cross-checking.
+type BlockedStats struct {
+	Tiles             int
+	RawLoads          int64 // raw rows read from the system, incl. halo re-reads
+	RedundantLoads    int64 // halo rows (outside the tile's own output range)
+	Eliminations      int64 // total Combine invocations
+	WarmupElims       int64 // eliminations of values below each tile's start
+	MinimalLoads      int64 // n: the zero-redundancy load count
+	MinimalElims      int64 // k·n: the zero-redundancy elimination count
+	PredictedRedLoads int64 // per-tile halo sizes summed (f(k) per side, clipped)
+	PredictedWarmups  int64 // g(k) per interior tile start, clipped
+}
+
+// ReduceBlocked reduces s by k PCR steps with the system split into
+// independent tiles of tileRows output rows (paper Fig. 11(b)): each
+// tile re-reads an f(k)-row halo on each side and re-runs the g(k)
+// warm-up eliminations of Eq. 9. It returns the reduced system plus
+// the measured and predicted redundancy.
+func ReduceBlocked[T num.Real](s *matrix.System[T], k, tileRows int) (*matrix.System[T], *BlockedStats) {
+	n := s.N()
+	if tileRows <= 0 {
+		tileRows = n
+	}
+	src := s.Clone()
+	pcr.Normalize(src)
+	out := matrix.NewSystem[T](n)
+	bs := &BlockedStats{
+		MinimalElims: int64(k) * int64(n),
+		MinimalLoads: int64(n),
+	}
+	for start := 0; start < n; start += tileRows {
+		end := start + tileRows
+		if end > n {
+			end = n
+		}
+		bs.Tiles++
+		rawStart := start - F(k)
+		st := NewStreamer(n, k, rawStart, func(i int, row pcr.Row[T]) {
+			if i >= start && i < end {
+				pcr.SetRow(out, i, row)
+			}
+		})
+		st.WarmupBefore = start
+		for r := rawStart; r < end+F(k); r++ {
+			st.Push(pcr.RowAt(src, r))
+			if r >= 0 && r < n {
+				bs.RawLoads++
+				if r < start || r >= end {
+					bs.RedundantLoads++
+				}
+			}
+		}
+		bs.Eliminations += st.Eliminations
+		bs.WarmupElims += st.WarmupElims
+
+		// Predictions with clipping at the system ends.
+		bs.PredictedRedLoads += int64(minInt(F(k), start)) + int64(minInt(F(k), n-end))
+		if start > 0 {
+			g := 0
+			for j := 1; j <= k; j++ {
+				g += minInt(start, F(k)-F(j))
+			}
+			bs.PredictedWarmups += int64(g)
+		}
+	}
+	return out, bs
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,236 @@
+package tiledpcr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gputrid/internal/matrix"
+	"gputrid/internal/pcr"
+	"gputrid/internal/workload"
+)
+
+func TestF(t *testing.T) {
+	want := map[int]int{0: 0, 1: 1, 2: 3, 3: 7, 4: 15, 8: 255}
+	for k, w := range want {
+		if got := F(k); got != w {
+			t.Errorf("F(%d) = %d, want %d", k, got, w)
+		}
+	}
+	if F(-1) != 0 {
+		t.Error("F(-1) != 0")
+	}
+}
+
+func TestG(t *testing.T) {
+	// g(k) = k·f(k) − sum_{i=0}^{k} f(i); hand-computed values:
+	// g(1) = 1·1 − (0+1) = 0
+	// g(2) = 2·3 − (0+1+3) = 2
+	// g(3) = 3·7 − (0+1+3+7) = 10
+	// g(4) = 4·15 − (0+1+3+7+15) = 34
+	want := map[int]int{0: 0, 1: 0, 2: 2, 3: 10, 4: 34}
+	for k, w := range want {
+		if got := G(k); got != w {
+			t.Errorf("G(%d) = %d, want %d", k, got, w)
+		}
+	}
+}
+
+func TestGEqualsWarmupSum(t *testing.T) {
+	// g(k) must equal sum_{j=1}^{k} (f(k) − f(j)), the warm-up work of
+	// one boundary — the identity that connects Eq. 9 to the pipeline.
+	for k := 0; k <= 12; k++ {
+		sum := 0
+		for j := 1; j <= k; j++ {
+			sum += F(k) - F(j)
+		}
+		if G(k) != sum {
+			t.Errorf("k=%d: G=%d, warm-up sum=%d", k, G(k), sum)
+		}
+	}
+}
+
+func TestPropertiesTableI(t *testing.T) {
+	// Table I for k=2, c=1: sub tile 4, cache <= 3·2^k, threads 4,
+	// elims per thread 2, per sub tile 8.
+	p := Properties(2, 1)
+	if p.SubTileSize != 4 || p.ThreadsPerBlock != 4 ||
+		p.ElimsPerThread != 2 || p.ElimsPerSubTile != 8 {
+		t.Errorf("Properties(2,1) = %+v", p)
+	}
+	if p.CacheSize != 3*F(2) {
+		t.Errorf("cache = %d, want %d", p.CacheSize, 3*F(2))
+	}
+	// Scaling in c.
+	p = Properties(3, 4)
+	if p.SubTileSize != 32 || p.ElimsPerThread != 12 || p.ElimsPerSubTile != 96 {
+		t.Errorf("Properties(3,4) = %+v", p)
+	}
+	// Cache bound of Table I: 3·sum 2^i <= 3·2^k.
+	for k := 1; k <= 10; k++ {
+		if Properties(k, 1).CacheSize > 3*(1<<k) {
+			t.Errorf("k=%d: cache exceeds 3·2^k", k)
+		}
+	}
+}
+
+func TestSharedBytesFitsGTX480ForTableIII(t *testing.T) {
+	// The paper's Table III configurations must fit in 48KB of shared
+	// memory in double precision — that is the point of the window.
+	for _, k := range []int{5, 6, 7, 8} {
+		if got := SharedBytes[float64](k, 1); got > 48*1024 {
+			t.Errorf("k=%d: window needs %d bytes shared, exceeds 48KB", k, got)
+		}
+	}
+}
+
+func TestPropertiesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Properties(-1, 0) did not panic")
+		}
+	}()
+	Properties(-1, 0)
+}
+
+func TestStreamReduceMatchesNaive(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{1, 1}, {2, 1}, {8, 2}, {16, 3}, {17, 3}, {64, 4}, {100, 3},
+		{256, 8}, {300, 5}, {5, 4}, {1000, 6}, {64, 0},
+	} {
+		s := workload.System[float64](workload.DiagDominant, tc.n, uint64(tc.n*31+tc.k))
+		got := StreamReduce(s, tc.k)
+		want := pcr.Reduce(s, tc.k)
+		for _, pair := range []struct {
+			name string
+			g, w []float64
+		}{
+			{"lower", got.Lower, want.Lower},
+			{"diag", got.Diag, want.Diag},
+			{"upper", got.Upper, want.Upper},
+			{"rhs", got.RHS, want.RHS},
+		} {
+			if d := matrix.MaxAbsDiff(pair.g, pair.w); d != 0 {
+				t.Errorf("n=%d k=%d: streamed %s differs from naive by %g",
+					tc.n, tc.k, pair.name, d)
+			}
+		}
+	}
+}
+
+func TestStreamReduceEliminationCount(t *testing.T) {
+	// Whole-system streaming must do exactly k·n eliminations minus the
+	// values clipped at the ends — in our scheme every in-range value is
+	// computed exactly once, so the count is exactly k·n.
+	n, k := 128, 4
+	s := workload.System[float64](workload.DiagDominant, n, 1)
+	st := NewStreamer(n, k, -F(k), func(int, pcr.Row[float64]) {})
+	src := s.Clone()
+	pcr.Normalize(src)
+	for r := -F(k); r < n; r++ {
+		st.Push(pcr.RowAt(src, r))
+	}
+	st.Drain()
+	if st.Eliminations != int64(k*n) {
+		t.Errorf("eliminations = %d, want %d", st.Eliminations, k*n)
+	}
+}
+
+func TestStreamerEmitsEachRowOnceInOrder(t *testing.T) {
+	n, k := 75, 3
+	s := workload.System[float64](workload.DiagDominant, n, 2)
+	seen := make([]int, n)
+	last := -1
+	st := NewStreamer(n, k, -F(k), func(i int, _ pcr.Row[float64]) {
+		if i <= last {
+			t.Fatalf("emit out of order: %d after %d", i, last)
+		}
+		last = i
+		seen[i]++
+	})
+	src := s.Clone()
+	pcr.Normalize(src)
+	for r := -F(k); r < n; r++ {
+		st.Push(pcr.RowAt(src, r))
+	}
+	st.Drain()
+	for i, c := range seen {
+		if c != 1 {
+			t.Errorf("row %d emitted %d times", i, c)
+		}
+	}
+}
+
+func TestReduceBlockedMatchesNaive(t *testing.T) {
+	for _, tc := range []struct{ n, k, tile int }{
+		{64, 2, 16}, {64, 3, 8}, {128, 4, 32}, {100, 3, 33}, {256, 5, 64},
+		{50, 2, 50}, {31, 3, 10},
+	} {
+		s := workload.System[float64](workload.DiagDominant, tc.n, uint64(tc.n*7+tc.k))
+		got, _ := ReduceBlocked(s, tc.k, tc.tile)
+		want := pcr.Reduce(s, tc.k)
+		if d := matrix.MaxAbsDiff(got.Diag, want.Diag); d != 0 {
+			t.Errorf("n=%d k=%d tile=%d: blocked diag differs by %g", tc.n, tc.k, tc.tile, d)
+		}
+		if d := matrix.MaxAbsDiff(got.RHS, want.RHS); d != 0 {
+			t.Errorf("n=%d k=%d tile=%d: blocked rhs differs by %g", tc.n, tc.k, tc.tile, d)
+		}
+	}
+}
+
+func TestReduceBlockedRedundancyMatchesEq89(t *testing.T) {
+	// Interior tiles must measure exactly f(k) halo loads per side and
+	// g(k) warm-up eliminations — the quantities of Eq. 8 and Eq. 9.
+	for _, k := range []int{1, 2, 3, 4} {
+		n, tile := 1024, 128
+		s := workload.System[float64](workload.DiagDominant, n, uint64(k))
+		_, bs := ReduceBlocked(s, k, tile)
+		if bs.Tiles != n/tile {
+			t.Fatalf("k=%d: tiles = %d", k, bs.Tiles)
+		}
+		if bs.RedundantLoads != bs.PredictedRedLoads {
+			t.Errorf("k=%d: redundant loads %d, predicted %d",
+				k, bs.RedundantLoads, bs.PredictedRedLoads)
+		}
+		// All tiles interior except the first: (tiles-1)·g(k).
+		wantWarm := int64(bs.Tiles-1) * int64(G(k))
+		if bs.WarmupElims != wantWarm || bs.PredictedWarmups != wantWarm {
+			t.Errorf("k=%d: warm-up elims %d (predicted %d), want %d",
+				k, bs.WarmupElims, bs.PredictedWarmups, wantWarm)
+		}
+		// Load redundancy per interior boundary is 2·f(k) (each side
+		// re-reads f(k) rows of its neighbor).
+		if want := int64(bs.Tiles-1) * 2 * int64(F(k)); bs.RedundantLoads != want {
+			t.Errorf("k=%d: redundant loads %d, want %d", k, bs.RedundantLoads, want)
+		}
+	}
+}
+
+func TestReduceBlockedSingleTileNoRedundancy(t *testing.T) {
+	s := workload.System[float64](workload.DiagDominant, 200, 4)
+	_, bs := ReduceBlocked(s, 3, 0) // tileRows <= 0 means whole system
+	if bs.Tiles != 1 || bs.RedundantLoads != 0 || bs.WarmupElims != 0 {
+		t.Errorf("single tile has redundancy: %+v", bs)
+	}
+	if bs.RawLoads != 200 {
+		t.Errorf("raw loads = %d, want 200", bs.RawLoads)
+	}
+}
+
+func TestStreamReduceProperty(t *testing.T) {
+	f := func(seed uint32, nRaw uint16, kRaw, tileRaw uint8) bool {
+		n := int(nRaw)%400 + 1
+		k := int(kRaw)%6 + 1
+		tile := int(tileRaw)%n + 1
+		s := workload.System[float64](workload.DiagDominant, n, uint64(seed))
+		want := pcr.Reduce(s, k)
+		streamed := StreamReduce(s, k)
+		blocked, _ := ReduceBlocked(s, k, tile)
+		return matrix.MaxAbsDiff(streamed.RHS, want.RHS) == 0 &&
+			matrix.MaxAbsDiff(streamed.Diag, want.Diag) == 0 &&
+			matrix.MaxAbsDiff(blocked.RHS, want.RHS) == 0 &&
+			matrix.MaxAbsDiff(blocked.Diag, want.Diag) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,377 @@
+package tiledpcr
+
+import (
+	"fmt"
+
+	"gputrid/internal/gpusim"
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+	"gputrid/internal/pcr"
+)
+
+// Arrays bundles the four device-global coefficient arrays of a
+// tridiagonal system (or batch of systems laid out back to back).
+type Arrays[T num.Real] struct {
+	A, B, C, D gpusim.Global[T]
+}
+
+// NewArrays wraps the coefficient slices as device-global arrays.
+func NewArrays[T num.Real](a, b, c, d []T) Arrays[T] {
+	return Arrays[T]{
+		A: gpusim.NewGlobal(a),
+		B: gpusim.NewGlobal(b),
+		C: gpusim.NewGlobal(c),
+		D: gpusim.NewGlobal(d),
+	}
+}
+
+// SystemArrays wraps a System's storage as device-global arrays.
+func SystemArrays[T num.Real](s *matrix.System[T]) Arrays[T] {
+	return NewArrays(s.Lower, s.Diag, s.Upper, s.RHS)
+}
+
+// Window is the buffered sliding window of paper §III.A instantiated
+// inside one simulated thread block. Its shared-memory layout follows
+// Figs. 9-10:
+//
+//   - a staging buffer of 2^k + S + 1 elements per coefficient
+//     (S = c·2^k, the sub-tile size) holding the level currently being
+//     reduced — the "middle + bottom" of the paper's window;
+//   - per-level history caches totalling 2·f(k) + k elements per
+//     coefficient (level j keeps its newest 2^(j+1)+1 values) — the
+//     paper's "top buffer" cache of intermediate dependencies;
+//   - a register tile of S rows (the paper's §III.C register tiling)
+//     receiving each level's fresh values between barriers, so the
+//     staging buffer can be rebuilt in place without read/write races.
+//
+// The history caches hold one element more per level than the f(k)
+// dependency minimum. That is the paper's alignment margin ("it can be
+// solved by shifting the computation boundary by caching e5", Fig.
+// 10(a)): it stretches the pipeline lag from f(k) = 2^k − 1 to exactly
+// 2^k, so both the raw-load phase and the output sub-tile stay aligned
+// to sub-tile boundaries and global accesses coalesce perfectly.
+//
+// Each raw element is loaded from global memory exactly once per block
+// and each elimination is performed exactly once (plus warm-up work of
+// about f(k) halo loads and g(k) eliminations per boundary when a
+// system is split across blocks, exactly as the paper describes for
+// Fig. 11(b)).
+type Window[T num.Real] struct {
+	blk     *gpusim.Block
+	k, c, S int
+	threads int
+	n       int // rows in this system
+	sysBase int // global offset of the system's row 0
+	in      Arrays[T]
+
+	stage   [4]gpusim.Shared[T]
+	hist    [4]gpusim.Shared[T]
+	histOff []int // offset of level j's (2^(j+1)+1)-element history
+	r0      int   // first raw index of the current run (set by InitRun)
+
+	// Out is the register tile: after each sub-tile phase it holds the
+	// S freshly reduced level-k rows, Out[p] being row outBase+p.
+	Out []pcr.Row[T]
+}
+
+// NewWindow allocates the window's shared memory in block blk for a
+// system of n rows whose row 0 lives at global index sysBase of the
+// arrays in. Requires k >= 1 and c >= 1.
+func NewWindow[T num.Real](blk *gpusim.Block, k, c, n, sysBase int, in Arrays[T]) *Window[T] {
+	if k < 1 || c < 1 {
+		panic(fmt.Sprintf("tiledpcr: NewWindow requires k >= 1 and c >= 1, got k=%d c=%d", k, c))
+	}
+	w := &Window[T]{
+		blk: blk, k: k, c: c, S: c << k, threads: 1 << k,
+		n: n, sysBase: sysBase, in: in,
+	}
+	stageCap := (1 << k) + w.S + 1
+	w.histOff = make([]int, k)
+	total := 0
+	for j := 0; j < k; j++ {
+		w.histOff[j] = total
+		total += (2 << j) + 1
+	}
+	for q := 0; q < 4; q++ {
+		w.stage[q] = gpusim.NewShared[T](blk, stageCap)
+		w.hist[q] = gpusim.NewShared[T](blk, total)
+	}
+	w.Out = make([]pcr.Row[T], w.S)
+	return w
+}
+
+// Threads returns the thread-block width the window is designed for
+// (2^k, per Table I).
+func (w *Window[T]) Threads() int { return w.threads }
+
+// loadRaw reads row i of the system from global memory with identity
+// padding outside [0, n) and the Lower[0]/Upper[n-1] normalization of
+// the solver convention.
+func (w *Window[T]) loadRaw(t *gpusim.Thread, i int) pcr.Row[T] {
+	if i < 0 || i >= w.n {
+		return pcr.Identity[T]()
+	}
+	g := w.sysBase + i
+	r := pcr.Row[T]{
+		A: w.in.A.Load(t, g),
+		B: w.in.B.Load(t, g),
+		C: w.in.C.Load(t, g),
+		D: w.in.D.Load(t, g),
+	}
+	if i == 0 {
+		r.A = 0
+	}
+	if i == w.n-1 {
+		r.C = 0
+	}
+	return r
+}
+
+func (w *Window[T]) stagePut(p int, r pcr.Row[T]) {
+	w.stage[0].Data[p] = r.A
+	w.stage[1].Data[p] = r.B
+	w.stage[2].Data[p] = r.C
+	w.stage[3].Data[p] = r.D
+}
+
+func (w *Window[T]) stageGet(p int) pcr.Row[T] {
+	return pcr.Row[T]{
+		A: w.stage[0].Data[p],
+		B: w.stage[1].Data[p],
+		C: w.stage[2].Data[p],
+		D: w.stage[3].Data[p],
+	}
+}
+
+func (w *Window[T]) histPut(j, p int, r pcr.Row[T]) {
+	o := w.histOff[j] + p
+	w.hist[0].Data[o] = r.A
+	w.hist[1].Data[o] = r.B
+	w.hist[2].Data[o] = r.C
+	w.hist[3].Data[o] = r.D
+}
+
+func (w *Window[T]) histGet(j, p int) pcr.Row[T] {
+	o := w.histOff[j] + p
+	return pcr.Row[T]{
+		A: w.hist[0].Data[o],
+		B: w.hist[1].Data[o],
+		C: w.hist[2].Data[o],
+		D: w.hist[3].Data[o],
+	}
+}
+
+// Run streams rows [outStart, outEnd) of the system through the
+// window, performing the k-step reduction. After each sub-tile the
+// fresh level-k rows sit in w.Out and sink is invoked with their base
+// index; sink typically issues one more phase to store or consume them
+// (e.g. the p-Thomas forward fusion of §III.C). Rows of Out outside
+// [outStart, outEnd)∩[0, n) are pipeline warm-up garbage and must be
+// ignored (see OutRange).
+func (w *Window[T]) Run(outStart, outEnd int, sink func(outBase int)) {
+	phases := w.InitRun(outStart, outEnd)
+	for t := 0; t < phases; t++ {
+		w.Advance(t, sink)
+	}
+}
+
+// InitRun prepares the window for streaming rows [outStart, outEnd)
+// and returns the number of sub-tile phases; callers then invoke
+// Advance for t = 0..phases-1 (Run does exactly this; the split
+// exists so several windows can be multiplexed phase by phase inside
+// one block, the Fig. 11(c) configuration).
+func (w *Window[T]) InitRun(outStart, outEnd int) (phases int) {
+	if outEnd <= outStart {
+		return 0
+	}
+	k, S := w.k, w.S
+	lag := 1 << k // pipeline lag f(k)+1, sub-tile aligned (see type doc)
+	// First raw index: far enough back that every output's dependency
+	// cone is loaded (outStart − f(k)), rounded down to a sub-tile
+	// boundary so every load phase starts aligned.
+	r0 := floorAlign(outStart-F(k), S)
+
+	// Initialize the history caches to identity rows. For outStart == 0
+	// these are the true virtual rows before the system; for an
+	// interior block they are placeholders whose influence dies inside
+	// the f(k) warm-up zone (dependency-cone argument, §III.A).
+	histLen := w.hist[0].Len()
+	w.blk.Phase(func(t *gpusim.Thread) {
+		for p := t.ID; p < histLen; p += w.threads {
+			for q := 0; q < 4; q++ {
+				w.hist[q].Data[p] = 0
+			}
+			w.hist[1].Data[p] = 1 // B = 1: identity row
+		}
+	})
+	w.blk.CountShared(0, int64(histLen)*4)
+
+	w.r0 = r0
+	return num.CeilDiv(outEnd+lag-r0, S)
+}
+
+// Advance runs sub-tile phase t of a run prepared by InitRun.
+func (w *Window[T]) Advance(t int, sink func(outBase int)) {
+	w.subTile(w.r0+t*w.S, sink)
+}
+
+// floorAlign rounds x down to a multiple of m (correct for negative x).
+func floorAlign(x, m int) int {
+	q := x / m
+	if x%m != 0 && x < 0 {
+		q--
+	}
+	return q * m
+}
+
+// OutRange returns the half-open range of positions of w.Out that hold
+// valid output rows for a sub-tile whose Out[0] is row outBase, given
+// the run's [outStart, outEnd) and the system size.
+func (w *Window[T]) OutRange(outBase, outStart, outEnd int) (lo, hi int) {
+	lo, hi = 0, w.S
+	if outBase < outStart {
+		lo = outStart - outBase
+	}
+	limit := outEnd
+	if w.n < limit {
+		limit = w.n
+	}
+	if outBase+hi > limit {
+		hi = limit - outBase
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// subTile advances the pipeline by one sub-tile: load S raw rows
+// starting at base (sub-tile aligned), then run the k reduction levels,
+// leaving the fresh level-k rows (indices base-2^k .. base-2^k+S-1,
+// also sub-tile aligned for c == 1) in w.Out.
+func (w *Window[T]) subTile(base int, sink func(outBase int)) {
+	k, c, S := w.k, w.c, w.S
+
+	// Load phase: stage <- hist0 (3 rows) ++ raw [base, base+S).
+	// Thread t loads elements base+t, base+t+2^k, ... — unit stride
+	// across the block and sub-tile aligned, hence coalesced.
+	w.blk.Phase(func(t *gpusim.Thread) {
+		for e := 0; e < c; e++ {
+			i := base + t.ID + e*w.threads
+			w.stagePut(3+t.ID+e*w.threads, w.loadRaw(t, i))
+		}
+		for p := t.ID; p < 3; p += w.threads {
+			w.stagePut(p, w.histGet(0, p))
+		}
+	})
+	w.blk.CountShared(3*4, int64(S+3)*4)
+
+	// hist0 <- newest three raw rows, for the next sub-tile.
+	w.blk.Phase(func(t *gpusim.Thread) {
+		for p := t.ID; p < 3; p += w.threads {
+			w.histPut(0, p, w.stageGet(S+p))
+		}
+	})
+	w.blk.CountShared(3*4, 3*4)
+
+	stageBase := base - 3 // system index of stage position 0
+	for j := 1; j <= k; j++ {
+		h := 1 << (j - 1)
+		lo := base - F(j) - 1 // first fresh level-j index (lag f(j)+1)
+
+		// Compute phase: each thread produces its c fresh values into
+		// the register tile (3 row reads from shared, write to regs).
+		w.blk.Phase(func(t *gpusim.Thread) {
+			for e := 0; e < c; e++ {
+				p := t.ID + e*w.threads
+				rel := lo + p - stageBase
+				w.Out[p] = pcr.Combine(w.stageGet(rel-h), w.stageGet(rel), w.stageGet(rel+h))
+			}
+			t.Eliminations(c)
+		})
+		w.blk.CountShared(int64(S)*3*4, 0)
+
+		if j == k {
+			break
+		}
+		width := (2 << j) + 1 // level-j history size 2^(j+1)+1
+
+		// Rebuild phase 1: stage <- hist[j] ++ fresh level-j rows.
+		w.blk.Phase(func(t *gpusim.Thread) {
+			for p := t.ID; p < width+S; p += w.threads {
+				if p < width {
+					w.stagePut(p, w.histGet(j, p))
+				} else {
+					w.stagePut(p, w.Out[p-width])
+				}
+			}
+		})
+		w.blk.CountShared(int64(width)*4, int64(width+S)*4)
+
+		// Rebuild phase 2: hist[j] <- newest `width` level-j rows, read
+		// from the freshly rebuilt stage tail (for j = k-1 and c = 1
+		// the history is wider than one sub-tile, so part of it comes
+		// from the previous history rather than this phase's output).
+		w.blk.Phase(func(t *gpusim.Thread) {
+			for p := t.ID; p < width; p += w.threads {
+				w.histPut(j, p, w.stageGet(S+p))
+			}
+		})
+		w.blk.CountShared(int64(width)*4, int64(width)*4)
+
+		stageBase = lo - width
+	}
+
+	if sink != nil {
+		sink(base - (1 << k))
+	}
+}
+
+// ReduceKernel performs the k-step tiled-PCR reduction of one n-row
+// system on the device, split across `blocks` thread blocks (Fig. 11(a)
+// for blocks == 1, Fig. 11(b) otherwise), writing the reduced
+// coefficients to out. It returns the recorded execution statistics.
+func ReduceKernel[T num.Real](dev *gpusim.Device, s *matrix.System[T], out *matrix.System[T], k, c, blocks int) (*gpusim.Stats, error) {
+	n := s.N()
+	if out.N() != n {
+		return nil, fmt.Errorf("tiledpcr: output size %d != input size %d", out.N(), n)
+	}
+	if blocks <= 0 {
+		blocks = 1
+	}
+	if blocks > n {
+		blocks = n
+	}
+	in := SystemArrays(s)
+	dst := SystemArrays(out)
+	per := num.CeilDiv(n, blocks)
+	return dev.Launch("tiledPCR", gpusim.LaunchConfig{Grid: blocks, Block: 1 << k},
+		func(b *gpusim.Block) {
+			w := NewWindow(b, k, c, n, 0, in)
+			outStart := b.ID * per
+			outEnd := outStart + per
+			if outEnd > n {
+				outEnd = n
+			}
+			if outStart >= outEnd {
+				return
+			}
+			w.Run(outStart, outEnd, func(outBase int) {
+				lo, hi := w.OutRange(outBase, outStart, outEnd)
+				b.PhaseNoSync(func(t *gpusim.Thread) {
+					for e := 0; e < c; e++ {
+						p := t.ID + e*w.threads
+						if p < lo || p >= hi {
+							continue
+						}
+						i := outBase + p
+						r := w.Out[p]
+						dst.A.Store(t, i, r.A)
+						dst.B.Store(t, i, r.B)
+						dst.C.Store(t, i, r.C)
+						dst.D.Store(t, i, r.D)
+					}
+				})
+			})
+		})
+}

@@ -1,0 +1,173 @@
+// Package trifile reads and writes tridiagonal systems and batches in
+// two self-describing formats:
+//
+//   - a text format, one "a b c d" row per line with optional
+//     "# tridiag M N" header and blank lines between systems of a
+//     batch — convenient for hand-written inputs and diffing;
+//   - a binary format ("TRID" magic, little-endian float64 payload) for
+//     large batches.
+//
+// cmd/tridsolve uses it for -in/-out.
+package trifile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+)
+
+// WriteText writes the batch in the text format.
+func WriteText[T num.Real](w io.Writer, b *matrix.Batch[T]) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# tridiag %d %d\n", b.M, b.N)
+	for i := 0; i < b.M; i++ {
+		if i > 0 {
+			fmt.Fprintln(bw)
+		}
+		s := b.System(i)
+		for j := 0; j < b.N; j++ {
+			fmt.Fprintf(bw, "%.17g %.17g %.17g %.17g\n",
+				float64(s.Lower[j]), float64(s.Diag[j]), float64(s.Upper[j]), float64(s.RHS[j]))
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format. Without a header, a single system is
+// assumed (blank lines still split systems, all of which must have the
+// same length).
+func ReadText[T num.Real](r io.Reader) (*matrix.Batch[T], error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var systems [][]row
+	cur := []row{}
+	flush := func() {
+		if len(cur) > 0 {
+			systems = append(systems, cur)
+			cur = nil
+		}
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			flush()
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		var rr row
+		if _, err := fmt.Sscan(line, &rr.a, &rr.b, &rr.c, &rr.d); err != nil {
+			return nil, fmt.Errorf("trifile: line %d: %w", lineNo, err)
+		}
+		cur = append(cur, rr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	if len(systems) == 0 {
+		return nil, fmt.Errorf("trifile: no rows found")
+	}
+	n := len(systems[0])
+	for i, sys := range systems {
+		if len(sys) != n {
+			return nil, fmt.Errorf("trifile: system %d has %d rows, expected %d", i, len(sys), n)
+		}
+	}
+	b := matrix.NewBatch[T](len(systems), n)
+	for i, sys := range systems {
+		base := i * n
+		for j, rr := range sys {
+			b.Lower[base+j] = T(rr.a)
+			b.Diag[base+j] = T(rr.b)
+			b.Upper[base+j] = T(rr.c)
+			b.RHS[base+j] = T(rr.d)
+		}
+	}
+	return b, nil
+}
+
+type row struct{ a, b, c, d float64 }
+
+var binMagic = [4]byte{'T', 'R', 'I', 'D'}
+
+// WriteBinary writes the batch in the binary format (float64 payload
+// regardless of T).
+func WriteBinary[T num.Real](w io.Writer, b *matrix.Batch[T]) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	hdr := [2]uint64{uint64(b.M), uint64(b.N)}
+	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+		return err
+	}
+	for _, arr := range [][]T{b.Lower, b.Diag, b.Upper, b.RHS} {
+		buf := make([]uint64, len(arr))
+		for i, v := range arr {
+			buf[i] = math.Float64bits(float64(v))
+		}
+		if err := binary.Write(bw, binary.LittleEndian, buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format.
+func ReadBinary[T num.Real](r io.Reader) (*matrix.Batch[T], error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trifile: %w", err)
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("trifile: bad magic %q", magic)
+	}
+	var hdr [2]uint64
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, err
+	}
+	m, n := int(hdr[0]), int(hdr[1])
+	if m <= 0 || n <= 0 || m > 1<<24 || n > 1<<28 {
+		return nil, fmt.Errorf("trifile: implausible batch shape %dx%d", m, n)
+	}
+	b := matrix.NewBatch[T](m, n)
+	for _, arr := range [][]T{b.Lower, b.Diag, b.Upper, b.RHS} {
+		buf := make([]uint64, len(arr))
+		if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+			return nil, err
+		}
+		for i, bits := range buf {
+			arr[i] = T(math.Float64frombits(bits))
+		}
+	}
+	return b, nil
+}
+
+// WriteSolution writes a solution vector, one value per line, with
+// blank lines between systems.
+func WriteSolution[T num.Real](w io.Writer, x []T, m, n int) error {
+	if len(x) != m*n {
+		return fmt.Errorf("trifile: solution length %d != %d*%d", len(x), m, n)
+	}
+	bw := bufio.NewWriter(w)
+	for i := 0; i < m; i++ {
+		if i > 0 {
+			fmt.Fprintln(bw)
+		}
+		for j := 0; j < n; j++ {
+			fmt.Fprintf(bw, "%.17g\n", float64(x[i*n+j]))
+		}
+	}
+	return bw.Flush()
+}

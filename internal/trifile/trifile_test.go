@@ -1,0 +1,160 @@
+package trifile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gputrid/internal/matrix"
+	"gputrid/internal/workload"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	b := workload.Batch[float64](workload.DiagDominant, 3, 17, 5)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText[float64](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.M != 3 || got.N != 17 {
+		t.Fatalf("shape %dx%d", got.M, got.N)
+	}
+	for _, pair := range [][2][]float64{
+		{got.Lower, b.Lower}, {got.Diag, b.Diag}, {got.Upper, b.Upper}, {got.RHS, b.RHS},
+	} {
+		if d := matrix.MaxAbsDiff(pair[0], pair[1]); d != 0 {
+			t.Errorf("text round trip not exact: %g", d)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	b := workload.Batch[float64](workload.Toeplitz, 5, 64, 9)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary[float64](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(got.Diag, b.Diag); d != 0 {
+		t.Errorf("binary round trip not exact: %g", d)
+	}
+	if d := matrix.MaxAbsDiff(got.RHS, b.RHS); d != 0 {
+		t.Errorf("binary RHS round trip not exact: %g", d)
+	}
+}
+
+func TestReadTextNoHeaderSingleSystem(t *testing.T) {
+	in := "0 2 1 3\n1 2 1 4\n1 2 0 3\n"
+	b, err := ReadText[float64](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.M != 1 || b.N != 3 {
+		t.Fatalf("shape %dx%d, want 1x3", b.M, b.N)
+	}
+	if b.Diag[1] != 2 || b.RHS[2] != 3 {
+		t.Error("values wrong")
+	}
+}
+
+func TestReadTextBatchViaBlankLines(t *testing.T) {
+	in := "0 2 0 1\n\n0 3 0 6\n"
+	b, err := ReadText[float64](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.M != 2 || b.N != 1 {
+		t.Fatalf("shape %dx%d, want 2x1", b.M, b.N)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	if _, err := ReadText[float64](strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadText[float64](strings.NewReader("1 2 3\n")); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := ReadText[float64](strings.NewReader("0 1 0 1\n\n0 1 0 1\n0 1 0 1\n")); err == nil {
+		t.Error("ragged batch accepted")
+	}
+	if _, err := ReadText[float64](strings.NewReader("a b c d\n")); err == nil {
+		t.Error("non-numeric row accepted")
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary[float64](bytes.NewReader([]byte("JUNKxxxx"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadBinary[float64](bytes.NewReader(binMagic[:])); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Implausible shape.
+	var buf bytes.Buffer
+	buf.Write(binMagic[:])
+	buf.Write(make([]byte, 16)) // M = N = 0
+	if _, err := ReadBinary[float64](&buf); err == nil {
+		t.Error("zero shape accepted")
+	}
+}
+
+func TestFloat32Text(t *testing.T) {
+	b := workload.Batch[float32](workload.Spline, 2, 9, 3)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText[float32](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(got.Diag, b.Diag); d != 0 {
+		t.Errorf("float32 round trip: %g", d)
+	}
+}
+
+func TestWriteSolution(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSolution(&buf, []float64{1, 2, 3, 4}, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1\n2\n\n3\n4\n") {
+		t.Errorf("solution format: %q", out)
+	}
+	if err := WriteSolution(&buf, []float64{1}, 2, 2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint32, mRaw, nRaw uint8) bool {
+		m := int(mRaw)%4 + 1
+		n := int(nRaw)%20 + 1
+		b := workload.Batch[float64](workload.DiagDominant, m, n, uint64(seed))
+		var tb, bb bytes.Buffer
+		if WriteText(&tb, b) != nil || WriteBinary(&bb, b) != nil {
+			return false
+		}
+		t1, err1 := ReadText[float64](&tb)
+		t2, err2 := ReadBinary[float64](&bb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return matrix.MaxAbsDiff(t1.Diag, b.Diag) == 0 &&
+			matrix.MaxAbsDiff(t2.Diag, b.Diag) == 0 &&
+			matrix.MaxAbsDiff(t1.RHS, b.RHS) == 0 &&
+			matrix.MaxAbsDiff(t2.RHS, b.RHS) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

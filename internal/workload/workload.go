@@ -1,0 +1,157 @@
+// Package workload generates the tridiagonal test and benchmark inputs
+// used throughout the module: random diagonally dominant systems (the
+// paper's benchmark inputs), constant-coefficient Toeplitz systems,
+// PDE-discretization stencils (heat, Poisson), cubic-spline systems, and
+// deliberately ill-conditioned systems for failure-injection tests.
+// All generators are deterministic given a seed.
+package workload
+
+import (
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+)
+
+// Kind selects a generator family.
+type Kind int
+
+const (
+	// DiagDominant is a random system with |b| > |a| + |c| on every
+	// row — unconditionally safe for all non-pivoting solvers. This is
+	// the input family used for every paper experiment.
+	DiagDominant Kind = iota
+	// Toeplitz is the constant-coefficient system (-1, 2+delta, -1),
+	// the 1-D Poisson stencil with a stabilizing shift.
+	Toeplitz
+	// Heat is the implicit (backward-Euler) 1-D heat-equation matrix
+	// (I + lambda*L) with lambda = 1.
+	Heat
+	// Spline is the natural-cubic-spline second-derivative system for
+	// unit-spaced knots.
+	Spline
+	// NearSingular has rows where dominance margin shrinks towards
+	// zero; used by robustness tests only.
+	NearSingular
+)
+
+// String names the generator kind.
+func (k Kind) String() string {
+	switch k {
+	case DiagDominant:
+		return "diag-dominant"
+	case Toeplitz:
+		return "toeplitz"
+	case Heat:
+		return "heat"
+	case Spline:
+		return "spline"
+	case NearSingular:
+		return "near-singular"
+	default:
+		return "unknown"
+	}
+}
+
+// System generates one n-row system of the given kind.
+func System[T num.Real](kind Kind, n int, seed uint64) *matrix.System[T] {
+	s := matrix.NewSystem[T](n)
+	fill(kind, s.Lower, s.Diag, s.Upper, s.RHS, seed)
+	return s
+}
+
+// Batch generates M independent n-row systems in the contiguous layout.
+// Each system gets a distinct derived seed so systems differ.
+func Batch[T num.Real](kind Kind, m, n int, seed uint64) *matrix.Batch[T] {
+	b := matrix.NewBatch[T](m, n)
+	for i := 0; i < m; i++ {
+		lo, hi := i*n, (i+1)*n
+		fill(kind, b.Lower[lo:hi], b.Diag[lo:hi], b.Upper[lo:hi], b.RHS[lo:hi],
+			seed+uint64(i)*0x9E3779B97F4A7C15+1)
+	}
+	return b
+}
+
+// Interleaved generates M independent n-row systems directly in the
+// interleaved layout (identical content to Batch(...).ToInterleaved()).
+func Interleaved[T num.Real](kind Kind, m, n int, seed uint64) *matrix.Interleaved[T] {
+	return Batch[T](kind, m, n, seed).ToInterleaved()
+}
+
+func fill[T num.Real](kind Kind, a, b, c, d []T, seed uint64) {
+	n := len(b)
+	r := num.NewRNG(seed)
+	switch kind {
+	case DiagDominant:
+		for i := 0; i < n; i++ {
+			ai := T(r.Range(-1, 1))
+			ci := T(r.Range(-1, 1))
+			if i == 0 {
+				ai = 0
+			}
+			if i == n-1 {
+				ci = 0
+			}
+			// Margin in [0.5, 1.5] keeps the condition number modest.
+			bi := num.Abs(ai) + num.Abs(ci) + T(r.Range(0.5, 1.5))
+			if r.Float64() < 0.5 {
+				bi = -bi
+			}
+			a[i], b[i], c[i] = ai, bi, ci
+			d[i] = T(r.Range(-10, 10))
+		}
+	case Toeplitz:
+		const delta = 0.05
+		for i := 0; i < n; i++ {
+			a[i], b[i], c[i] = -1, 2+delta, -1
+			if i == 0 {
+				a[i] = 0
+			}
+			if i == n-1 {
+				c[i] = 0
+			}
+			d[i] = T(r.Range(-1, 1))
+		}
+	case Heat:
+		const lambda = 1.0
+		for i := 0; i < n; i++ {
+			a[i], b[i], c[i] = -lambda, 1+2*lambda, -lambda
+			if i == 0 {
+				a[i] = 0
+			}
+			if i == n-1 {
+				c[i] = 0
+			}
+			d[i] = T(r.Range(0, 1))
+		}
+	case Spline:
+		for i := 0; i < n; i++ {
+			a[i], b[i], c[i] = 1, 4, 1
+			if i == 0 {
+				a[i], b[i] = 0, 2
+			}
+			if i == n-1 {
+				c[i], b[i] = 0, 2
+			}
+			d[i] = T(r.Range(-3, 3))
+		}
+	case NearSingular:
+		for i := 0; i < n; i++ {
+			ai := T(r.Range(-1, 1))
+			ci := T(r.Range(-1, 1))
+			if i == 0 {
+				ai = 0
+			}
+			if i == n-1 {
+				ci = 0
+			}
+			// Dominance margin decays geometrically along the rows.
+			margin := T(2.0)
+			for j := 0; j < i%24; j++ {
+				margin /= 2
+			}
+			a[i], b[i], c[i] = ai, num.Abs(ai)+num.Abs(ci)+margin, ci
+			d[i] = T(r.Range(-10, 10))
+		}
+	default:
+		panic("workload: unknown kind")
+	}
+}

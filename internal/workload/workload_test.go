@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gputrid/internal/matrix"
+)
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{DiagDominant, Toeplitz, Heat, Spline, NearSingular, Kind(99)}
+	want := []string{"diag-dominant", "toeplitz", "heat", "spline", "near-singular", "unknown"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want[i])
+		}
+	}
+}
+
+func TestSystemDeterminism(t *testing.T) {
+	a := System[float64](DiagDominant, 64, 7)
+	b := System[float64](DiagDominant, 64, 7)
+	if matrix.MaxAbsDiff(a.Diag, b.Diag) != 0 || matrix.MaxAbsDiff(a.RHS, b.RHS) != 0 {
+		t.Error("same seed produced different systems")
+	}
+	c := System[float64](DiagDominant, 64, 8)
+	if matrix.MaxAbsDiff(a.Diag, c.Diag) == 0 {
+		t.Error("different seeds produced identical systems")
+	}
+}
+
+func TestDominantKindsAreDominant(t *testing.T) {
+	for _, kind := range []Kind{DiagDominant, Toeplitz, Heat, Spline} {
+		s := System[float64](kind, 257, 11)
+		if !s.DiagonallyDominant(0) {
+			t.Errorf("%v system not diagonally dominant", kind)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%v system invalid: %v", kind, err)
+		}
+	}
+}
+
+func TestBoundaryCoefficientsZero(t *testing.T) {
+	for _, kind := range []Kind{DiagDominant, Toeplitz, Heat, Spline, NearSingular} {
+		s := System[float64](kind, 33, 5)
+		if s.Lower[0] != 0 {
+			t.Errorf("%v: a[0] = %g, want 0", kind, s.Lower[0])
+		}
+		if s.Upper[32] != 0 {
+			t.Errorf("%v: c[n-1] = %g, want 0", kind, s.Upper[32])
+		}
+	}
+}
+
+func TestBatchSystemsDiffer(t *testing.T) {
+	b := Batch[float64](DiagDominant, 4, 32, 3)
+	s0, s1 := b.System(0), b.System(1)
+	if matrix.MaxAbsDiff(s0.Diag, s1.Diag) == 0 {
+		t.Error("batch systems 0 and 1 identical; derived seeds broken")
+	}
+}
+
+func TestBatchMatchesSystemSeeds(t *testing.T) {
+	// Batch must be reproducible as a whole.
+	a := Batch[float64](Heat, 3, 16, 77)
+	b := Batch[float64](Heat, 3, 16, 77)
+	if matrix.MaxAbsDiff(a.Diag, b.Diag) != 0 || matrix.MaxAbsDiff(a.RHS, b.RHS) != 0 {
+		t.Error("batch not deterministic")
+	}
+}
+
+func TestInterleavedMatchesBatch(t *testing.T) {
+	b := Batch[float64](Spline, 5, 12, 99)
+	v := Interleaved[float64](Spline, 5, 12, 99)
+	want := b.ToInterleaved()
+	if matrix.MaxAbsDiff(v.Diag, want.Diag) != 0 || matrix.MaxAbsDiff(v.RHS, want.RHS) != 0 {
+		t.Error("Interleaved() differs from Batch().ToInterleaved()")
+	}
+}
+
+func TestFloat32Generation(t *testing.T) {
+	s := System[float32](DiagDominant, 128, 21)
+	if !s.DiagonallyDominant(0) {
+		t.Error("float32 system not dominant")
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNearSingularStillSolvable(t *testing.T) {
+	s := System[float64](NearSingular, 48, 13)
+	x, err := matrix.SolveDense(s)
+	if err != nil {
+		t.Fatalf("near-singular system unsolvable by pivoted reference: %v", err)
+	}
+	if r := matrix.Residual(s, x); r > 1e-10 {
+		t.Errorf("reference residual %g on near-singular system", r)
+	}
+}
+
+func TestDominanceProperty(t *testing.T) {
+	f := func(seed uint32, nRaw uint8, kindRaw uint8) bool {
+		n := int(nRaw)%100 + 2
+		kind := Kind(int(kindRaw) % 4) // the four dominant kinds
+		s := System[float64](kind, n, uint64(seed))
+		return s.DiagonallyDominant(0) && s.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown kind did not panic")
+		}
+	}()
+	System[float64](Kind(42), 8, 1)
+}

@@ -1,0 +1,412 @@
+// Package zhang implements the classic small-system GPU tridiagonal
+// solvers the paper builds on and is compared against (§II, refs
+// [3][10][16][17]): cyclic reduction (Sengupta et al.; optionally with
+// Göddeke & Strzodka's bank-conflict-free padding), parallel cyclic
+// reduction, the Zhang-Cohen-Owens CR+PCR hybrid, and the
+// Sakharnykh/Zhang PCR+Thomas hybrid. Each kernel keeps one ENTIRE
+// system in one thread block's shared memory — which is precisely the
+// limitation (§I, §II: "the limited capacity of shared memory
+// considerably limits their availability for real use") that the
+// paper's tiled PCR removes. The kernels return explicit errors when a
+// system does not fit, and the harness's extra experiment demonstrates
+// the size wall next to the scalable hybrid.
+//
+// All elimination arithmetic funnels through pcr.Combine and the Thomas
+// recurrence used everywhere else in the module, so results agree with
+// every other solver.
+package zhang
+
+import (
+	"fmt"
+
+	"gputrid/internal/gpusim"
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+	"gputrid/internal/pcr"
+)
+
+// sysShared is the per-block shared-memory image of one system plus its
+// solution vector, with optional conflict-free padding.
+type sysShared[T num.Real] struct {
+	a, b, c, d, x gpusim.Shared[T]
+	n             int
+	padded        bool
+}
+
+// phys maps a logical row to its padded physical slot: inserting one
+// pad element every NumBanks rows shifts strided access patterns across
+// banks (Göddeke & Strzodka, ref. [10]).
+func (s *sysShared[T]) phys(i int) int {
+	if s.padded {
+		return i + i/gpusim.NumBanks
+	}
+	return i
+}
+
+func newSysShared[T num.Real](blk *gpusim.Block, n int, padded bool) *sysShared[T] {
+	s := &sysShared[T]{n: n, padded: padded}
+	size := n
+	if padded {
+		size = n + n/gpusim.NumBanks
+	}
+	s.a = gpusim.NewShared[T](blk, size)
+	s.b = gpusim.NewShared[T](blk, size)
+	s.c = gpusim.NewShared[T](blk, size)
+	s.d = gpusim.NewShared[T](blk, size)
+	s.x = gpusim.NewShared[T](blk, size)
+	return s
+}
+
+// load copies the block's system from global memory (coalesced) and
+// normalizes the corner coefficients.
+func (s *sysShared[T]) load(blk *gpusim.Block, threads, base int,
+	ga, gb, gc, gd gpusim.Global[T]) {
+	blk.Phase(func(t *gpusim.Thread) {
+		for i := t.ID; i < s.n; i += threads {
+			p := s.phys(i)
+			av := ga.Load(t, base+i)
+			cv := gc.Load(t, base+i)
+			if i == 0 {
+				av = 0
+			}
+			if i == s.n-1 {
+				cv = 0
+			}
+			s.a.StoreT(t, p, av)
+			s.b.StoreT(t, p, gb.Load(t, base+i))
+			s.c.StoreT(t, p, cv)
+			s.d.StoreT(t, p, gd.Load(t, base+i))
+		}
+	})
+}
+
+// row reads logical row i with identity padding outside [0, n).
+func (s *sysShared[T]) row(t *gpusim.Thread, i int) pcr.Row[T] {
+	if i < 0 || i >= s.n {
+		return pcr.Identity[T]()
+	}
+	p := s.phys(i)
+	return pcr.Row[T]{
+		A: s.a.LoadT(t, p), B: s.b.LoadT(t, p),
+		C: s.c.LoadT(t, p), D: s.d.LoadT(t, p),
+	}
+}
+
+func (s *sysShared[T]) setRow(t *gpusim.Thread, i int, r pcr.Row[T]) {
+	p := s.phys(i)
+	s.a.StoreT(t, p, r.A)
+	s.b.StoreT(t, p, r.B)
+	s.c.StoreT(t, p, r.C)
+	s.d.StoreT(t, p, r.D)
+}
+
+// xAt reads solution entry i, zero outside [0, n) (the identity-row
+// convention: out-of-range unknowns are pinned to zero).
+func (s *sysShared[T]) xAt(t *gpusim.Thread, i int) T {
+	if i < 0 || i >= s.n {
+		return 0
+	}
+	return s.x.LoadT(t, s.phys(i))
+}
+
+// store writes the solution back to global memory (coalesced).
+func (s *sysShared[T]) store(blk *gpusim.Block, threads, base int, gx gpusim.Global[T]) {
+	blk.PhaseNoSync(func(t *gpusim.Thread) {
+		for i := t.ID; i < s.n; i += threads {
+			gx.Store(t, base+i, s.x.LoadT(t, s.phys(i)))
+		}
+	})
+}
+
+// crForward runs CR forward reduction levels span = 2,4,... while
+// span <= until, in place (writes are multiples of span, reads odd
+// multiples of span/2 — disjoint).
+func (s *sysShared[T]) crForward(blk *gpusim.Block, threads, until int) {
+	for span := 2; span <= until; span <<= 1 {
+		half := span >> 1
+		s2 := span
+		blk.Phase(func(t *gpusim.Thread) {
+			for i := s2 - 1 + t.ID*s2; i < s.n; i += threads * s2 {
+				s.setRow(t, i, pcr.Combine(s.row(t, i-half), s.row(t, i), s.row(t, i+half)))
+				t.Eliminations(1)
+			}
+		})
+	}
+}
+
+// crBackward substitutes levels from span = from down to 2 (paper
+// Eq. 7), filling s.x for every row not already solved.
+func (s *sysShared[T]) crBackward(blk *gpusim.Block, threads, from int) {
+	for span := from; span >= 2; span >>= 1 {
+		half := span >> 1
+		s2 := span
+		blk.Phase(func(t *gpusim.Thread) {
+			for i := half - 1 + t.ID*s2; i < s.n; i += threads * s2 {
+				r := s.row(t, i)
+				v := (r.D - r.A*s.xAt(t, i-half) - r.C*s.xAt(t, i+half)) / r.B
+				s.x.StoreT(t, s.phys(i), v)
+				t.ThomasSteps(1)
+			}
+		})
+	}
+}
+
+// checkFit verifies the system fits the device's shared memory for the
+// given number of element arrays.
+func checkFit[T num.Real](dev *gpusim.Device, n, arrays int, padded bool) error {
+	size := n
+	if padded {
+		size += n / gpusim.NumBanks
+	}
+	need := arrays * size * num.SizeOf[T]()
+	if need > dev.SharedMemPerSM {
+		return fmt.Errorf("zhang: system of %d rows needs %d bytes shared memory, device SM has %d — this family cannot scale past shared memory (the paper's point)",
+			n, need, dev.SharedMemPerSM)
+	}
+	return nil
+}
+
+// blockThreads picks the thread count for an n-row in-shared solve.
+func blockThreads(dev *gpusim.Device, n int) (int, error) {
+	t := n
+	if t < 1 {
+		t = 1
+	}
+	if t > dev.MaxThreadsPerBlock {
+		return 0, fmt.Errorf("zhang: %d rows exceed the %d-thread block limit", n, dev.MaxThreadsPerBlock)
+	}
+	return t, nil
+}
+
+// KernelCR solves every system of the batch with in-shared-memory
+// cyclic reduction, one block per system (Sengupta et al., ref. [3]).
+// padded enables the conflict-free layout of ref. [10].
+func KernelCR[T num.Real](dev *gpusim.Device, b *matrix.Batch[T], padded bool) ([]T, *gpusim.Stats, error) {
+	m, n := b.M, b.N
+	if err := checkFit[T](dev, n, 5, padded); err != nil {
+		return nil, nil, err
+	}
+	threads, err := blockThreads(dev, (n+1)/2)
+	if err != nil {
+		return nil, nil, err
+	}
+	x := make([]T, m*n)
+	ga, gb := gpusim.NewGlobal(b.Lower), gpusim.NewGlobal(b.Diag)
+	gc, gd := gpusim.NewGlobal(b.Upper), gpusim.NewGlobal(b.RHS)
+	gx := gpusim.NewGlobal(x)
+	name := "zhangCR"
+	if padded {
+		name = "zhangCRpadded"
+	}
+	st, err := dev.Launch(name, gpusim.LaunchConfig{Grid: m, Block: threads},
+		func(blk *gpusim.Block) {
+			s := newSysShared[T](blk, n, padded)
+			s.load(blk, threads, blk.ID*n, ga, gb, gc, gd)
+			s.crForward(blk, threads, n)
+			s.crBackward(blk, threads, num.NextPow2(n+1))
+			s.store(blk, threads, blk.ID*n, gx)
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, st, nil
+}
+
+// KernelPCR solves every system with full in-shared-memory PCR, one
+// block per system, one thread per row (Egloff-style, refs [14][15]
+// shrunk to shared memory as in [16]).
+func KernelPCR[T num.Real](dev *gpusim.Device, b *matrix.Batch[T]) ([]T, *gpusim.Stats, error) {
+	m, n := b.M, b.N
+	// Double-buffered coefficients plus x: 9 arrays.
+	if err := checkFit[T](dev, n, 9, false); err != nil {
+		return nil, nil, err
+	}
+	threads, err := blockThreads(dev, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	x := make([]T, m*n)
+	ga, gb := gpusim.NewGlobal(b.Lower), gpusim.NewGlobal(b.Diag)
+	gc, gd := gpusim.NewGlobal(b.Upper), gpusim.NewGlobal(b.RHS)
+	gx := gpusim.NewGlobal(x)
+	st, err := dev.Launch("zhangPCR", gpusim.LaunchConfig{Grid: m, Block: threads},
+		func(blk *gpusim.Block) {
+			cur := newSysShared[T](blk, n, false)
+			nxt := newSysShared[T](blk, n, false)
+			cur.load(blk, threads, blk.ID*n, ga, gb, gc, gd)
+			for stride := 1; stride < n; stride <<= 1 {
+				st := stride
+				blk.Phase(func(t *gpusim.Thread) {
+					for i := t.ID; i < n; i += threads {
+						nxt.setRow(t, i, pcr.Combine(cur.row(t, i-st), cur.row(t, i), cur.row(t, i+st)))
+						t.Eliminations(1)
+					}
+				})
+				cur, nxt = nxt, cur
+			}
+			blk.Phase(func(t *gpusim.Thread) {
+				for i := t.ID; i < n; i += threads {
+					r := cur.row(t, i)
+					cur.x.StoreT(t, cur.phys(i), r.D/r.B)
+				}
+			})
+			cur.store(blk, threads, blk.ID*n, gx)
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, st, nil
+}
+
+// KernelCRPCR is the Zhang-Cohen-Owens CR+PCR hybrid (ref. [16]): CR
+// forward reduction until at most switchSize unknowns remain, full PCR
+// on that small core, then CR backward substitution.
+func KernelCRPCR[T num.Real](dev *gpusim.Device, b *matrix.Batch[T], switchSize int) ([]T, *gpusim.Stats, error) {
+	m, n := b.M, b.N
+	if switchSize < 2 {
+		switchSize = 2
+	}
+	// 5 arrays for the system plus 2×5 double-buffered core arrays.
+	if need := (5*n + 10*switchSize) * num.SizeOf[T](); need > dev.SharedMemPerSM {
+		return nil, nil, fmt.Errorf("zhang: CR+PCR on %d rows needs %d bytes shared memory, device SM has %d",
+			n, need, dev.SharedMemPerSM)
+	}
+	threads, err := blockThreads(dev, (n+1)/2)
+	if err != nil {
+		return nil, nil, err
+	}
+	x := make([]T, m*n)
+	ga, gb := gpusim.NewGlobal(b.Lower), gpusim.NewGlobal(b.Diag)
+	gc, gd := gpusim.NewGlobal(b.Upper), gpusim.NewGlobal(b.RHS)
+	gx := gpusim.NewGlobal(x)
+	st, err := dev.Launch("zhangCRPCR", gpusim.LaunchConfig{Grid: m, Block: threads},
+		func(blk *gpusim.Block) {
+			s := newSysShared[T](blk, n, false)
+			s.load(blk, threads, blk.ID*n, ga, gb, gc, gd)
+
+			// CR forward until at most switchSize unknowns remain.
+			span := 1
+			for n/span > switchSize {
+				span <<= 1
+			}
+			s.crForward(blk, threads, span)
+			q := n / span // remaining unknowns: rows (i+1) % span == 0
+
+			// PCR on the q-row core (locally tridiagonal: local row r is
+			// global row (r+1)*span-1, coupled to local r±1).
+			core := newSysShared[T](blk, q, false)
+			coreNxt := newSysShared[T](blk, q, false)
+			sp := span
+			blk.Phase(func(t *gpusim.Thread) {
+				for r := t.ID; r < q; r += threads {
+					core.setRow(t, r, s.row(t, (r+1)*sp-1))
+				}
+			})
+			cur, nxt := core, coreNxt
+			for stride := 1; stride < q; stride <<= 1 {
+				st := stride
+				blk.Phase(func(t *gpusim.Thread) {
+					for r := t.ID; r < q; r += threads {
+						nxt.setRow(t, r, pcr.Combine(cur.row(t, r-st), cur.row(t, r), cur.row(t, r+st)))
+						t.Eliminations(1)
+					}
+				})
+				cur, nxt = nxt, cur
+			}
+			blk.Phase(func(t *gpusim.Thread) {
+				for r := t.ID; r < q; r += threads {
+					rr := cur.row(t, r)
+					s.x.StoreT(t, s.phys((r+1)*sp-1), rr.D/rr.B)
+				}
+			})
+
+			// CR backward from the switch level down.
+			s.crBackward(blk, threads, span)
+			s.store(blk, threads, blk.ID*n, gx)
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, st, nil
+}
+
+// KernelPCRThomas is the Sakharnykh/Zhang PCR+Thomas hybrid for systems
+// that fit in shared memory (refs [5][17]): k PCR steps split the
+// system into 2^k subsystems, each solved by one thread with Thomas —
+// all inside one block's shared memory. This is what the paper's method
+// "naturally reduces to ... when the input system fits shared memory".
+func KernelPCRThomas[T num.Real](dev *gpusim.Device, b *matrix.Batch[T], k int) ([]T, *gpusim.Stats, error) {
+	m, n := b.M, b.N
+	if k < 0 {
+		return nil, nil, fmt.Errorf("zhang: negative k")
+	}
+	for k > 0 && 1<<k > n {
+		k--
+	}
+	if err := checkFit[T](dev, n, 9, false); err != nil {
+		return nil, nil, err
+	}
+	threads, err := blockThreads(dev, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	x := make([]T, m*n)
+	ga, gb := gpusim.NewGlobal(b.Lower), gpusim.NewGlobal(b.Diag)
+	gc, gd := gpusim.NewGlobal(b.Upper), gpusim.NewGlobal(b.RHS)
+	gx := gpusim.NewGlobal(x)
+	p := 1 << k
+	st, err := dev.Launch("zhangPCRThomas", gpusim.LaunchConfig{Grid: m, Block: threads},
+		func(blk *gpusim.Block) {
+			cur := newSysShared[T](blk, n, false)
+			nxt := newSysShared[T](blk, n, false)
+			cur.load(blk, threads, blk.ID*n, ga, gb, gc, gd)
+			for stride := 1; stride < p; stride <<= 1 {
+				st := stride
+				blk.Phase(func(t *gpusim.Thread) {
+					for i := t.ID; i < n; i += threads {
+						nxt.setRow(t, i, pcr.Combine(cur.row(t, i-st), cur.row(t, i), cur.row(t, i+st)))
+						t.Eliminations(1)
+					}
+				})
+				cur, nxt = nxt, cur
+			}
+			// Per-thread Thomas on the 2^k chains, in shared memory
+			// (c/d fields are overwritten with c'/d').
+			blk.Phase(func(t *gpusim.Thread) {
+				r := t.ID
+				if r >= p || r >= n {
+					return
+				}
+				L := (n - r + p - 1) / p
+				first := cur.row(t, r)
+				cp := first.C / first.B
+				dp := first.D / first.B
+				cur.setRow(t, r, pcr.Row[T]{A: first.A, B: first.B, C: cp, D: dp})
+				t.ThomasSteps(1)
+				for l := 1; l < L; l++ {
+					i := r + l*p
+					row := cur.row(t, i)
+					den := row.B - cp*row.A
+					inv := 1 / den
+					cp = row.C * inv
+					dp = (row.D - dp*row.A) * inv
+					cur.setRow(t, i, pcr.Row[T]{A: row.A, B: row.B, C: cp, D: dp})
+					t.ThomasSteps(1)
+				}
+				xn := cur.row(t, r+(L-1)*p).D
+				cur.x.StoreT(t, cur.phys(r+(L-1)*p), xn)
+				for l := L - 2; l >= 0; l-- {
+					i := r + l*p
+					row := cur.row(t, i)
+					xn = row.D - row.C*xn
+					cur.x.StoreT(t, cur.phys(i), xn)
+					t.ThomasSteps(1)
+				}
+			})
+			cur.store(blk, threads, blk.ID*n, gx)
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, st, nil
+}

@@ -1,0 +1,206 @@
+package zhang
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gputrid/internal/cpu"
+	"gputrid/internal/gpusim"
+	"gputrid/internal/matrix"
+	"gputrid/internal/pcr"
+	"gputrid/internal/workload"
+)
+
+func dev() *gpusim.Device { return gpusim.GTX480() }
+
+func checkAgainstThomas(t *testing.T, name string, b *matrix.Batch[float64], x []float64, tol float64) {
+	t.Helper()
+	want, err := cpu.SolveBatchSeq(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxRelDiff(x, want); d > tol {
+		t.Errorf("%s: differs from Thomas by %g", name, d)
+	}
+}
+
+func TestKernelCRMatchesThomas(t *testing.T) {
+	for _, tc := range []struct{ m, n int }{
+		{1, 2}, {1, 64}, {3, 127}, {2, 128}, {4, 255}, {2, 512}, {1, 1000},
+	} {
+		b := workload.Batch[float64](workload.DiagDominant, tc.m, tc.n, uint64(tc.m*tc.n))
+		for _, padded := range []bool{false, true} {
+			x, _, err := KernelCR(dev(), b, padded)
+			if err != nil {
+				t.Fatalf("%+v padded=%v: %v", tc, padded, err)
+			}
+			checkAgainstThomas(t, "CR", b, x, 1e-8)
+		}
+	}
+}
+
+func TestKernelCRMatchesReferenceCR(t *testing.T) {
+	// The kernel must be the same arithmetic as pcr.SolveCR.
+	b := workload.Batch[float64](workload.DiagDominant, 2, 300, 5)
+	x, _, err := KernelCR(dev(), b, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < b.M; i++ {
+		want := refCR(b, i)
+		if d := matrix.MaxAbsDiff(x[i*b.N:(i+1)*b.N], want); d != 0 {
+			t.Errorf("system %d: kernel CR differs from reference by %g", i, d)
+		}
+	}
+}
+
+func TestPaddingReducesBankConflicts(t *testing.T) {
+	b := workload.Batch[float64](workload.DiagDominant, 4, 512, 7)
+	_, plain, err := KernelCR(dev(), b, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, padded, err := KernelCR(dev(), b, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.SharedBankConflicts == 0 {
+		t.Fatal("plain CR recorded no bank conflicts; the classic problem should appear")
+	}
+	if padded.SharedBankConflicts >= plain.SharedBankConflicts {
+		t.Errorf("padding did not reduce conflicts: %d -> %d",
+			plain.SharedBankConflicts, padded.SharedBankConflicts)
+	}
+}
+
+func TestKernelPCRMatchesThomas(t *testing.T) {
+	for _, tc := range []struct{ m, n int }{
+		{1, 2}, {2, 64}, {3, 100}, {2, 512}, {1, 600},
+	} {
+		b := workload.Batch[float64](workload.DiagDominant, tc.m, tc.n, uint64(tc.n*7))
+		x, _, err := KernelPCR(dev(), b)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		checkAgainstThomas(t, "PCR", b, x, 1e-8)
+	}
+}
+
+func TestKernelCRPCRMatchesThomas(t *testing.T) {
+	for _, tc := range []struct{ m, n, sw int }{
+		{1, 512, 64}, {2, 256, 32}, {1, 1000, 100}, {3, 64, 64}, {1, 48, 8},
+	} {
+		b := workload.Batch[float64](workload.DiagDominant, tc.m, tc.n, uint64(tc.n*13+tc.sw))
+		x, _, err := KernelCRPCR(dev(), b, tc.sw)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		checkAgainstThomas(t, "CRPCR", b, x, 1e-8)
+	}
+}
+
+func TestKernelPCRThomasMatchesThomas(t *testing.T) {
+	for _, tc := range []struct{ m, n, k int }{
+		{1, 512, 5}, {2, 256, 4}, {3, 100, 3}, {1, 600, 6}, {2, 64, 0},
+	} {
+		b := workload.Batch[float64](workload.DiagDominant, tc.m, tc.n, uint64(tc.n*17+tc.k))
+		x, _, err := KernelPCRThomas(dev(), b, tc.k)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		checkAgainstThomas(t, "PCRThomas", b, x, 1e-8)
+	}
+}
+
+func TestSharedMemoryWall(t *testing.T) {
+	// The defining limitation: none of these solvers accept a system
+	// larger than shared memory. (CR's 5 arrays of float64 cap at
+	// 48K/40 = 1228 rows on the GTX480.)
+	big := workload.Batch[float64](workload.DiagDominant, 1, 4096, 1)
+	if _, _, err := KernelCR(dev(), big, false); err == nil {
+		t.Error("CR accepted a 4096-row system")
+	}
+	if _, _, err := KernelPCR(dev(), big); err == nil {
+		t.Error("PCR accepted a 4096-row system")
+	}
+	if _, _, err := KernelCRPCR(dev(), big, 64); err == nil {
+		t.Error("CR+PCR accepted a 4096-row system")
+	}
+	if _, _, err := KernelPCRThomas(dev(), big, 5); err == nil {
+		t.Error("PCR+Thomas accepted a 4096-row system")
+	}
+}
+
+func TestOccupancyIsSharedLimited(t *testing.T) {
+	// "Maximally occupying shared memory" caps residency.
+	b := workload.Batch[float64](workload.DiagDominant, 2, 1000, 3)
+	_, st, err := KernelCR(dev(), b, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ := dev().Occupancy(st.ThreadsPerBlock, st.SharedPerBlock); occ > 1 {
+		t.Errorf("occupancy = %d blocks/SM for a 1000-row in-shared CR, want 1", occ)
+	}
+}
+
+func TestFloat32Kernels(t *testing.T) {
+	b := workload.Batch[float32](workload.DiagDominant, 2, 256, 9)
+	want, err := cpu.SolveBatchSeq(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, run := range map[string]func() ([]float32, *gpusim.Stats, error){
+		"cr":        func() ([]float32, *gpusim.Stats, error) { return KernelCR(dev(), b, true) },
+		"pcr":       func() ([]float32, *gpusim.Stats, error) { return KernelPCR(dev(), b) },
+		"crpcr":     func() ([]float32, *gpusim.Stats, error) { return KernelCRPCR(dev(), b, 32) },
+		"pcrthomas": func() ([]float32, *gpusim.Stats, error) { return KernelPCRThomas(dev(), b, 4) },
+	} {
+		x, _, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d := matrix.MaxRelDiff(x, want); d > 1e-3 {
+			t.Errorf("%s float32: differs from Thomas by %g", name, d)
+		}
+	}
+}
+
+func TestAllZhangSolversProperty(t *testing.T) {
+	f := func(seed uint32, mRaw, nRaw uint8) bool {
+		m := int(mRaw)%4 + 1
+		n := int(nRaw)%500 + 2
+		b := workload.Batch[float64](workload.DiagDominant, m, n, uint64(seed))
+		want, err := cpu.SolveBatchSeq(b)
+		if err != nil {
+			return false
+		}
+		for _, run := range []func() ([]float64, *gpusim.Stats, error){
+			func() ([]float64, *gpusim.Stats, error) { return KernelCR(dev(), b, false) },
+			func() ([]float64, *gpusim.Stats, error) { return KernelPCR(dev(), b) },
+			func() ([]float64, *gpusim.Stats, error) { return KernelCRPCR(dev(), b, 32) },
+			func() ([]float64, *gpusim.Stats, error) { return KernelPCRThomas(dev(), b, 4) },
+		} {
+			x, _, err := run()
+			if err != nil {
+				return false
+			}
+			if matrix.MaxRelDiff(x, want) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// refCR solves system i of the batch with the host reference CR.
+func refCR(b *matrix.Batch[float64], i int) []float64 {
+	return refCRSolve(b.System(i))
+}
+
+// refCRSolve delegates to the pcr package's reference implementation.
+func refCRSolve(s *matrix.System[float64]) []float64 {
+	return pcr.SolveCR(s)
+}

@@ -1,0 +1,36 @@
+// Package spline exposes the module's batched cubic-spline
+// interpolation (paper ref. [8]): fit M curves at once — one
+// tridiagonal system per curve, solved as a single batch on the hybrid
+// solver — then evaluate values, derivatives, and integrals.
+//
+//	s, err := spline.Fit(m, knots, 0, h, y, spline.FitOptions[float64]{})
+//	v := s.Eval(curve, x)
+package spline
+
+import (
+	"gputrid/internal/num"
+	ispline "gputrid/internal/spline"
+)
+
+// BC selects the end condition.
+type BC = ispline.BC
+
+const (
+	// Natural sets the second derivative to zero at both ends.
+	Natural = ispline.Natural
+	// Clamped prescribes the first derivative at both ends.
+	Clamped = ispline.Clamped
+)
+
+// Batch holds M fitted splines over uniform knots.
+type Batch[T num.Real] = ispline.Batch[T]
+
+// FitOptions configures a fit; the zero value selects natural splines
+// on the hybrid GPU backend.
+type FitOptions[T num.Real] = ispline.FitOptions[T]
+
+// Fit constructs M cubic splines through y (curve i at
+// [i*knots, (i+1)*knots)) over knots x_j = x0 + j·h.
+func Fit[T num.Real](m, knots int, x0, h float64, y []T, opts FitOptions[T]) (*Batch[T], error) {
+	return ispline.Fit(m, knots, x0, h, y, opts)
+}

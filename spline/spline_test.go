@@ -1,0 +1,37 @@
+package spline_test
+
+import (
+	"math"
+	"testing"
+
+	"gputrid/spline"
+)
+
+func TestPublicSplineEndToEnd(t *testing.T) {
+	m, knots := 8, 33
+	h := 1.0 / float64(knots-1)
+	y := make([]float64, m*knots)
+	for i := 0; i < m; i++ {
+		for j := 0; j < knots; j++ {
+			y[i*knots+j] = math.Sin(float64(i+1) * math.Pi * float64(j) * h)
+		}
+	}
+	s, err := spline.Fit(m, knots, 0, h, y, spline.FitOptions[float64]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Knot interpolation.
+	for i := 0; i < m; i++ {
+		if d := math.Abs(s.Eval(i, 10*h) - y[i*knots+10]); d > 1e-12 {
+			t.Errorf("curve %d: knot interpolation off by %g", i, d)
+		}
+	}
+	// Integral of sin(kπx) over [0,1] = (1-cos kπ)/(kπ).
+	for i := 0; i < m; i++ {
+		k := float64(i + 1)
+		want := (1 - math.Cos(k*math.Pi)) / (k * math.Pi)
+		if d := math.Abs(float64(s.Integral(i)) - want); d > 1e-3 {
+			t.Errorf("curve %d: integral %g, want %g", i, s.Integral(i), want)
+		}
+	}
+}
