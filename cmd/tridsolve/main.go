@@ -7,6 +7,13 @@
 //	tridsolve -algo cr -n 4095               # cyclic reduction
 //	tridsolve -algo davidson -m 4 -n 65536   # the §V baseline
 //	tridsolve -in sys.txt -algo pcr          # solve a file
+//
+// The -guard flag routes the solve through the guarded pipeline
+// (per-system fault isolation with refinement/pivoting escalation) and
+// prints a per-system diagnosis of every escalated system; -inject
+// deterministically corrupts chosen systems to demonstrate the ladder:
+//
+//	tridsolve -guard -m 64 -n 1024 -inject 7:zero-diag,23:singular
 package main
 
 import (
@@ -14,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"gputrid"
@@ -31,17 +40,19 @@ import (
 
 func main() {
 	var (
-		algo  = flag.String("algo", "hybrid", "hybrid|cpu|gtsv|cr|pcr|rd|davidson|egloff|zhang-cr|zhang-pcr|zhang-crpcr|zhang-pcrthomas")
-		m     = flag.Int("m", 1, "number of systems")
-		n     = flag.Int("n", 1024, "rows per system")
-		kind  = flag.String("kind", "diag-dominant", "diag-dominant|toeplitz|heat|spline")
-		k     = flag.Int("k", gputrid.AutoK, "PCR steps for the hybrid (-1 = auto)")
-		seed  = flag.Uint64("seed", 1, "workload seed")
-		in    = flag.String("in", "", "read a system/batch from file (text or TRID binary)")
-		out   = flag.String("out", "", "write the solution vector to file")
-		fuse  = flag.Bool("fuse", false, "enable kernel fusion (hybrid)")
-		cond  = flag.Bool("cond", false, "estimate the condition number of system 0")
-		quiet = flag.Bool("q", false, "print only the summary line")
+		algo   = flag.String("algo", "hybrid", "hybrid|cpu|gtsv|cr|pcr|rd|davidson|egloff|zhang-cr|zhang-pcr|zhang-crpcr|zhang-pcrthomas")
+		m      = flag.Int("m", 1, "number of systems")
+		n      = flag.Int("n", 1024, "rows per system")
+		kind   = flag.String("kind", "diag-dominant", "diag-dominant|toeplitz|heat|spline")
+		k      = flag.Int("k", gputrid.AutoK, "PCR steps for the hybrid (-1 = auto)")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+		in     = flag.String("in", "", "read a system/batch from file (text or TRID binary)")
+		out    = flag.String("out", "", "write the solution vector to file")
+		fuse   = flag.Bool("fuse", false, "enable kernel fusion (hybrid)")
+		cond   = flag.Bool("cond", false, "estimate the condition number of system 0")
+		quiet  = flag.Bool("q", false, "print only the summary line")
+		guard  = flag.Bool("guard", false, "guarded solve: per-system fault isolation with refinement/pivoting escalation")
+		inject = flag.String("inject", "", "guarded fault injection, e.g. 3:zero-diag,7:singular (kinds: corrupt|zero-diag|singular|nan)")
 	)
 	flag.Parse()
 
@@ -52,6 +63,13 @@ func main() {
 	if *cond {
 		k1 := matrix.Cond1Est(b.System(0), cpu.SolveGTSV[float64])
 		fmt.Printf("cond1(system 0) ~= %.3e\n", k1)
+	}
+	if *guard {
+		solveGuarded(b, *k, *fuse, *inject, *out)
+		return
+	}
+	if *inject != "" {
+		fail(fmt.Errorf("-inject requires -guard"))
 	}
 
 	start := time.Now()
@@ -182,6 +200,105 @@ func solve(algo string, b *matrix.Batch[float64], k int, fuse bool) ([]float64, 
 	default:
 		return nil, "", fmt.Errorf("unknown algorithm %q", algo)
 	}
+}
+
+// solveGuarded runs the guarded pipeline and prints the per-system
+// diagnosis: a summary of systems per stage, then one line for every
+// system that left the fast path. Exits 1 when any system was
+// unrecoverable (the healthy solutions are still written to -out).
+func solveGuarded(b *matrix.Batch[float64], k int, fuse bool, inject, out string) {
+	opts := []gputrid.Option{gputrid.WithK(k)}
+	if fuse {
+		opts = append(opts, gputrid.WithKernelFusion())
+	}
+	var pol gputrid.GuardPolicy
+	if inject != "" {
+		inj, err := parseInject(inject, b.M)
+		if err != nil {
+			fail(err)
+		}
+		pol.Inject = inj
+	}
+	opts = append(opts, gputrid.WithGuard(pol))
+
+	start := time.Now()
+	res, err := gputrid.SolveGuarded(b, opts...)
+	if res == nil {
+		fail(err)
+	}
+	wall := time.Since(start)
+
+	st := res.Stages()
+	status := "OK"
+	if len(res.Failed) > 0 {
+		status = "DEGRADED"
+	}
+	fmt.Printf("%s: algo=guarded M=%d N=%d fast=%d refined=%d pivoted=%d failed=%d k=%d wall=%v\n",
+		status, b.M, b.N, st[gputrid.StageFast], st[gputrid.StageRefine],
+		st[gputrid.StagePivot], st[gputrid.StageFailed], res.K, wall.Round(time.Microsecond))
+	for _, rep := range res.Reports {
+		if rep.Stage == gputrid.StageFast {
+			continue
+		}
+		line := fmt.Sprintf("  system %d: stage=%s residual %.3e -> %.3e",
+			rep.System, rep.Stage, rep.ResidualBefore, rep.ResidualAfter)
+		if rep.Refinements > 0 {
+			line += fmt.Sprintf(" refinements=%d", rep.Refinements)
+		}
+		if rep.CondEst > 0 {
+			line += fmt.Sprintf(" cond1~%.1e", rep.CondEst)
+		}
+		if rep.Err != nil {
+			line += fmt.Sprintf(" (%v)", rep.Err.Unwrap())
+		}
+		fmt.Println(line)
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fail(err)
+		}
+		if err := trifile.WriteSolution(f, res.X, b.M, b.N); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if len(res.Failed) > 0 {
+		os.Exit(1)
+	}
+}
+
+// parseInject parses "SYS:KIND[,SYS:KIND...]" fault specs.
+func parseInject(spec string, m int) (*gputrid.GuardInjection, error) {
+	inj := &gputrid.GuardInjection{Seed: 1}
+	for _, part := range strings.Split(spec, ",") {
+		sysStr, kindStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -inject entry %q (want SYS:KIND)", part)
+		}
+		sys, err := strconv.Atoi(sysStr)
+		if err != nil || sys < 0 || sys >= m {
+			return nil, fmt.Errorf("bad -inject system %q (batch has %d systems)", sysStr, m)
+		}
+		var kind gputrid.GuardFault
+		switch kindStr {
+		case "corrupt":
+			kind = gputrid.GuardFault{System: sys, Kind: gputrid.FaultCorruptSolution}
+		case "zero-diag":
+			kind = gputrid.GuardFault{System: sys, Kind: gputrid.FaultZeroDiagonal}
+		case "singular":
+			kind = gputrid.GuardFault{System: sys, Kind: gputrid.FaultSingularMatrix}
+		case "nan":
+			kind = gputrid.GuardFault{System: sys, Kind: gputrid.FaultNaNCoefficient}
+		default:
+			return nil, fmt.Errorf("unknown -inject kind %q (corrupt|zero-diag|singular|nan)", kindStr)
+		}
+		inj.Faults = append(inj.Faults, kind)
+	}
+	return inj, nil
 }
 
 func fail(err error) {

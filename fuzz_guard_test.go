@@ -1,0 +1,97 @@
+package gputrid
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+)
+
+// FuzzSolveGuarded drives the guarded pipeline with adversarial batches
+// — random dominance margins, zeroed diagonals, poisoned coefficients —
+// and asserts its core contract: the merged X never carries a
+// non-finite entry without a matching typed SolveError for that system,
+// error-free systems pass the residual tolerance, and the joined error
+// is consistent with the Failed list.
+func FuzzSolveGuarded(f *testing.F) {
+	f.Add(uint32(1), uint8(4), uint8(40), uint8(0))
+	f.Add(uint32(2), uint8(1), uint8(1), uint8(255))
+	f.Add(uint32(3), uint8(8), uint8(64), uint8(7))
+	f.Add(uint32(4), uint8(5), uint8(33), uint8(129))
+	f.Add(uint32(5), uint8(3), uint8(17), uint8(64))
+	f.Fuzz(func(t *testing.T, seed uint32, mRaw, nRaw, hostility uint8) {
+		m := int(mRaw)%8 + 1
+		n := int(nRaw)%64 + 1
+		r := num.NewRNG(uint64(seed) + 1)
+		b := NewBatch[float64](m, n)
+		for i := 0; i < m; i++ {
+			base := i * n
+			for j := 0; j < n; j++ {
+				var a, c float64
+				if j > 0 {
+					a = r.Range(-1, 1)
+				}
+				if j < n-1 {
+					c = r.Range(-1, 1)
+				}
+				b.Lower[base+j] = a
+				b.Upper[base+j] = c
+				// Dominance margin shrinks as hostility grows; hostile
+				// batches also get zeroed and poisoned entries.
+				b.Diag[base+j] = math.Abs(a) + math.Abs(c) + r.Range(0.01, 1.5)
+				b.RHS[base+j] = r.Range(-10, 10)
+			}
+			h := float64(hostility) / 255
+			if r.Float64() < h {
+				b.Diag[base] = 0 // break the fast path's first pivot
+			}
+			if r.Float64() < h/2 {
+				b.Diag[base+r.Intn(n)] = math.NaN() // garbage-in
+			}
+			if r.Float64() < h/4 {
+				for j := 0; j < n; j++ { // genuinely singular
+					b.Lower[base+j], b.Diag[base+j], b.Upper[base+j] = 0, 0, 0
+				}
+				b.RHS[base] = 1
+			}
+		}
+
+		res, err := SolveGuarded(b)
+		if res == nil {
+			t.Fatalf("guarded solve returned no result: %v", err)
+		}
+		tol := matrix.ResidualTolerance[float64](n)
+		for i := 0; i < m; i++ {
+			rep := res.Reports[i]
+			finite := true
+			for _, v := range res.X[i*n : (i+1)*n] {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					finite = false
+				}
+			}
+			if !finite && rep.Err == nil {
+				t.Fatalf("system %d: non-finite X without a SolveError (stage %s)", i, rep.Stage)
+			}
+			if rep.Err == nil && rep.ResidualAfter > tol {
+				t.Errorf("system %d: no error but residual %g exceeds %g (stage %s)",
+					i, rep.ResidualAfter, tol, rep.Stage)
+			}
+			if rep.Err != nil {
+				if rep.Stage != StageFailed {
+					t.Errorf("system %d: error carried by non-failed stage %s", i, rep.Stage)
+				}
+				if rep.Err.System != i {
+					t.Errorf("system %d: SolveError names system %d", i, rep.Err.System)
+				}
+			}
+		}
+		if (err != nil) != (len(res.Failed) > 0) {
+			t.Fatalf("error/Failed mismatch: err=%v, %d failed", err, len(res.Failed))
+		}
+		if err != nil && !errors.Is(err, ErrUnrecoverable) {
+			t.Errorf("guarded error does not match ErrUnrecoverable: %v", err)
+		}
+	})
+}

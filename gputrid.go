@@ -28,11 +28,13 @@ package gputrid
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"gputrid/internal/core"
 	"gputrid/internal/cpu"
 	"gputrid/internal/gpusim"
+	"gputrid/internal/guard"
 	"gputrid/internal/matrix"
 	"gputrid/internal/num"
 )
@@ -82,6 +84,7 @@ type config struct {
 	fuse   bool
 	mux    int
 	verify bool
+	guard  *GuardPolicy
 }
 
 // Option customizes a solve.
@@ -112,9 +115,16 @@ func WithKernelFusion() Option { return func(c *config) { c.fuse = true } }
 func WithSystemsPerBlock(q int) Option { return func(c *config) { c.mux = q } }
 
 // WithVerification checks the relative residual of every solution and
-// fails the solve if it exceeds the size-scaled tolerance. Off by
-// default (it costs an extra O(MN) host pass).
+// fails the solve if it exceeds the size-scaled tolerance; the error
+// names the offending systems. Off by default (it costs an extra O(MN)
+// host pass). For recovery instead of rejection, use SolveGuarded.
 func WithVerification() Option { return func(c *config) { c.verify = true } }
+
+// WithGuard sets the escalation policy SolveGuarded applies (refinement
+// rounds, tolerance, pivoting fallback, condition estimation, fault
+// injection). Without it SolveGuarded uses the zero-value production
+// defaults. Ignored by the unguarded Solve/SolveBatch entry points.
+func WithGuard(p GuardPolicy) Option { return func(c *config) { c.guard = &p } }
 
 // Result reports a solve: the solution and what the solver did.
 type Result[T Real] struct {
@@ -170,12 +180,8 @@ func SolveBatch[T Real](b *Batch[T], opts ...Option) (*Result[T], error) {
 	}
 	wall := time.Since(start)
 	if c.verify {
-		// The negated comparison also catches NaN residuals (from
-		// division by a vanishing pivot), which compare false against
-		// any threshold.
-		if r := matrix.MaxResidual(b, x); !(r <= matrix.ResidualTolerance[T](b.N)) {
-			return nil, fmt.Errorf("gputrid: verification failed: residual %.3e exceeds %.3e",
-				r, matrix.ResidualTolerance[T](b.N))
+		if err := verifyBatch(b, x); err != nil {
+			return nil, err
 		}
 	}
 	return &Result[T]{
@@ -187,6 +193,40 @@ func SolveBatch[T Real](b *Batch[T], opts ...Option) (*Result[T], error) {
 		ModeledTime:     secondsToDuration(modeled[T](c.device, rep)),
 		WallTime:        wall,
 	}, nil
+}
+
+// verifyBatch checks every system's residual against the size-scaled
+// tolerance and, on failure, names the offending systems — so one bad
+// system out of M is reported as such instead of as an anonymous batch
+// maximum. The negated comparison also catches NaN residuals (from
+// division by a vanishing pivot), which compare false against any
+// threshold.
+func verifyBatch[T Real](b *Batch[T], x []T) error {
+	tol := matrix.ResidualTolerance[T](b.N)
+	rs := matrix.ResidualsPerSystem(b, x)
+	var bad []int
+	for i, r := range rs {
+		if !(r <= tol) {
+			bad = append(bad, i)
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	const maxListed = 8
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "gputrid: verification failed: %d of %d systems exceed tolerance %.1e:", len(bad), b.M, tol)
+	for j, i := range bad {
+		if j == maxListed {
+			fmt.Fprintf(&sb, " ... and %d more", len(bad)-maxListed)
+			break
+		}
+		if j > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, " system %d (residual %.3e)", i, rs[i])
+	}
+	return fmt.Errorf("%s", sb.String())
 }
 
 // Solve solves a single tridiagonal system.
@@ -274,6 +314,139 @@ func SolveCPUPivoting[T Real](b *Batch[T]) ([]T, error) {
 		return nil, fmt.Errorf("gputrid: %w", err)
 	}
 	return x, nil
+}
+
+// GuardPolicy tunes SolveGuarded's escalation ladder; the zero value is
+// the production default (two refinement rounds, size-scaled tolerance,
+// pivoting fallback on, lazy condition estimates for rescued systems).
+type GuardPolicy = guard.Policy
+
+// GuardStage names the rung that produced a system's final answer.
+type GuardStage = guard.Stage
+
+// The escalation rungs, in order of application.
+const (
+	StageFast   = guard.StageFast   // hybrid fast path, unmodified
+	StageRefine = guard.StageRefine // repaired by iterative refinement
+	StagePivot  = guard.StagePivot  // rescued by the pivoting GTSV path
+	StageFailed = guard.StageFailed // unrecoverable; carries a SolveError
+)
+
+// SystemReport records what the guarded pipeline did to one system.
+type SystemReport = guard.SystemReport
+
+// SolveError is the typed per-system failure of a guarded solve;
+// retrieve it from the returned error with errors.As, or match the
+// class with errors.Is(err, ErrUnrecoverable) / ErrNonFiniteInput.
+type SolveError = guard.SolveError
+
+// GuardFault and GuardInjection form the deterministic fault-injection
+// hook: chosen systems are corrupted at seeded rows before or after the
+// fast solve, driving specific rungs of the ladder — for chaos tests
+// and demos, never enabled by default.
+type (
+	GuardFault     = guard.Fault
+	GuardInjection = guard.Injection
+)
+
+// The injectable fault kinds and the rung each one lands on.
+const (
+	FaultCorruptSolution = guard.FaultCorruptSolution // -> StageRefine
+	FaultZeroDiagonal    = guard.FaultZeroDiagonal    // -> StagePivot
+	FaultSingularMatrix  = guard.FaultSingularMatrix  // -> StageFailed
+	FaultNaNCoefficient  = guard.FaultNaNCoefficient  // -> StageFailed (garbage-in)
+)
+
+// ErrUnrecoverable matches (via errors.Is) every per-system SolveError:
+// the escalation ladder ran out of rungs for that system.
+var ErrUnrecoverable = guard.ErrUnrecoverable
+
+// ErrNonFiniteInput matches SolveErrors for systems whose coefficients
+// already contained NaN/Inf on entry — garbage-in, distinguished from
+// numerical breakdown inside a solver.
+var ErrNonFiniteInput = guard.ErrNonFiniteInput
+
+// GuardedResult extends Result with the per-system diagnosis of a
+// guarded solve.
+type GuardedResult[T Real] struct {
+	*Result[T]
+	// Reports has one entry per system in batch order: the stage used,
+	// residual before/after, refinement rounds, condition estimate.
+	Reports []SystemReport
+	// Failed lists the unrecoverable systems (empty on full success);
+	// the same errors are joined into SolveGuarded's returned error.
+	Failed []*SolveError
+}
+
+// Stages counts the systems per final stage, for summary diagnostics.
+func (r *GuardedResult[T]) Stages() map[GuardStage]int {
+	m := make(map[GuardStage]int)
+	for _, rep := range r.Reports {
+		m[rep.Stage]++
+	}
+	return m
+}
+
+// SolveGuarded solves the batch with per-system fault isolation: the
+// hybrid fast path handles the bulk, every system's residual is then
+// checked individually, and only failing systems escalate through
+// iterative refinement, a pivoting GTSV re-solve, and finally a typed
+// SolveError — one degenerate system never poisons the other M-1.
+//
+// The returned X is always fully finite (unrecoverable systems are
+// zeroed and diagnosed instead of emitting Inf/NaN). The error is nil
+// when every system passed tolerance, possibly after rescue; otherwise
+// it joins the per-system SolveErrors while the result still carries
+// the healthy solutions — check Failed (or errors.As) rather than
+// discarding the result. Configure the ladder with WithGuard; the other
+// options (WithK, WithDevice, ...) apply to the fast path as usual.
+func SolveGuarded[T Real](b *Batch[T], opts ...Option) (*GuardedResult[T], error) {
+	c := buildConfig(opts)
+	var pol GuardPolicy
+	if c.guard != nil {
+		pol = *c.guard
+	}
+	cfg := core.Config{
+		Device:          c.device,
+		K:               c.k,
+		C:               c.c,
+		BlocksPerSystem: c.blocks,
+		Fuse:            c.fuse,
+		SystemsPerBlock: c.mux,
+	}
+	start := time.Now()
+	gres, err := guard.Solve(cfg, b, pol)
+	if gres == nil {
+		return nil, fmt.Errorf("gputrid: %w", err)
+	}
+	wall := time.Since(start)
+	rep := gres.FastReport
+	res := &GuardedResult[T]{
+		Result: &Result[T]{
+			X:               gres.X,
+			K:               rep.K,
+			BlocksPerSystem: rep.BlocksPerSystem,
+			Fused:           rep.Fused,
+			Stats:           rep.Stats,
+			ModeledTime:     secondsToDuration(modeled[T](c.device, rep)),
+			WallTime:        wall,
+		},
+		Reports: gres.Reports,
+		Failed:  gres.Failed,
+	}
+	if err != nil {
+		err = fmt.Errorf("gputrid: %w", err)
+	}
+	return res, err
+}
+
+// ConditionEstBatch estimates the 1-norm condition number of the
+// selected systems of a batch (result[j] for systems[j]); see
+// ConditionEst. The guard's report uses it lazily — estimation costs a
+// few pivoted solves per system, so callers should pass only the
+// systems they care about (e.g. the ones that needed rescue).
+func ConditionEstBatch[T Real](b *Batch[T], systems []int) []float64 {
+	return matrix.Cond1EstBatch(b, systems, cpu.SolveGTSV[T])
 }
 
 func modeled[T Real](d *Device, rep *core.Report) float64 {

@@ -5,6 +5,30 @@ import (
 	"gputrid/internal/num"
 )
 
+// GTSVWorkspace holds the working copies a pivoting solve mutates (the
+// three diagonals, plus the second super-diagonal filled in by row
+// swaps), so repeated single-system re-solves — the guard's per-system
+// rescue path — do not reallocate.
+type GTSVWorkspace[T num.Real] struct {
+	dl, d, du, du2 []T
+}
+
+// NewGTSVWorkspace returns a workspace for systems of up to n rows.
+func NewGTSVWorkspace[T num.Real](n int) *GTSVWorkspace[T] {
+	w := &GTSVWorkspace[T]{}
+	w.grow(n)
+	return w
+}
+
+func (w *GTSVWorkspace[T]) grow(n int) {
+	if len(w.dl) < n {
+		w.dl = make([]T, n)
+		w.d = make([]T, n)
+		w.du = make([]T, n)
+		w.du2 = make([]T, n)
+	}
+}
+
 // SolveGTSV solves one tridiagonal system with LU decomposition and
 // partial pivoting — the algorithm behind LAPACK/MKL dgtsv, the paper's
 // actual CPU baseline. Unlike Thomas it is stable for any nonsingular
@@ -14,24 +38,45 @@ import (
 //
 // The input is not modified.
 func SolveGTSV[T num.Real](s *matrix.System[T]) ([]T, error) {
-	n := s.N()
-	x := make([]T, n)
-	if n == 0 {
-		return x, nil
+	x := make([]T, s.N())
+	if err := SolveGTSVInto(s, x, NewGTSVWorkspace[T](s.N())); err != nil {
+		return nil, err
 	}
+	return x, nil
+}
+
+// SolveGTSVInto is SolveGTSV with caller-provided output and workspace:
+// it re-solves a single system without allocating and without touching
+// any other system of a batch (pass a Batch.System(i) view). On error x
+// is left unspecified.
+func SolveGTSVInto[T num.Real](s *matrix.System[T], x []T, w *GTSVWorkspace[T]) error {
+	n := s.N()
+	if len(x) != n {
+		panic("cpu: SolveGTSVInto output length mismatch")
+	}
+	if n == 0 {
+		return nil
+	}
+	w.grow(n)
 	// Working copies of the three diagonals, RHS, and the second
 	// super-diagonal fill-in introduced by row swaps.
-	dl := append([]T(nil), s.Lower...) // dl[i] couples row i to i-1
-	d := append([]T(nil), s.Diag...)
-	du := append([]T(nil), s.Upper...)
-	du2 := make([]T, n) // fill-in: row i to i+2
+	dl := w.dl[:n] // dl[i] couples row i to i-1
+	d := w.d[:n]
+	du := w.du[:n]
+	du2 := w.du2[:n]
+	copy(dl, s.Lower)
+	copy(d, s.Diag)
+	copy(du, s.Upper)
+	for i := range du2 {
+		du2[i] = 0 // fill-in: row i to i+2
+	}
 	copy(x, s.RHS)
 
 	for i := 0; i < n-1; i++ {
 		if num.Abs(d[i]) >= num.Abs(dl[i+1]) {
 			// No swap: eliminate dl[i+1] with row i.
 			if d[i] == 0 {
-				return nil, ErrZeroPivot
+				return ErrZeroPivot
 			}
 			f := dl[i+1] / d[i]
 			d[i+1] -= f * du[i]
@@ -52,7 +97,7 @@ func SolveGTSV[T num.Real](s *matrix.System[T]) ([]T, error) {
 		}
 	}
 	if d[n-1] == 0 {
-		return nil, ErrZeroPivot
+		return ErrZeroPivot
 	}
 
 	// Back substitution with the extra diagonal.
@@ -63,19 +108,30 @@ func SolveGTSV[T num.Real](s *matrix.System[T]) ([]T, error) {
 	for i := n - 3; i >= 0; i-- {
 		x[i] = (x[i] - du[i]*x[i+1] - du2[i]*x[i+2]) / d[i]
 	}
-	return x, nil
+	return nil
+}
+
+// SolveSystemGTSV re-solves system i of a batch with the pivoting
+// algorithm, writing the solution into x[i*N:(i+1)*N] of a full batch
+// solution vector. It reads system i through a view, so nothing else of
+// the batch is copied — the per-system rescue entry point of the
+// guarded pipeline.
+func SolveSystemGTSV[T num.Real](b *matrix.Batch[T], i int, x []T, w *GTSVWorkspace[T]) error {
+	if len(x) != b.M*b.N {
+		panic("cpu: SolveSystemGTSV solution length mismatch")
+	}
+	return SolveGTSVInto(b.System(i), x[i*b.N:(i+1)*b.N], w)
 }
 
 // SolveBatchGTSV runs SolveGTSV over every system of a batch,
 // returning the solutions contiguously.
 func SolveBatchGTSV[T num.Real](b *matrix.Batch[T]) ([]T, error) {
 	x := make([]T, b.M*b.N)
+	w := NewGTSVWorkspace[T](b.N)
 	for i := 0; i < b.M; i++ {
-		xi, err := SolveGTSV(b.System(i))
-		if err != nil {
+		if err := SolveGTSVInto(b.System(i), x[i*b.N:(i+1)*b.N], w); err != nil {
 			return nil, err
 		}
-		copy(x[i*b.N:], xi)
 	}
 	return x, nil
 }

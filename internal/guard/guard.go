@@ -1,0 +1,291 @@
+// Package guard implements the guarded solve pipeline: per-system
+// fault isolation around the hybrid fast path. The non-pivoting hybrid
+// (tiled PCR + p-Thomas) is kept as the bulk solver, but instead of the
+// all-or-nothing contract of batch verification — one degenerate system
+// rejects the whole batch — every system is classified individually
+// after the fast solve and only the failing ones are escalated through
+// a ladder of increasingly expensive rescues:
+//
+//  1. iterative refinement against the cached (non-pivoting) hybrid
+//     factorization of that system — repairs finite but
+//     over-tolerance solutions at O(n) per round;
+//  2. a pivoting GTSV re-solve of just that system — stable for any
+//     nonsingular tridiagonal matrix, including the zero-pivot cases
+//     the fast path turns into Inf/NaN;
+//  3. a typed, errors.Is/As-able SolveError carrying the system index,
+//     the last stage attempted, the best residual achieved, and a
+//     lazily computed condition estimate.
+//
+// Repaired solutions are merged back into the batch result, so M-1
+// healthy systems are never poisoned by one bad neighbour, and the
+// per-system SystemReport makes the degradation observable instead of
+// surfacing as NaNs downstream.
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gputrid/internal/core"
+	"gputrid/internal/cpu"
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+)
+
+// Policy tunes the escalation ladder. The zero value is the production
+// default: two refinement rounds, size-scaled tolerance, pivoting
+// fallback on, condition estimates for rescued systems.
+type Policy struct {
+	// MaxRefine bounds the iterative-refinement rounds per failing
+	// system. 0 means the default of 2; negative disables refinement
+	// (failing systems go straight to the pivoting rung).
+	MaxRefine int
+	// Tolerance is the per-system residual acceptance threshold; 0
+	// applies matrix.ResidualTolerance for the batch's N and precision.
+	Tolerance float64
+	// DisablePivotFallback skips the GTSV rung: systems refinement
+	// cannot repair fail with a typed SolveError instead. Useful when
+	// the caller wants the fast path's cost envelope strictly bounded.
+	DisablePivotFallback bool
+	// SkipConditionEstimate suppresses the lazy Hager-Higham κ₁
+	// estimate on rescued/failed systems (saves a few pivoted solves
+	// per rescued system).
+	SkipConditionEstimate bool
+	// Inject deterministically corrupts chosen systems before or after
+	// the fast solve — the fault hook the ladder tests are built on.
+	// Nil in production.
+	Inject *Injection
+}
+
+func (p Policy) maxRefine() int {
+	switch {
+	case p.MaxRefine == 0:
+		return 2
+	case p.MaxRefine < 0:
+		return 0
+	default:
+		return p.MaxRefine
+	}
+}
+
+// Result is a guarded batch solve: the merged solutions, the per-system
+// reports, the typed failures (also joined into the error Solve
+// returns), and the fast path's execution report.
+type Result[T num.Real] struct {
+	// X holds the M solutions contiguously. Always fully finite:
+	// unrecoverable systems are zeroed and carry a SolveError instead
+	// of Inf/NaN markers.
+	X []T
+	// Reports has one entry per system, in batch order.
+	Reports []SystemReport
+	// Failed lists the unrecoverable systems' errors (same *SolveError
+	// values the reports reference), empty when every system solved.
+	Failed []*SolveError
+	// FastReport is the device execution report of the bulk fast-path
+	// solve.
+	FastReport *core.Report
+}
+
+// Stages counts the systems per final stage, for summary diagnostics.
+func (r *Result[T]) Stages() map[Stage]int {
+	m := make(map[Stage]int)
+	for _, rep := range r.Reports {
+		m[rep.Stage]++
+	}
+	return m
+}
+
+// Solve runs the guarded pipeline over the batch. The returned error is
+// nil when every system produced a tolerance-passing solution (possibly
+// after rescue); otherwise it is the errors.Join of the per-system
+// SolveErrors — the Result is still valid and carries the healthy
+// systems' solutions. Infrastructure failures (invalid configuration,
+// shape mismatches) return a nil Result.
+func Solve[T num.Real](cfg core.Config, b *matrix.Batch[T], pol Policy) (*Result[T], error) {
+	m, n := b.M, b.N
+	if len(b.Lower) != m*n || len(b.Diag) != m*n || len(b.Upper) != m*n || len(b.RHS) != m*n {
+		return nil, fmt.Errorf("guard: batch slice lengths do not match M*N=%d", m*n)
+	}
+
+	// Fault injection mutates a private clone, never the caller's data.
+	work := b
+	if pol.Inject != nil && pol.Inject.touchesInput() {
+		work = b.Clone()
+		injectBatch(pol.Inject, work)
+	}
+
+	// Per-system input scan: systems with NaN/Inf coefficients are
+	// garbage-in, not numerical breakdown. They are replaced by
+	// identity systems for the bulk solve (keeping the kernel free of
+	// input poison) and reported as failed with ErrNonFiniteInput.
+	var invalid []int
+	for i := 0; i < m; i++ {
+		if !work.System(i).IsFinite() {
+			invalid = append(invalid, i)
+		}
+	}
+	if len(invalid) > 0 {
+		if work == b {
+			work = b.Clone()
+		}
+		for _, i := range invalid {
+			s := work.System(i)
+			for j := 0; j < n; j++ {
+				s.Lower[j], s.Diag[j], s.Upper[j], s.RHS[j] = 0, 1, 0, 0
+			}
+		}
+	}
+	isInvalid := make([]bool, m)
+	for _, i := range invalid {
+		isInvalid[i] = true
+	}
+
+	// Bulk fast path over the (sanitized) batch.
+	x, fastRep, err := core.Solve(cfg, work)
+	if err != nil {
+		return nil, err
+	}
+	if pol.Inject != nil {
+		injectSolution(pol.Inject, x, m, n)
+	}
+
+	tol := pol.Tolerance
+	if tol <= 0 {
+		tol = matrix.ResidualTolerance[T](n)
+	}
+
+	res := &Result[T]{X: x, Reports: make([]SystemReport, m), FastReport: fastRep}
+	var gtsvWS *cpu.GTSVWorkspace[T]
+	for i := 0; i < m; i++ {
+		rep := &res.Reports[i]
+		rep.System = i
+		if isInvalid[i] {
+			rep.Stage = StageFailed
+			rep.ResidualBefore = inf()
+			rep.ResidualAfter = inf()
+			rep.Err = &SolveError{System: i, Stage: StageFailed, Residual: inf(), Cause: ErrNonFiniteInput}
+			zero(x[i*n : (i+1)*n])
+			res.Failed = append(res.Failed, rep.Err)
+			continue
+		}
+		sys := work.System(i)
+		xi := x[i*n : (i+1)*n]
+		r0 := matrix.Residual(sys, xi)
+		rep.ResidualBefore = r0
+		if r0 <= tol {
+			rep.Stage = StageFast
+			rep.ResidualAfter = r0
+			continue
+		}
+		if gtsvWS == nil {
+			gtsvWS = cpu.NewGTSVWorkspace[T](n)
+		}
+		escalate(cfg, work, i, xi, tol, pol, fastRep.K, gtsvWS, rep)
+		if rep.Err != nil {
+			res.Failed = append(res.Failed, rep.Err)
+		}
+	}
+
+	if len(res.Failed) == 0 {
+		return res, nil
+	}
+	errs := make([]error, len(res.Failed))
+	for i, e := range res.Failed {
+		errs[i] = e
+	}
+	return res, errors.Join(errs...)
+}
+
+// escalate runs the ladder for one over-tolerance (or non-finite)
+// system, updating xi in place and filling in the report.
+func escalate[T num.Real](cfg core.Config, b *matrix.Batch[T], i int, xi []T,
+	tol float64, pol Policy, k int, ws *cpu.GTSVWorkspace[T], rep *SystemReport) {
+	sys := b.System(i)
+	cur := rep.ResidualBefore
+	lastErr := error(nil)
+
+	// Rung 1: iterative refinement against the cached non-pivoting
+	// factorization — only worth attempting when the starting point is
+	// finite (refinement cannot recover from Inf/NaN).
+	if rounds := pol.maxRefine(); rounds > 0 && finiteVec(xi) {
+		if f, err := core.FactorHybrid(core.SystemView(b, i), k); err == nil {
+			r := make([]T, len(xi))
+			e := make([]T, len(xi))
+			for round := 0; round < rounds && cur > tol; round++ {
+				ax := sys.Apply(xi)
+				for j := range r {
+					r[j] = sys.RHS[j] - ax[j]
+				}
+				if f.Solve(r, e) != nil {
+					break
+				}
+				for j := range xi {
+					xi[j] += e[j]
+				}
+				next := matrix.Residual(sys, xi)
+				rep.Refinements = round + 1
+				if !(next < cur) {
+					cur = next
+					break // stalled (or went non-finite): stop burning rounds
+				}
+				cur = next
+			}
+			if cur <= tol {
+				rep.Stage = StageRefine
+				rep.ResidualAfter = cur
+				return
+			}
+		} else {
+			lastErr = err // zero pivot: the matrix needs pivoting
+		}
+	}
+
+	// Rung 2: pivoting GTSV re-solve of this system only.
+	if !pol.DisablePivotFallback {
+		if err := cpu.SolveGTSVInto(sys, xi, ws); err != nil {
+			lastErr = err
+		} else if r := matrix.Residual(sys, xi); r <= tol {
+			rep.Stage = StagePivot
+			rep.ResidualAfter = r
+			if !pol.SkipConditionEstimate {
+				rep.CondEst = matrix.Cond1Est(sys, cpu.SolveGTSV[T])
+			}
+			return
+		} else if r < cur || !finite(cur) {
+			cur = r // keep the pivoted attempt's (better) residual for the report
+		}
+	}
+
+	// Rung 3: structured failure. The solution slot is zeroed so the
+	// merged X stays finite; the typed error carries the diagnosis.
+	rep.Stage = StageFailed
+	rep.ResidualAfter = cur
+	if !pol.SkipConditionEstimate {
+		rep.CondEst = matrix.Cond1Est(sys, cpu.SolveGTSV[T])
+	}
+	rep.Err = &SolveError{System: i, Stage: StagePivot, Residual: cur, CondEst: rep.CondEst, Cause: lastErr}
+	if pol.DisablePivotFallback {
+		rep.Err.Stage = StageRefine
+	}
+	zero(xi)
+}
+
+func zero[T num.Real](x []T) {
+	for j := range x {
+		x[j] = 0
+	}
+}
+
+func finiteVec[T num.Real](x []T) bool {
+	for _, v := range x {
+		if !num.IsFinite(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func inf() float64 { return math.Inf(1) }

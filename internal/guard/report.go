@@ -1,0 +1,118 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Stage names the rung of the escalation ladder that produced a
+// system's final answer (or gave up).
+type Stage int
+
+const (
+	// StageFast: the hybrid fast-path solution passed the residual
+	// check unmodified.
+	StageFast Stage = iota
+	// StageRefine: one or more rounds of iterative refinement against
+	// the cached non-pivoting factorization brought the residual under
+	// tolerance.
+	StageRefine
+	// StagePivot: the system was re-solved with the pivoting GTSV
+	// algorithm (the dgtsv path), which handles any nonsingular
+	// tridiagonal matrix.
+	StagePivot
+	// StageFailed: every rung failed (or the input itself was
+	// non-finite); the system carries a SolveError and a zeroed
+	// solution.
+	StageFailed
+)
+
+// String names the stage for reports and diagnostics.
+func (s Stage) String() string {
+	switch s {
+	case StageFast:
+		return "fast"
+	case StageRefine:
+		return "refine"
+	case StagePivot:
+		return "pivot"
+	case StageFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// SystemReport records what the guarded pipeline did to one system:
+// which rung produced the accepted answer, the residual before and
+// after escalation, how many refinement rounds ran, and — for systems
+// that needed rescue — the lazily computed condition estimate.
+type SystemReport struct {
+	// System is the batch index.
+	System int
+	// Stage is the rung that produced the final solution.
+	Stage Stage
+	// ResidualBefore is the normwise relative residual of the fast-path
+	// solution (+Inf when it contained Inf/NaN, or when the input was
+	// rejected before solving).
+	ResidualBefore float64
+	// ResidualAfter is the residual of the accepted solution (equal to
+	// ResidualBefore for StageFast systems).
+	ResidualAfter float64
+	// Refinements counts the iterative-refinement rounds applied.
+	Refinements int
+	// CondEst is the Hager-Higham κ₁ estimate, computed only for
+	// systems that escalated past refinement (0 when not estimated,
+	// +Inf for a numerically singular matrix).
+	CondEst float64
+	// Err is non-nil iff Stage == StageFailed.
+	Err *SolveError
+}
+
+// ErrUnrecoverable is the sentinel every SolveError matches under
+// errors.Is: the escalation ladder ran out of rungs for a system.
+var ErrUnrecoverable = errors.New("guard: system unrecoverable")
+
+// ErrNonFiniteInput marks a system whose coefficients already contained
+// NaN/Inf on entry — garbage-in, as opposed to numerical breakdown
+// inside a solver. SolveErrors caused by it match under errors.Is.
+var ErrNonFiniteInput = errors.New("guard: non-finite input coefficient")
+
+// SolveError is the typed per-system failure of a guarded solve. It is
+// errors.As-able from the joined error SolveGuarded returns, and
+// errors.Is(err, ErrUnrecoverable) matches it.
+type SolveError struct {
+	// System is the batch index of the failing system.
+	System int
+	// Stage is the last rung attempted before giving up.
+	Stage Stage
+	// Residual is the best residual any rung achieved (+Inf when every
+	// attempt produced non-finite values).
+	Residual float64
+	// CondEst is the κ₁ estimate of the failing matrix (0 when not
+	// estimated, +Inf when numerically singular).
+	CondEst float64
+	// Cause is the underlying failure (e.g. a zero-pivot error from the
+	// pivoting solver, or ErrNonFiniteInput), reachable via Unwrap.
+	Cause error
+}
+
+// Error formats the failure with everything a caller needs to diagnose
+// it: system, stage, residual, and condition estimate when known.
+func (e *SolveError) Error() string {
+	msg := fmt.Sprintf("guard: system %d unrecoverable at stage %s (residual %.3e", e.System, e.Stage, e.Residual)
+	if e.CondEst > 0 {
+		msg += fmt.Sprintf(", cond1 ~%.1e", e.CondEst)
+	}
+	msg += ")"
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *SolveError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrUnrecoverable sentinel.
+func (e *SolveError) Is(target error) bool { return target == ErrUnrecoverable }

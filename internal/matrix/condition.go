@@ -122,3 +122,16 @@ func Cond1Est[T num.Real](s *System[T], solve func(*System[T]) ([]T, error)) flo
 	}
 	return float64(s.Norm1()) * est
 }
+
+// Cond1EstBatch runs Cond1Est on the selected systems of a batch,
+// returning estimates aligned with systems (result[j] is the estimate
+// for batch system systems[j]). Estimation costs a handful of pivoted
+// solves per system, so callers — the guard's diagnostic report above
+// all — invoke it lazily, only for the systems that needed rescue.
+func Cond1EstBatch[T num.Real](b *Batch[T], systems []int, solve func(*System[T]) ([]T, error)) []float64 {
+	out := make([]float64, len(systems))
+	for j, i := range systems {
+		out[j] = Cond1Est(b.System(i), solve)
+	}
+	return out
+}

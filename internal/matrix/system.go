@@ -50,7 +50,9 @@ func (s *System[T]) Clone() *System[T] {
 }
 
 // Validate checks structural consistency: all four slices share one
-// length and every coefficient is finite.
+// length and every coefficient is finite. A non-finite entry is reported
+// with its array name, row, and value, so garbage-in is distinguishable
+// from downstream numerical breakdown.
 func (s *System[T]) Validate() error {
 	n := s.N()
 	if len(s.Lower) != n || len(s.Upper) != n || len(s.RHS) != n {
@@ -58,12 +60,32 @@ func (s *System[T]) Validate() error {
 			len(s.Lower), n, len(s.Upper), len(s.RHS))
 	}
 	for i := 0; i < n; i++ {
-		if !num.IsFinite(s.Lower[i]) || !num.IsFinite(s.Diag[i]) ||
-			!num.IsFinite(s.Upper[i]) || !num.IsFinite(s.RHS[i]) {
-			return fmt.Errorf("matrix: non-finite coefficient at row %d", i)
+		switch {
+		case !num.IsFinite(s.Lower[i]):
+			return fmt.Errorf("matrix: non-finite coefficient Lower[%d] = %v", i, s.Lower[i])
+		case !num.IsFinite(s.Diag[i]):
+			return fmt.Errorf("matrix: non-finite coefficient Diag[%d] = %v", i, s.Diag[i])
+		case !num.IsFinite(s.Upper[i]):
+			return fmt.Errorf("matrix: non-finite coefficient Upper[%d] = %v", i, s.Upper[i])
+		case !num.IsFinite(s.RHS[i]):
+			return fmt.Errorf("matrix: non-finite coefficient RHS[%d] = %v", i, s.RHS[i])
 		}
 	}
 	return nil
+}
+
+// IsFinite reports whether every coefficient of the system (all four
+// arrays) is finite — the cheap per-system scan the guarded pipeline
+// uses to separate invalid input from numerical breakdown.
+func (s *System[T]) IsFinite() bool {
+	n := s.N()
+	for i := 0; i < n; i++ {
+		if !num.IsFinite(s.Lower[i]) || !num.IsFinite(s.Diag[i]) ||
+			!num.IsFinite(s.Upper[i]) || !num.IsFinite(s.RHS[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Apply computes y = A x for the tridiagonal matrix of s.

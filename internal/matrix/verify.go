@@ -51,17 +51,29 @@ func Residual[T num.Real](s *System[T], x []T) float64 {
 // MaxResidual returns the worst Residual over all systems in a batch,
 // where x holds the M solutions contiguously (system i in [i*N,(i+1)*N)).
 func MaxResidual[T num.Real](b *Batch[T], x []T) float64 {
-	if len(x) != b.M*b.N {
-		panic("matrix: MaxResidual dimension mismatch")
-	}
 	var worst float64
-	for i := 0; i < b.M; i++ {
-		r := Residual(b.System(i), x[i*b.N:(i+1)*b.N])
+	for _, r := range ResidualsPerSystem(b, x) {
 		if r > worst {
 			worst = r
 		}
 	}
 	return worst
+}
+
+// ResidualsPerSystem returns the Residual of every system of the batch
+// individually (length M, index = system). A non-finite solution entry
+// yields +Inf for that system only; healthy neighbours keep their small
+// residuals — the scan the guarded pipeline and verification diagnostics
+// classify systems with.
+func ResidualsPerSystem[T num.Real](b *Batch[T], x []T) []float64 {
+	if len(x) != b.M*b.N {
+		panic("matrix: ResidualsPerSystem dimension mismatch")
+	}
+	res := make([]float64, b.M)
+	for i := 0; i < b.M; i++ {
+		res[i] = Residual(b.System(i), x[i*b.N:(i+1)*b.N])
+	}
+	return res
 }
 
 // ResidualTolerance returns a pass/fail threshold for the relative
