@@ -7,17 +7,21 @@
 //	tridbench -scale 8         # divide problem sizes by 8 (quick run)
 //	tridbench -csv             # emit CSV instead of aligned text
 //	tridbench -measure-cpu     # also wall-clock the real Go CPU baseline
+//	tridbench -reuse 64:1024   # one-shot vs reusable-solver comparison
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"gputrid/internal/bench"
+	"gputrid/internal/core"
 	"gputrid/internal/gpusim"
+	"gputrid/internal/workload"
 )
 
 func main() {
@@ -29,6 +33,7 @@ func main() {
 		measureCPU = flag.Bool("measure-cpu", false, "wall-clock the real Go CPU baselines too")
 		device     = flag.String("device", "gtx480", "GPU preset: gtx480|teslac2070|gtx280")
 		profile    = flag.String("profile", "", "per-kernel profile: solver:M:N[:k], e.g. hybrid:16:65536:7")
+		reuse      = flag.String("reuse", "", "compare one-shot vs reusable solver: M:N[:iters], e.g. 64:1024:20")
 	)
 	flag.Parse()
 
@@ -72,6 +77,14 @@ func main() {
 		return
 	}
 
+	if *reuse != "" {
+		if err := runReuse(*reuse, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "tridbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	ids := bench.Experiments()
 	switch *exp {
 	case "all":
@@ -109,4 +122,87 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "tridbench: completed %d experiment(s) in %v (scale=%d)\n",
 		len(ids), time.Since(start).Round(time.Millisecond), *scale)
+}
+
+// runReuse wall-clocks the one-shot solver against a reused Pipeline at
+// the given shape and reports per-solve time and heap allocations for
+// each. The reused path must produce bitwise-identical solutions.
+func runReuse(spec string, seed uint64) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 {
+		return fmt.Errorf("-reuse wants M:N[:iters]")
+	}
+	var m, n int
+	iters := 20
+	fmt.Sscan(parts[0], &m)
+	fmt.Sscan(parts[1], &n)
+	if len(parts) > 2 {
+		fmt.Sscan(parts[2], &iters)
+	}
+	if m <= 0 || n <= 0 || iters <= 0 {
+		return fmt.Errorf("-reuse wants positive M:N[:iters], got %q", spec)
+	}
+
+	batch := workload.Batch[float64](workload.DiagDominant, m, n, seed)
+	cfg := core.Config{K: core.KAuto}
+
+	// One-shot: a fresh pipeline (arenas + event recording) per solve.
+	var ref []float64
+	oneShotTime, oneShotAllocs, err := timeSolves(iters, func() error {
+		x, _, err := core.Solve(cfg, batch)
+		ref = x
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	// Reused: one warmed pipeline, replayed solves into a caller arena.
+	p, err := core.NewPipeline[float64](cfg, m, n)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	dst := make([]float64, m*n)
+	if err := p.SolveInto(dst, batch); err != nil { // recording solve
+		return err
+	}
+	reuseTime, reuseAllocs, err := timeSolves(iters, func() error {
+		return p.SolveInto(dst, batch)
+	})
+	if err != nil {
+		return err
+	}
+
+	for i := range ref {
+		if dst[i] != ref[i] {
+			return fmt.Errorf("reuse mismatch at element %d: %v != %v", i, dst[i], ref[i])
+		}
+	}
+
+	fmt.Printf("reuse comparison: M=%d N=%d k=%d iters=%d (float64, %s)\n",
+		m, n, p.K(), iters, p.Device().Name)
+	fmt.Printf("  %-10s %14s %14s\n", "mode", "time/solve", "allocs/solve")
+	fmt.Printf("  %-10s %14v %14d\n", "one-shot", oneShotTime, oneShotAllocs)
+	fmt.Printf("  %-10s %14v %14d\n", "reuse", reuseTime, reuseAllocs)
+	fmt.Printf("  speedup %.2fx, solutions bitwise identical\n",
+		float64(oneShotTime)/float64(reuseTime))
+	return nil
+}
+
+// timeSolves runs fn iters times, returning mean wall-clock time and
+// mean heap allocation count per call.
+func timeSolves(iters int, fn func() error) (time.Duration, uint64, error) {
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return elapsed / time.Duration(iters), (ms1.Mallocs - ms0.Mallocs) / uint64(iters), nil
 }

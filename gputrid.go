@@ -77,14 +77,27 @@ func GTX480() *Device { return gpusim.GTX480() }
 const AutoK = core.KAuto
 
 type config struct {
-	device *Device
-	k      int
-	c      int
-	blocks int
-	fuse   bool
-	mux    int
-	verify bool
-	guard  *GuardPolicy
+	device  *Device
+	k       int
+	c       int
+	blocks  int
+	fuse    bool
+	mux     int
+	verify  bool
+	workers int
+	guard   *GuardPolicy
+}
+
+func (c *config) coreConfig() core.Config {
+	return core.Config{
+		Device:          c.device,
+		K:               c.k,
+		C:               c.c,
+		BlocksPerSystem: c.blocks,
+		Fuse:            c.fuse,
+		SystemsPerBlock: c.mux,
+		Workers:         c.workers,
+	}
 }
 
 // Option customizes a solve.
@@ -119,6 +132,12 @@ func WithSystemsPerBlock(q int) Option { return func(c *config) { c.mux = q } }
 // names the offending systems. Off by default (it costs an extra O(MN)
 // host pass). For recovery instead of rejection, use SolveGuarded.
 func WithVerification() Option { return func(c *config) { c.verify = true } }
+
+// WithWorkers bounds the worker pool a reusable Solver shards its
+// replayed solves across; 0 (the default) means GOMAXPROCS. The
+// one-shot entry points record device events on a single lane, so this
+// only affects Solver reuse.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
 // WithGuard sets the escalation policy SolveGuarded applies (refinement
 // rounds, tolerance, pivoting fallback, condition estimation, fault
@@ -165,16 +184,8 @@ func SolveBatch[T Real](b *Batch[T], opts ...Option) (*Result[T], error) {
 	if err := b.Validate(); err != nil {
 		return nil, fmt.Errorf("gputrid: invalid batch: %w", err)
 	}
-	cfg := core.Config{
-		Device:          c.device,
-		K:               c.k,
-		C:               c.c,
-		BlocksPerSystem: c.blocks,
-		Fuse:            c.fuse,
-		SystemsPerBlock: c.mux,
-	}
 	start := time.Now()
-	x, rep, err := core.Solve(cfg, b)
+	x, rep, err := core.Solve(c.coreConfig(), b)
 	if err != nil {
 		return nil, fmt.Errorf("gputrid: %w", err)
 	}
@@ -202,8 +213,16 @@ func SolveBatch[T Real](b *Batch[T], opts ...Option) (*Result[T], error) {
 // division by a vanishing pivot), which compare false against any
 // threshold.
 func verifyBatch[T Real](b *Batch[T], x []T) error {
+	return verifyBatchInto(b, x, make([]float64, b.M))
+}
+
+// verifyBatchInto is verifyBatch computing the residuals into a
+// caller-owned scratch slice of length M — the reusable Solver's
+// verification path, which allocates only when building the failure
+// message.
+func verifyBatchInto[T Real](b *Batch[T], x []T, rs []float64) error {
 	tol := matrix.ResidualTolerance[T](b.N)
-	rs := matrix.ResidualsPerSystem(b, x)
+	matrix.ResidualsPerSystemInto(rs, b, x)
 	var bad []int
 	for i, r := range rs {
 		if !(r <= tol) {
@@ -406,16 +425,8 @@ func SolveGuarded[T Real](b *Batch[T], opts ...Option) (*GuardedResult[T], error
 	if c.guard != nil {
 		pol = *c.guard
 	}
-	cfg := core.Config{
-		Device:          c.device,
-		K:               c.k,
-		C:               c.c,
-		BlocksPerSystem: c.blocks,
-		Fuse:            c.fuse,
-		SystemsPerBlock: c.mux,
-	}
 	start := time.Now()
-	gres, err := guard.Solve(cfg, b, pol)
+	gres, err := guard.Solve(c.coreConfig(), b, pol)
 	if gres == nil {
 		return nil, fmt.Errorf("gputrid: %w", err)
 	}

@@ -19,12 +19,9 @@
 package core
 
 import (
-	"fmt"
-
 	"gputrid/internal/gpusim"
 	"gputrid/internal/matrix"
 	"gputrid/internal/num"
-	"gputrid/internal/pthomas"
 	"gputrid/internal/tiledpcr"
 )
 
@@ -56,6 +53,10 @@ type Config struct {
 	// BlockSizeK0 is the thread-block size of the k = 0 p-Thomas path;
 	// 0 means 128.
 	BlockSizeK0 int
+	// Workers bounds the worker pool a reusable Pipeline shards
+	// replayed solves across; 0 means GOMAXPROCS. One-shot Solve
+	// records on a single lane, so this only affects reuse.
+	Workers int
 }
 
 // Report describes what the solver did and what it cost.
@@ -134,102 +135,22 @@ func (cfg *Config) resolveBlocks(m, n, k int) int {
 // Solve solves every system of the batch on the simulated device and
 // returns the solutions in natural order (system i occupying
 // [i*N, (i+1)*N)) along with the execution report.
+//
+// It is a one-shot wrapper over a transient Pipeline: callers that
+// solve the same shape repeatedly should build the Pipeline themselves
+// and reuse it, which skips both the arena allocation and (after the
+// first solve) the event-recording pass.
 func Solve[T num.Real](cfg Config, b *matrix.Batch[T]) ([]T, *Report, error) {
-	dev := cfg.device()
-	m, n := b.M, b.N
-	k := cfg.resolveK(m, n)
-	rep := &Report{K: k, C: cfg.c(), Stats: &gpusim.Stats{}}
-
-	if k == 0 {
-		// Pure p-Thomas on the interleaved layout. The host-side
-		// transpose stands in for the application storing its batch
-		// interleaved, as the paper's benchmarks do.
-		v := b.ToInterleaved()
-		bs := cfg.BlockSizeK0
-		if bs <= 0 {
-			bs = 128
-		}
-		xi, st, err := pthomas.KernelInterleaved(dev, v, bs)
-		if err != nil {
-			return nil, nil, err
-		}
-		rep.BlocksPerSystem = 1
-		rep.Kernels = append(rep.Kernels, st)
-		rep.Stats.Add(st)
-		return matrix.DeinterleaveVector(xi, m, n), rep, nil
-	}
-
-	g := cfg.resolveBlocks(m, n, k)
-	rep.BlocksPerSystem = g
-	if cfg.Fuse {
-		if g != 1 {
-			return nil, nil, fmt.Errorf("core: kernel fusion requires one block per system, got %d", g)
-		}
-		rep.Fused = true
-		return solveFused(dev, cfg, b, k, rep)
-	}
-	if cfg.SystemsPerBlock > 1 {
-		if cfg.BlocksPerSystem > 1 {
-			return nil, nil, fmt.Errorf("core: SystemsPerBlock and BlocksPerSystem > 1 are mutually exclusive")
-		}
-		rep.BlocksPerSystem = 1
-		return solveMultiplexed(dev, cfg, b, k, rep)
-	}
-
-	// Stage 1: tiled PCR over all M systems, G blocks per system.
-	ra := make([]T, m*n)
-	rb := make([]T, m*n)
-	rc := make([]T, m*n)
-	rd := make([]T, m*n)
-	in := tiledpcr.NewArrays(b.Lower, b.Diag, b.Upper, b.RHS)
-	out := tiledpcr.NewArrays(ra, rb, rc, rd)
-	c := cfg.c()
-	per := num.CeilDiv(n, g)
-	st1, err := dev.Launch("tiledPCR", gpusim.LaunchConfig{Grid: m * g, Block: 1 << k},
-		func(blk *gpusim.Block) {
-			sys := blk.ID / g
-			slice := blk.ID % g
-			w := tiledpcr.NewWindow(blk, k, c, n, sys*n, in)
-			outStart := slice * per
-			outEnd := outStart + per
-			if outEnd > n {
-				outEnd = n
-			}
-			if outStart >= outEnd {
-				return
-			}
-			w.Run(outStart, outEnd, func(outBase int) {
-				lo, hi := w.OutRange(outBase, outStart, outEnd)
-				blk.PhaseNoSync(func(t *gpusim.Thread) {
-					for e := 0; e < c; e++ {
-						p := t.ID + e*w.Threads()
-						if p < lo || p >= hi {
-							continue
-						}
-						gi := sys*n + outBase + p
-						r := w.Out[p]
-						out.A.Store(t, gi, r.A)
-						out.B.Store(t, gi, r.B)
-						out.C.Store(t, gi, r.C)
-						out.D.Store(t, gi, r.D)
-					}
-				})
-			})
-		})
+	p, err := NewPipeline[T](cfg, b.M, b.N)
 	if err != nil {
 		return nil, nil, err
 	}
-	rep.Kernels = append(rep.Kernels, st1)
-	rep.Stats.Add(st1)
-
-	// Stage 2: p-Thomas over the M·2^k interleaved subsystems.
-	x, st2, err := pthomas.KernelStrided(dev, ra, rb, rc, rd, m, n, k)
-	if err != nil {
+	defer p.Close()
+	x := make([]T, b.M*b.N)
+	if err := p.SolveInto(x, b); err != nil {
 		return nil, nil, err
 	}
-	rep.Kernels = append(rep.Kernels, st2)
-	rep.Stats.Add(st2)
-	return x, rep, nil
+	return x, p.Report(), nil
 }
 
 // SolveSystem solves a single system with the hybrid (M = 1).

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"gputrid/internal/matrix"
+	"gputrid/internal/workload"
+)
+
+// pipelineShapes covers both steady-state paths: k >= 1 (hybrid) and
+// k = 0 (pure interleaved p-Thomas).
+var pipelineShapes = []struct {
+	name string
+	cfg  Config
+	m, n int
+}{
+	{"hybrid-kauto", Config{K: KAuto}, 16, 128},
+	{"hybrid-k3-split", Config{K: 3, BlocksPerSystem: 2}, 4, 256},
+	{"k0", Config{K: 0}, 32, 64},
+}
+
+// TestPipelineReuseMatchesSolve reuses one pipeline across many
+// batches and requires bitwise identity with the one-shot Solve on
+// every one of them — recorded first solve and replayed rest alike.
+func TestPipelineReuseMatchesSolve(t *testing.T) {
+	for _, tc := range pipelineShapes {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := NewPipeline[float64](tc.cfg, tc.m, tc.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			dst := make([]float64, tc.m*tc.n)
+			for iter := 0; iter < 10; iter++ {
+				b := workload.Batch[float64](workload.DiagDominant, tc.m, tc.n, uint64(1000+iter))
+				want, rep, err := Solve(tc.cfg, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := p.SolveInto(dst, b); err != nil {
+					t.Fatal(err)
+				}
+				for i := range dst {
+					if dst[i] != want[i] {
+						t.Fatalf("iter %d: dst[%d] = %v, Solve = %v (not bitwise identical)", iter, i, dst[i], want[i])
+					}
+				}
+				got := p.Report()
+				if *got.Stats != *rep.Stats {
+					t.Fatalf("iter %d: replayed stats diverge from one-shot:\n got %+v\nwant %+v", iter, *got.Stats, *rep.Stats)
+				}
+				if got.K != rep.K || got.BlocksPerSystem != rep.BlocksPerSystem {
+					t.Fatalf("iter %d: report shape diverges: got k=%d g=%d, want k=%d g=%d",
+						iter, got.K, got.BlocksPerSystem, rep.K, rep.BlocksPerSystem)
+				}
+			}
+		})
+	}
+}
+
+// TestPipelineWorkersMatch runs the same batches through pipelines
+// with different worker-pool sizes; sharding must not change a bit of
+// the result.
+func TestPipelineWorkersMatch(t *testing.T) {
+	for _, tc := range pipelineShapes {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg1, cfg4 := tc.cfg, tc.cfg
+			cfg1.Workers = 1
+			cfg4.Workers = 4
+			p1, err := NewPipeline[float64](cfg1, tc.m, tc.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p1.Close()
+			p4, err := NewPipeline[float64](cfg4, tc.m, tc.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p4.Close()
+			x1 := make([]float64, tc.m*tc.n)
+			x4 := make([]float64, tc.m*tc.n)
+			for iter := 0; iter < 3; iter++ {
+				b := workload.Batch[float64](workload.DiagDominant, tc.m, tc.n, uint64(7+iter))
+				if err := p1.SolveInto(x1, b); err != nil {
+					t.Fatal(err)
+				}
+				if err := p4.SolveInto(x4, b); err != nil {
+					t.Fatal(err)
+				}
+				for i := range x1 {
+					if x1[i] != x4[i] {
+						t.Fatalf("iter %d: workers=1 and workers=4 disagree at %d: %v vs %v", iter, i, x1[i], x4[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPipelineZeroAlloc is the tier-1 regression gate for the
+// tentpole: a warmed pipeline must run SolveInto without a single
+// heap allocation, on the single-lane and the multi-lane pool alike.
+func TestPipelineZeroAlloc(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		for _, tc := range pipelineShapes {
+			cfg := tc.cfg
+			cfg.Workers = workers
+			p, err := NewPipeline[float64](cfg, tc.m, tc.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := workload.Batch[float64](workload.DiagDominant, tc.m, tc.n, 42)
+			dst := make([]float64, tc.m*tc.n)
+			if err := p.SolveInto(dst, b); err != nil { // recording solve
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if err := p.SolveInto(dst, b); err != nil {
+					t.Fatal(err)
+				}
+			})
+			p.Close()
+			if allocs != 0 {
+				t.Errorf("%s workers=%d: SolveInto allocates %.0f times per solve, want 0", tc.name, workers, allocs)
+			}
+		}
+	}
+}
+
+// TestPipelineMisuse checks the typed errors: wrong shapes, a busy
+// pipeline, and a closed pipeline all reject the call without
+// touching the arena.
+func TestPipelineMisuse(t *testing.T) {
+	p, err := NewPipeline[float64](Config{K: KAuto}, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 8*64)
+	good := workload.Batch[float64](workload.DiagDominant, 8, 64, 1)
+
+	if err := p.SolveInto(dst, workload.Batch[float64](workload.DiagDominant, 8, 32, 1)); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("wrong batch shape: got %v, want ErrShapeMismatch", err)
+	}
+	if err := p.SolveInto(dst[:17], good); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("wrong dst length: got %v, want ErrShapeMismatch", err)
+	}
+	short := workload.Batch[float64](workload.DiagDominant, 8, 64, 1)
+	short.Lower = short.Lower[:100]
+	if err := p.SolveInto(dst, short); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("short batch slice: got %v, want ErrShapeMismatch", err)
+	}
+
+	p.inUse.Store(true)
+	if err := p.SolveInto(dst, good); !errors.Is(err, ErrPipelineBusy) {
+		t.Errorf("busy pipeline: got %v, want ErrPipelineBusy", err)
+	}
+	p.inUse.Store(false)
+	if err := p.SolveInto(dst, good); err != nil {
+		t.Errorf("pipeline unusable after rejected busy call: %v", err)
+	}
+
+	p.Close()
+	p.Close() // idempotent
+	if err := p.SolveInto(dst, good); !errors.Is(err, ErrPipelineClosed) {
+		t.Errorf("closed pipeline: got %v, want ErrPipelineClosed", err)
+	}
+}
+
+// TestPipelineFallbackModes exercises the fused and multiplexed
+// configurations through the pipeline: they keep their one-shot
+// implementations but must still produce Solve's exact results and
+// reports.
+func TestPipelineFallbackModes(t *testing.T) {
+	for _, cfg := range []Config{
+		{K: 4, Fuse: true},
+		{K: 4, SystemsPerBlock: 2},
+	} {
+		m, n := 6, 128
+		p, err := NewPipeline[float64](cfg, m, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, m*n)
+		for iter := 0; iter < 2; iter++ {
+			b := workload.Batch[float64](workload.DiagDominant, m, n, uint64(3+iter))
+			want, rep, err := Solve(cfg, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.SolveInto(dst, b); err != nil {
+				t.Fatal(err)
+			}
+			if d := matrix.MaxAbsDiff(dst, want); d != 0 {
+				t.Fatalf("fallback diverges from Solve by %v", d)
+			}
+			got := p.Report()
+			if got.Fused != rep.Fused || *got.Stats != *rep.Stats {
+				t.Fatalf("fallback report diverges: got %+v, want %+v", *got.Stats, *rep.Stats)
+			}
+		}
+		p.Close()
+	}
+}

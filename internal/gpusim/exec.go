@@ -115,6 +115,16 @@ type Block struct {
 	slots     []slotState // per-instruction-slot coalescing state, reset each phase
 	bankSlots []bankSlotState
 	sharedSeq int32
+	// norec disables event recording: kernel arithmetic still runs, but
+	// global-memory accesses skip the coalescing analysis. The zero
+	// value records, so Launch-created blocks behave as always; only the
+	// replaying Executor sets it (see Executor and Stats.Accumulate).
+	norec bool
+	// thread is the Thread context Phase/PhaseNoSync hand to every
+	// tid in turn. It lives in the Block (rather than on the Phase
+	// stack frame) because &thread is passed to an opaque func value,
+	// which would otherwise force a heap allocation per phase.
+	thread Thread
 }
 
 // Thread identifies one thread within a phase. It carries the
@@ -132,12 +142,13 @@ type Thread struct {
 // kernels in the paper. Global accesses issued at the same instruction
 // slot by threads of one warp are coalesced.
 func (b *Block) Phase(body func(t *Thread)) {
-	t := Thread{blk: b}
+	t := &b.thread
+	t.blk = b
 	for tid := 0; tid < b.Threads; tid++ {
 		t.ID = tid
 		t.slot = 0
 		t.bankSlot = 0
-		body(&t)
+		body(t)
 	}
 	b.endPhaseSlots()
 	b.endPhaseBankSlots()
@@ -148,12 +159,13 @@ func (b *Block) Phase(body func(t *Thread)) {
 // PhaseNoSync is Phase without the trailing barrier, for the final
 // phase of a kernel (CUDA kernels need no __syncthreads before exit).
 func (b *Block) PhaseNoSync(body func(t *Thread)) {
-	t := Thread{blk: b}
+	t := &b.thread
+	t.blk = b
 	for tid := 0; tid < b.Threads; tid++ {
 		t.ID = tid
 		t.slot = 0
 		t.bankSlot = 0
-		body(&t)
+		body(t)
 	}
 	b.endPhaseSlots()
 	b.endPhaseBankSlots()

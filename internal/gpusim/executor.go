@@ -1,0 +1,71 @@
+package gpusim
+
+import "fmt"
+
+// Executor runs kernel blocks sequentially on the caller's goroutine,
+// reusing one Block context (and its coalescing-slot capacity) across
+// every call. It is the steady-state counterpart of Device.Launch:
+// Launch allocates per-launch bookkeeping and fans blocks out over
+// goroutines, which is the right shape for a one-shot solve but not
+// for a solver handle that runs the same launch geometry every
+// timestep. A pipeline creates one Executor per worker up front and
+// then drives it with no per-solve heap allocations.
+//
+// Recording is explicit: with record=true the architectural events of
+// every block are accumulated into the caller's Stats (the same totals
+// Launch would produce for those blocks); with record=false the kernel
+// arithmetic runs but event recording — including the per-element
+// coalescing analysis, the dominant simulation cost — is skipped. The
+// recorded events are a pure function of the launch geometry and array
+// layout, never of the floating-point data (kernels contain no
+// data-dependent control flow, and Global arrays are 512-byte aligned
+// so the coalescing pattern is base-independent), which is what makes
+// record-once / replay-many sound: a replayed solve computes bitwise
+// the same solution while the previously recorded Stats still describe
+// it exactly.
+type Executor struct {
+	dev     *Device
+	blk     Block
+	scratch Stats
+}
+
+// NewExecutor creates an executor for the device.
+func NewExecutor(d *Device) *Executor {
+	return &Executor{dev: d}
+}
+
+// RunBlocks executes blocks [first, first+count) of a launch whose
+// blocks have threadsPerBlock threads each, invoking kern once per
+// block exactly as Launch does. When record is true the events are
+// accumulated into st (which must be non-nil) via Stats.Accumulate —
+// launch-header fields (Kernel, Launches, Blocks, ThreadsPerBlock) are
+// the caller's responsibility. When record is false st may be nil and
+// no events are recorded.
+//
+// The error is the same per-SM shared-memory capacity check Launch
+// performs, evaluated per block; it can only trip while recording
+// (a replayed geometry was already validated when it was recorded).
+func (e *Executor) RunBlocks(st *Stats, threadsPerBlock, first, count int, record bool, kern Kernel) error {
+	b := &e.blk
+	b.Threads = threadsPerBlock
+	b.dev = e.dev
+	b.stats = &e.scratch
+	b.norec = !record
+	for id := first; id < first+count; id++ {
+		e.scratch = Stats{}
+		b.ID = id
+		b.sharedSeq = 0
+		kern(b)
+		b.endPhaseSlots()
+		b.endPhaseBankSlots()
+		if !record {
+			continue
+		}
+		if e.scratch.SharedPerBlock > e.dev.SharedMemPerSM {
+			return fmt.Errorf("gpusim: block %d allocated %d bytes shared memory, device SM has %d",
+				id, e.scratch.SharedPerBlock, e.dev.SharedMemPerSM)
+		}
+		st.Accumulate(&e.scratch)
+	}
+	return nil
+}

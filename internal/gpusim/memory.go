@@ -31,9 +31,15 @@ func (s *slotState) flush() {
 	s.segs = s.segs[:0]
 }
 
-// access records one global-memory access of `bytes` bytes at byte
-// address addr by thread t. store selects the transaction class.
-func (b *Block) access(t *Thread, addr int64, bytes int, store bool) {
+// record registers one global-memory access by thread t of element i
+// of the array at base with the given element size, running the
+// coalescing analysis. The norec guard lives in the inlined Load/Store
+// wrappers (kept deliberately tiny — the address arithmetic happens
+// here, on the recording path), so a replaying kernel pays one
+// predictable branch per element instead of a function call.
+func (b *Block) record(t *Thread, base, elem int64, i int, store bool) {
+	addr := base + int64(i)*elem
+	bytes := int(elem)
 	slotIdx := t.slot
 	t.slot++
 	if slotIdx >= len(b.slots) {
@@ -110,13 +116,17 @@ func NewGlobal[T num.Real](data []T) Global[T] {
 
 // Load reads element i, recording a coalesced global load.
 func (g Global[T]) Load(t *Thread, i int) T {
-	t.blk.access(t, g.base+int64(i)*g.elem, int(g.elem), false)
+	if !t.blk.norec {
+		t.blk.record(t, g.base, g.elem, i, false)
+	}
 	return g.Data[i]
 }
 
 // Store writes element i, recording a coalesced global store.
 func (g Global[T]) Store(t *Thread, i int, v T) {
-	t.blk.access(t, g.base+int64(i)*g.elem, int(g.elem), true)
+	if !t.blk.norec {
+		t.blk.record(t, g.base, g.elem, i, true)
+	}
 	g.Data[i] = v
 }
 
@@ -183,4 +193,14 @@ func (s Shared[T]) Len() int { return len(s.Data) }
 func (b *Block) CountShared(loads, stores int64) {
 	b.stats.SharedLoads += loads
 	b.stats.SharedStores += stores
+}
+
+// ChargeSharedAlloc charges a shared-memory allocation of the given
+// byte size against the block, exactly as NewShared does for the array
+// it creates. Kernels that keep their shared buffers in reusable host
+// slices (re-bound to a new block each launch, instead of allocated
+// fresh via NewShared) use it to keep the occupancy accounting
+// identical to the allocate-per-block form.
+func (b *Block) ChargeSharedAlloc(bytes int) {
+	b.stats.SharedPerBlock += bytes
 }

@@ -39,6 +39,15 @@ func (s *Stats) Add(o *Stats) {
 	} else if o.Kernel != "" && s.Kernel != o.Kernel {
 		s.Kernel = s.Kernel + "+" + o.Kernel
 	}
+	s.Accumulate(o)
+}
+
+// Accumulate is Add without the kernel-name bookkeeping: it sums the
+// event counters and takes the maximum of the launch-shape fields,
+// leaving s.Kernel untouched. Steady-state pipelines use it to merge
+// per-shard fragments into a pre-named Stats without the string
+// concatenation Add performs.
+func (s *Stats) Accumulate(o *Stats) {
 	s.Launches += o.Launches
 	if o.Blocks > s.Blocks {
 		s.Blocks = o.Blocks

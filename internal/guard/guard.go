@@ -96,14 +96,65 @@ func (r *Result[T]) Stages() map[Stage]int {
 	return m
 }
 
-// Solve runs the guarded pipeline over the batch. The returned error is
-// nil when every system produced a tolerance-passing solution (possibly
-// after rescue); otherwise it is the errors.Join of the per-system
-// SolveErrors — the Result is still valid and carries the healthy
-// systems' solutions. Infrastructure failures (invalid configuration,
-// shape mismatches) return a nil Result.
-func Solve[T num.Real](cfg core.Config, b *matrix.Batch[T], pol Policy) (*Result[T], error) {
-	m, n := b.M, b.N
+// Runner is a reusable guarded solver for one fixed batch shape. It
+// owns a core.Pipeline (the bulk fast path, allocation-free once
+// warmed), the solution and residual arenas, and the per-system report
+// slice, so the steady-state happy path — every system passing its
+// residual check — performs zero heap allocations per Solve. Only the
+// escalation rungs (which touch failing systems only) and the fault-
+// injection clone allocate.
+//
+// A Runner is not safe for concurrent use; the underlying Pipeline
+// rejects overlapping calls with core.ErrPipelineBusy.
+type Runner[T num.Real] struct {
+	cfg  core.Config
+	m, n int
+	pipe *core.Pipeline[T]
+
+	x         []T       // merged solutions, aliased by Result.X
+	resid     []float64 // per-system residuals of the fast solve
+	isInvalid []bool    // per-system non-finite-input flags
+	res       Result[T] // reused result; Reports/Failed re-sliced per solve
+	gtsvWS    *cpu.GTSVWorkspace[T]
+}
+
+// NewRunner builds a guarded runner for batches of m systems of n rows.
+func NewRunner[T num.Real](cfg core.Config, m, n int) (*Runner[T], error) {
+	p, err := core.NewPipeline[T](cfg, m, n)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner[T]{
+		cfg:       cfg,
+		m:         m,
+		n:         n,
+		pipe:      p,
+		x:         make([]T, m*n),
+		resid:     make([]float64, m),
+		isInvalid: make([]bool, m),
+	}
+	r.res.Reports = make([]SystemReport, m)
+	return r, nil
+}
+
+// Close releases the underlying pipeline's worker pool. The Runner is
+// unusable afterwards.
+func (r *Runner[T]) Close() {
+	if r.pipe != nil {
+		r.pipe.Close()
+	}
+}
+
+// Solve runs the guarded pipeline over the batch, which must match the
+// Runner's shape. The returned Result aliases the Runner's arenas (X,
+// Reports) and is valid until the next Solve or Close; callers that
+// need the data longer must copy it out.
+func (r *Runner[T]) Solve(b *matrix.Batch[T], pol Policy) (*Result[T], error) {
+	m, n := r.m, r.n
+	if b.M != m || b.N != n {
+		return nil, fmt.Errorf("guard: batch shape %dx%d does not match runner shape %dx%d: %w",
+			b.M, b.N, m, n, core.ErrShapeMismatch)
+	}
 	if len(b.Lower) != m*n || len(b.Diag) != m*n || len(b.Upper) != m*n || len(b.RHS) != m*n {
 		return nil, fmt.Errorf("guard: batch slice lengths do not match M*N=%d", m*n)
 	}
@@ -119,33 +170,40 @@ func Solve[T num.Real](cfg core.Config, b *matrix.Batch[T], pol Policy) (*Result
 	// garbage-in, not numerical breakdown. They are replaced by
 	// identity systems for the bulk solve (keeping the kernel free of
 	// input poison) and reported as failed with ErrNonFiniteInput.
-	var invalid []int
+	// The stack-allocated System view keeps the all-finite scan free
+	// of per-system allocations.
+	nInvalid := 0
+	var sys matrix.System[T]
 	for i := 0; i < m; i++ {
-		if !work.System(i).IsFinite() {
-			invalid = append(invalid, i)
+		lo, hi := i*n, (i+1)*n
+		sys.Lower, sys.Diag, sys.Upper, sys.RHS =
+			work.Lower[lo:hi], work.Diag[lo:hi], work.Upper[lo:hi], work.RHS[lo:hi]
+		r.isInvalid[i] = !sys.IsFinite()
+		if r.isInvalid[i] {
+			nInvalid++
 		}
 	}
-	if len(invalid) > 0 {
+	if nInvalid > 0 {
 		if work == b {
 			work = b.Clone()
 		}
-		for _, i := range invalid {
+		for i := 0; i < m; i++ {
+			if !r.isInvalid[i] {
+				continue
+			}
 			s := work.System(i)
 			for j := 0; j < n; j++ {
 				s.Lower[j], s.Diag[j], s.Upper[j], s.RHS[j] = 0, 1, 0, 0
 			}
 		}
 	}
-	isInvalid := make([]bool, m)
-	for _, i := range invalid {
-		isInvalid[i] = true
-	}
 
-	// Bulk fast path over the (sanitized) batch.
-	x, fastRep, err := core.Solve(cfg, work)
-	if err != nil {
+	// Bulk fast path over the (sanitized) batch, into the arena.
+	if err := r.pipe.SolveInto(r.x, work); err != nil {
 		return nil, err
 	}
+	x := r.x
+	fastRep := r.pipe.Report()
 	if pol.Inject != nil {
 		injectSolution(pol.Inject, x, m, n)
 	}
@@ -155,12 +213,18 @@ func Solve[T num.Real](cfg core.Config, b *matrix.Batch[T], pol Policy) (*Result
 		tol = matrix.ResidualTolerance[T](n)
 	}
 
-	res := &Result[T]{X: x, Reports: make([]SystemReport, m), FastReport: fastRep}
-	var gtsvWS *cpu.GTSVWorkspace[T]
+	res := &r.res
+	res.X = x
+	res.FastReport = fastRep
+	res.Failed = res.Failed[:0]
+	for i := range res.Reports {
+		res.Reports[i] = SystemReport{}
+	}
+	matrix.ResidualsPerSystemInto(r.resid, work, x)
 	for i := 0; i < m; i++ {
 		rep := &res.Reports[i]
 		rep.System = i
-		if isInvalid[i] {
+		if r.isInvalid[i] {
 			rep.Stage = StageFailed
 			rep.ResidualBefore = inf()
 			rep.ResidualAfter = inf()
@@ -169,19 +233,18 @@ func Solve[T num.Real](cfg core.Config, b *matrix.Batch[T], pol Policy) (*Result
 			res.Failed = append(res.Failed, rep.Err)
 			continue
 		}
-		sys := work.System(i)
 		xi := x[i*n : (i+1)*n]
-		r0 := matrix.Residual(sys, xi)
+		r0 := r.resid[i]
 		rep.ResidualBefore = r0
 		if r0 <= tol {
 			rep.Stage = StageFast
 			rep.ResidualAfter = r0
 			continue
 		}
-		if gtsvWS == nil {
-			gtsvWS = cpu.NewGTSVWorkspace[T](n)
+		if r.gtsvWS == nil {
+			r.gtsvWS = cpu.NewGTSVWorkspace[T](n)
 		}
-		escalate(cfg, work, i, xi, tol, pol, fastRep.K, gtsvWS, rep)
+		escalate(r.cfg, work, i, xi, tol, pol, fastRep.K, r.gtsvWS, rep)
 		if rep.Err != nil {
 			res.Failed = append(res.Failed, rep.Err)
 		}
@@ -195,6 +258,29 @@ func Solve[T num.Real](cfg core.Config, b *matrix.Batch[T], pol Policy) (*Result
 		errs[i] = e
 	}
 	return res, errors.Join(errs...)
+}
+
+// Solve runs the guarded pipeline over the batch. The returned error is
+// nil when every system produced a tolerance-passing solution (possibly
+// after rescue); otherwise it is the errors.Join of the per-system
+// SolveErrors — the Result is still valid and carries the healthy
+// systems' solutions. Infrastructure failures (invalid configuration,
+// shape mismatches) return a nil Result.
+//
+// It is a one-shot wrapper over a transient Runner; callers solving
+// the same shape repeatedly should hold a Runner (or a gputrid.Solver)
+// and reuse it.
+func Solve[T num.Real](cfg core.Config, b *matrix.Batch[T], pol Policy) (*Result[T], error) {
+	m, n := b.M, b.N
+	if len(b.Lower) != m*n || len(b.Diag) != m*n || len(b.Upper) != m*n || len(b.RHS) != m*n {
+		return nil, fmt.Errorf("guard: batch slice lengths do not match M*N=%d", m*n)
+	}
+	r, err := NewRunner[T](cfg, m, n)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return r.Solve(b, pol)
 }
 
 // escalate runs the ladder for one over-tolerance (or non-finite)

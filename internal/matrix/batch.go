@@ -178,32 +178,14 @@ func (v *Interleaved[T]) ExtractSystem(i int) *System[T] {
 // ToInterleaved converts a contiguous batch to the interleaved layout.
 func (b *Batch[T]) ToInterleaved() *Interleaved[T] {
 	v := NewInterleaved[T](b.M, b.N)
-	for i := 0; i < b.M; i++ {
-		base := i * b.N
-		for j := 0; j < b.N; j++ {
-			k := j*b.M + i
-			v.Lower[k] = b.Lower[base+j]
-			v.Diag[k] = b.Diag[base+j]
-			v.Upper[k] = b.Upper[base+j]
-			v.RHS[k] = b.RHS[base+j]
-		}
-	}
+	b.ToInterleavedInto(v)
 	return v
 }
 
 // ToBatch converts an interleaved batch back to the contiguous layout.
 func (v *Interleaved[T]) ToBatch() *Batch[T] {
 	b := NewBatch[T](v.M, v.N)
-	for i := 0; i < v.M; i++ {
-		base := i * v.N
-		for j := 0; j < v.N; j++ {
-			k := j*v.M + i
-			b.Lower[base+j] = v.Lower[k]
-			b.Diag[base+j] = v.Diag[k]
-			b.Upper[base+j] = v.Upper[k]
-			b.RHS[base+j] = v.RHS[k]
-		}
-	}
+	v.ToBatchInto(b)
 	return b
 }
 
@@ -215,11 +197,7 @@ func DeinterleaveVector[T num.Real](x []T, m, n int) []T {
 		panic("matrix: DeinterleaveVector length mismatch")
 	}
 	out := make([]T, m*n)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out[i*n+j] = x[j*m+i]
-		}
-	}
+	DeinterleaveVectorInto(out, x, m, n)
 	return out
 }
 
@@ -229,10 +207,6 @@ func InterleaveVector[T num.Real](x []T, m, n int) []T {
 		panic("matrix: InterleaveVector length mismatch")
 	}
 	out := make([]T, m*n)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out[j*m+i] = x[i*n+j]
-		}
-	}
+	InterleaveVectorInto(out, x, m, n)
 	return out
 }

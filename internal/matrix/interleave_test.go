@@ -1,0 +1,103 @@
+package matrix
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fillSeq gives every element a distinct value so any transpose
+// index error shows up as a mismatch.
+func fillSeq(x []float64) {
+	for i := range x {
+		x[i] = float64(i)*1.5 + 1
+	}
+}
+
+// TestTransposeBlockedMatchesNaive drives the blocked kernel across
+// shapes that exercise full tiles, ragged edges, and degenerate rows
+// or columns, requiring exact agreement with the naive transpose.
+func TestTransposeBlockedMatchesNaive(t *testing.T) {
+	shapes := []struct{ rows, cols int }{
+		{1, 1}, {1, 97}, {97, 1},
+		{32, 32}, {64, 33}, {33, 64},
+		{31, 100}, {100, 31}, {128, 512},
+	}
+	for _, sh := range shapes {
+		t.Run(fmt.Sprintf("%dx%d", sh.rows, sh.cols), func(t *testing.T) {
+			src := make([]float64, sh.rows*sh.cols)
+			fillSeq(src)
+			want := make([]float64, len(src))
+			got := make([]float64, len(src))
+			transposeNaive(want, src, sh.rows, sh.cols)
+			transposeBlocked(got, src, sh.rows, sh.cols)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("blocked transpose differs from naive at %d: %v vs %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestInterleavePlacement checks the layout conversions built on the
+// blocked kernel invert each other and place elements at the
+// documented positions.
+func TestInterleavePlacement(t *testing.T) {
+	m, n := 13, 70
+	b := NewBatch[float64](m, n)
+	fillSeq(b.Lower)
+	fillSeq(b.Diag)
+	fillSeq(b.Upper)
+	fillSeq(b.RHS)
+
+	v := b.ToInterleaved()
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if v.Diag[j*m+i] != b.Diag[i*n+j] {
+				t.Fatalf("interleaved Diag[%d*m+%d] = %v, want batch Diag[%d*n+%d] = %v",
+					j, i, v.Diag[j*m+i], i, j, b.Diag[i*n+j])
+			}
+		}
+	}
+	rt := v.ToBatch()
+	for i := range b.Diag {
+		if rt.Lower[i] != b.Lower[i] || rt.Diag[i] != b.Diag[i] ||
+			rt.Upper[i] != b.Upper[i] || rt.RHS[i] != b.RHS[i] {
+			t.Fatalf("ToInterleaved/ToBatch round trip differs at %d", i)
+		}
+	}
+
+	x := make([]float64, m*n)
+	fillSeq(x)
+	xi := InterleaveVector(x, m, n)
+	xc := DeinterleaveVector(xi, m, n)
+	for i := range x {
+		if xc[i] != x[i] {
+			t.Fatalf("vector round trip differs at %d", i)
+		}
+	}
+}
+
+// BenchmarkInterleave pits the cache-blocked transpose against the
+// naive strided loop at the large shapes where TLB and cache-line
+// behaviour dominate. The blocked kernel is the one the interleave
+// paths use; naive is kept solely as this comparison baseline.
+func BenchmarkInterleave(bb *testing.B) {
+	for _, sh := range []struct{ m, n int }{{512, 512}, {512, 2048}} {
+		src := make([]float64, sh.m*sh.n)
+		dst := make([]float64, sh.m*sh.n)
+		fillSeq(src)
+		bb.Run(fmt.Sprintf("blocked-%dx%d", sh.m, sh.n), func(b *testing.B) {
+			b.SetBytes(int64(len(src) * 8))
+			for i := 0; i < b.N; i++ {
+				transposeBlocked(dst, src, sh.m, sh.n)
+			}
+		})
+		bb.Run(fmt.Sprintf("naive-%dx%d", sh.m, sh.n), func(b *testing.B) {
+			b.SetBytes(int64(len(src) * 8))
+			for i := 0; i < b.N; i++ {
+				transposeNaive(dst, src, sh.m, sh.n)
+			}
+		})
+	}
+}

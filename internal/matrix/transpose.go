@@ -1,0 +1,92 @@
+package matrix
+
+import "gputrid/internal/num"
+
+// transposeTile is the square tile edge of the blocked transpose. A
+// 32×32 float64 tile is 8 KiB, so a source tile plus a destination
+// tile stay resident in L1 while the inner loops run; the naive
+// strided loop instead touches a new cache line (and, for large N, a
+// new TLB page) on every single element of one side.
+const transposeTile = 32
+
+// transposeBlocked writes the transpose of src (rows×cols, row-major)
+// into dst (cols×rows, row-major) tile by tile. dst and src must not
+// overlap.
+func transposeBlocked[T num.Real](dst, src []T, rows, cols int) {
+	if len(src) != rows*cols || len(dst) != rows*cols {
+		panic("matrix: transpose length mismatch")
+	}
+	for ii := 0; ii < rows; ii += transposeTile {
+		imax := ii + transposeTile
+		if imax > rows {
+			imax = rows
+		}
+		for jj := 0; jj < cols; jj += transposeTile {
+			jmax := jj + transposeTile
+			if jmax > cols {
+				jmax = cols
+			}
+			for j := jj; j < jmax; j++ {
+				// Destination-sequential inner loop: the 32 strided
+				// source reads hit lines the previous columns of this
+				// tile already pulled into L1.
+				dcol := dst[j*rows+ii : j*rows+imax]
+				si := ii*cols + j
+				for i := range dcol {
+					dcol[i] = src[si]
+					si += cols
+				}
+			}
+		}
+	}
+}
+
+// transposeNaive is the strided element-at-a-time transpose the
+// blocked kernel replaced, kept for the benchmark pair that quantifies
+// the difference (BenchmarkInterleave).
+func transposeNaive[T num.Real](dst, src []T, rows, cols int) {
+	if len(src) != rows*cols || len(dst) != rows*cols {
+		panic("matrix: transpose length mismatch")
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			dst[j*rows+i] = src[i*cols+j]
+		}
+	}
+}
+
+// ToInterleavedInto converts the contiguous batch to the interleaved
+// layout in caller-owned storage. dst must have the batch's shape.
+func (b *Batch[T]) ToInterleavedInto(dst *Interleaved[T]) {
+	if dst.M != b.M || dst.N != b.N {
+		panic("matrix: ToInterleavedInto shape mismatch")
+	}
+	transposeBlocked(dst.Lower, b.Lower, b.M, b.N)
+	transposeBlocked(dst.Diag, b.Diag, b.M, b.N)
+	transposeBlocked(dst.Upper, b.Upper, b.M, b.N)
+	transposeBlocked(dst.RHS, b.RHS, b.M, b.N)
+}
+
+// ToBatchInto converts the interleaved batch to the contiguous layout
+// in caller-owned storage. dst must have the batch's shape.
+func (v *Interleaved[T]) ToBatchInto(dst *Batch[T]) {
+	if dst.M != v.M || dst.N != v.N {
+		panic("matrix: ToBatchInto shape mismatch")
+	}
+	transposeBlocked(dst.Lower, v.Lower, v.N, v.M)
+	transposeBlocked(dst.Diag, v.Diag, v.N, v.M)
+	transposeBlocked(dst.Upper, v.Upper, v.N, v.M)
+	transposeBlocked(dst.RHS, v.RHS, v.N, v.M)
+}
+
+// DeinterleaveVectorInto converts a solution vector in interleaved
+// order (row j of system i at j*M+i) into contiguous order (system i
+// occupying [i*N,(i+1)*N)) in caller-owned storage.
+func DeinterleaveVectorInto[T num.Real](dst, x []T, m, n int) {
+	transposeBlocked(dst, x, n, m)
+}
+
+// InterleaveVectorInto is the inverse of DeinterleaveVectorInto.
+func InterleaveVectorInto[T num.Real](dst, x []T, m, n int) {
+	transposeBlocked(dst, x, m, n)
+}

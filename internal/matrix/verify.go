@@ -19,13 +19,23 @@ func Residual[T num.Real](s *System[T], x []T) float64 {
 	if len(x) != n {
 		panic("matrix: Residual dimension mismatch")
 	}
-	ax := s.Apply(x)
+	// A x is computed row by row (same expression and evaluation order
+	// as System.Apply) instead of through Apply, so the residual scan
+	// allocates nothing — it runs per system per solve on the guarded
+	// path.
 	var rmax, xmax, dmax float64
 	for i := 0; i < n; i++ {
-		if !num.IsFinite(x[i]) || !num.IsFinite(ax[i]) {
+		v := s.Diag[i] * x[i]
+		if i > 0 {
+			v += s.Lower[i] * x[i-1]
+		}
+		if i < n-1 {
+			v += s.Upper[i] * x[i+1]
+		}
+		if !num.IsFinite(x[i]) || !num.IsFinite(v) {
 			return math.Inf(1)
 		}
-		r := float64(ax[i]) - float64(s.RHS[i])
+		r := float64(v) - float64(s.RHS[i])
 		if r < 0 {
 			r = -r
 		}
@@ -66,14 +76,28 @@ func MaxResidual[T num.Real](b *Batch[T], x []T) float64 {
 // residuals — the scan the guarded pipeline and verification diagnostics
 // classify systems with.
 func ResidualsPerSystem[T num.Real](b *Batch[T], x []T) []float64 {
+	res := make([]float64, b.M)
+	ResidualsPerSystemInto(res, b, x)
+	return res
+}
+
+// ResidualsPerSystemInto is ResidualsPerSystem into a caller-owned
+// slice of length M; the reusable guarded runner calls it every solve
+// with a buffer from its arena.
+func ResidualsPerSystemInto[T num.Real](dst []float64, b *Batch[T], x []T) {
 	if len(x) != b.M*b.N {
 		panic("matrix: ResidualsPerSystem dimension mismatch")
 	}
-	res := make([]float64, b.M)
-	for i := 0; i < b.M; i++ {
-		res[i] = Residual(b.System(i), x[i*b.N:(i+1)*b.N])
+	if len(dst) != b.M {
+		panic("matrix: ResidualsPerSystemInto destination length mismatch")
 	}
-	return res
+	var sys System[T]
+	for i := 0; i < b.M; i++ {
+		lo, hi := i*b.N, (i+1)*b.N
+		sys.Lower, sys.Diag, sys.Upper, sys.RHS =
+			b.Lower[lo:hi], b.Diag[lo:hi], b.Upper[lo:hi], b.RHS[lo:hi]
+		dst[i] = Residual(&sys, x[lo:hi])
+	}
 }
 
 // ResidualTolerance returns a pass/fail threshold for the relative

@@ -17,6 +17,12 @@
 //     2^k threads per original system. This is the hybrid's back-end;
 //     the access pattern is consecutive across the block's threads,
 //     which is why the paper calls PCR's output a "perfect match".
+//
+// Every variant draws its c'/d' scratch from a Workspace, so callers
+// that solve repeatedly (timestep loops, the reusable core.Pipeline)
+// can keep one workspace and run the kernels with no per-solve
+// allocations via the *Into forms; the plain forms allocate a
+// transient workspace per call.
 package pthomas
 
 import (
@@ -26,6 +32,50 @@ import (
 	"gputrid/internal/matrix"
 	"gputrid/internal/num"
 )
+
+// Workspace holds the forward-sweep scratch (the modified coefficients
+// c' and d' of Eqs. 2-3) shared by every solver variant in this
+// package. Ensure grows it on demand and keeps capacity across calls,
+// so one workspace serves solves of any size with allocations only
+// when the requested size first exceeds what it holds.
+type Workspace[T num.Real] struct {
+	Cp, Dp []T
+}
+
+// NewWorkspace allocates a workspace with room for size elements.
+func NewWorkspace[T num.Real](size int) *Workspace[T] {
+	w := &Workspace[T]{}
+	w.Ensure(size)
+	return w
+}
+
+// Ensure returns cp/dp slices of exactly size elements, reallocating
+// only when the workspace is too small.
+func (w *Workspace[T]) Ensure(size int) (cp, dp []T) {
+	if cap(w.Cp) < size {
+		w.Cp = make([]T, size)
+	}
+	if cap(w.Dp) < size {
+		w.Dp = make([]T, size)
+	}
+	return w.Cp[:size], w.Dp[:size]
+}
+
+// Bufs bundles the device-global arrays a p-Thomas thread touches: the
+// four coefficient arrays, the c'/d' scratch, and the solution.
+type Bufs[T num.Real] struct {
+	A, B, C, D, Cp, Dp, X gpusim.Global[T]
+}
+
+// NewBufs wraps the slices as device-global arrays.
+func NewBufs[T num.Real](a, b, c, d, cp, dp, x []T) Bufs[T] {
+	return Bufs[T]{
+		A: gpusim.NewGlobal(a), B: gpusim.NewGlobal(b),
+		C: gpusim.NewGlobal(c), D: gpusim.NewGlobal(d),
+		Cp: gpusim.NewGlobal(cp), Dp: gpusim.NewGlobal(dp),
+		X: gpusim.NewGlobal(x),
+	}
+}
 
 // KernelInterleaved solves the M interleaved systems of v on the
 // device and returns the solutions in interleaved order (x[j*M+i] is
@@ -37,6 +87,18 @@ import (
 // real hardware. Callers solving non-dominant systems should verify
 // residuals.
 func KernelInterleaved[T num.Real](dev *gpusim.Device, v *matrix.Interleaved[T], blockSize int) ([]T, *gpusim.Stats, error) {
+	x := make([]T, v.M*v.N)
+	st, err := KernelInterleavedInto(dev, v, blockSize, x, NewWorkspace[T](v.M*v.N))
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, st, nil
+}
+
+// KernelInterleavedInto is KernelInterleaved over caller-owned storage:
+// the interleaved solution goes to x (length M·N) and the forward
+// scratch comes from ws.
+func KernelInterleavedInto[T num.Real](dev *gpusim.Device, v *matrix.Interleaved[T], blockSize int, x []T, ws *Workspace[T]) (*gpusim.Stats, error) {
 	m, n := v.M, v.N
 	if blockSize <= 0 {
 		blockSize = 128
@@ -44,30 +106,23 @@ func KernelInterleaved[T num.Real](dev *gpusim.Device, v *matrix.Interleaved[T],
 	if blockSize > dev.MaxThreadsPerBlock {
 		blockSize = dev.MaxThreadsPerBlock
 	}
-	x := make([]T, m*n)
-	cp := make([]T, m*n)
-	dp := make([]T, m*n)
-
-	ga, gb := gpusim.NewGlobal(v.Lower), gpusim.NewGlobal(v.Diag)
-	gc, gd := gpusim.NewGlobal(v.Upper), gpusim.NewGlobal(v.RHS)
-	gcp, gdp := gpusim.NewGlobal(cp), gpusim.NewGlobal(dp)
-	gx := gpusim.NewGlobal(x)
+	if len(x) != m*n {
+		return nil, fmt.Errorf("pthomas: solution length %d does not match M*N = %d", len(x), m*n)
+	}
+	cp, dp := ws.Ensure(m * n)
+	g := NewBufs(v.Lower, v.Diag, v.Upper, v.RHS, cp, dp, x)
 
 	grid := num.CeilDiv(m, blockSize)
-	st, err := dev.Launch("pThomas", gpusim.LaunchConfig{Grid: grid, Block: blockSize},
+	return dev.Launch("pThomas", gpusim.LaunchConfig{Grid: grid, Block: blockSize},
 		func(b *gpusim.Block) {
 			b.PhaseNoSync(func(t *gpusim.Thread) {
 				sys := b.ID*blockSize + t.ID
 				if sys >= m {
 					return
 				}
-				solveOne(t, sys, m, n, ga, gb, gc, gd, gcp, gdp, gx)
+				ThreadInterleaved(t, &g, sys, m, n)
 			})
 		})
-	if err != nil {
-		return nil, nil, err
-	}
-	return x, st, nil
 }
 
 // KernelStrided solves, for every system of the contiguous batch
@@ -76,26 +131,35 @@ func KernelInterleaved[T num.Real](dev *gpusim.Device, v *matrix.Interleaved[T],
 // system; thread r solves subsystem r (rows r, r+2^k, r+2·2^k, ...).
 // The returned solution vector is in natural row order (length M·N).
 func KernelStrided[T num.Real](dev *gpusim.Device, a, b, c, d []T, m, n, k int) ([]T, *gpusim.Stats, error) {
+	x := make([]T, m*n)
+	st, err := KernelStridedInto(dev, a, b, c, d, m, n, k, x, NewWorkspace[T](m*n))
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, st, nil
+}
+
+// KernelStridedInto is KernelStrided over caller-owned storage: the
+// natural-order solution goes to x (length M·N) and the forward
+// scratch comes from ws.
+func KernelStridedInto[T num.Real](dev *gpusim.Device, a, b, c, d []T, m, n, k int, x []T, ws *Workspace[T]) (*gpusim.Stats, error) {
 	if k < 0 {
-		return nil, nil, fmt.Errorf("pthomas: negative k")
+		return nil, fmt.Errorf("pthomas: negative k")
 	}
 	p := 1 << k
 	if p > dev.MaxThreadsPerBlock {
-		return nil, nil, fmt.Errorf("pthomas: 2^k = %d exceeds max threads per block %d", p, dev.MaxThreadsPerBlock)
+		return nil, fmt.Errorf("pthomas: 2^k = %d exceeds max threads per block %d", p, dev.MaxThreadsPerBlock)
 	}
 	if len(a) != m*n || len(b) != m*n || len(c) != m*n || len(d) != m*n {
-		return nil, nil, fmt.Errorf("pthomas: array lengths do not match M*N = %d", m*n)
+		return nil, fmt.Errorf("pthomas: array lengths do not match M*N = %d", m*n)
 	}
-	x := make([]T, m*n)
-	cp := make([]T, m*n)
-	dp := make([]T, m*n)
+	if len(x) != m*n {
+		return nil, fmt.Errorf("pthomas: solution length %d does not match M*N = %d", len(x), m*n)
+	}
+	cp, dp := ws.Ensure(m * n)
+	g := NewBufs(a, b, c, d, cp, dp, x)
 
-	ga, gb := gpusim.NewGlobal(a), gpusim.NewGlobal(b)
-	gc, gd := gpusim.NewGlobal(c), gpusim.NewGlobal(d)
-	gcp, gdp := gpusim.NewGlobal(cp), gpusim.NewGlobal(dp)
-	gx := gpusim.NewGlobal(x)
-
-	st, err := dev.Launch("pThomasStrided", gpusim.LaunchConfig{Grid: m, Block: p},
+	return dev.Launch("pThomasStrided", gpusim.LaunchConfig{Grid: m, Block: p},
 		func(blk *gpusim.Block) {
 			base := blk.ID * n
 			blk.PhaseNoSync(func(t *gpusim.Thread) {
@@ -103,82 +167,87 @@ func KernelStrided[T num.Real](dev *gpusim.Device, a, b, c, d []T, m, n, k int) 
 				if r >= n {
 					return
 				}
-				solveStrided(t, base, r, p, n, ga, gb, gc, gd, gcp, gdp, gx)
+				ThreadStrided(t, &g, base, r, p, n)
 			})
 		})
-	if err != nil {
-		return nil, nil, err
-	}
-	return x, st, nil
 }
 
-// solveOne runs Thomas for one system of an interleaved batch:
-// row l lives at l*m + sys.
-func solveOne[T num.Real](t *gpusim.Thread, sys, m, n int,
-	ga, gb, gc, gd, gcp, gdp, gx gpusim.Global[T]) {
+// ThreadInterleaved runs Thomas for one system of an interleaved
+// batch: row l lives at l*m + sys. It is the per-thread body of
+// KernelInterleaved, exported so pipelines can embed it in their own
+// pre-built kernel closures.
+func ThreadInterleaved[T num.Real](t *gpusim.Thread, g *Bufs[T], sys, m, n int) {
+	// Local array handles and batched step accounting, as in
+	// ThreadStrided.
+	gA, gB, gC, gD, gCp, gDp, gX := g.A, g.B, g.C, g.D, g.Cp, g.Dp, g.X
 	// Forward reduction (paper Eqs. 2-3).
 	idx := sys
-	bv := gb.Load(t, idx)
-	cpPrev := gc.Load(t, idx) / bv
-	dpPrev := gd.Load(t, idx) / bv
-	gcp.Store(t, idx, cpPrev)
-	gdp.Store(t, idx, dpPrev)
-	t.ThomasSteps(1)
+	bv := gB.Load(t, idx)
+	cpPrev := gC.Load(t, idx) / bv
+	dpPrev := gD.Load(t, idx) / bv
+	gCp.Store(t, idx, cpPrev)
+	gDp.Store(t, idx, dpPrev)
 	for l := 1; l < n; l++ {
 		idx = l*m + sys
-		av := ga.Load(t, idx)
-		den := gb.Load(t, idx) - cpPrev*av
+		av := gA.Load(t, idx)
+		den := gB.Load(t, idx) - cpPrev*av
 		inv := 1 / den
-		cpPrev = gc.Load(t, idx) * inv
-		dpPrev = (gd.Load(t, idx) - dpPrev*av) * inv
-		gcp.Store(t, idx, cpPrev)
-		gdp.Store(t, idx, dpPrev)
-		t.ThomasSteps(1)
+		cpPrev = gC.Load(t, idx) * inv
+		dpPrev = (gD.Load(t, idx) - dpPrev*av) * inv
+		gCp.Store(t, idx, cpPrev)
+		gDp.Store(t, idx, dpPrev)
 	}
+	t.ThomasSteps(n)
 	// Backward substitution (paper Eq. 4).
 	xNext := dpPrev
-	gx.Store(t, (n-1)*m+sys, xNext)
+	gX.Store(t, (n-1)*m+sys, xNext)
 	for l := n - 2; l >= 0; l-- {
 		idx = l*m + sys
-		xNext = gdp.Load(t, idx) - gcp.Load(t, idx)*xNext
-		gx.Store(t, idx, xNext)
-		t.ThomasSteps(1)
+		xNext = gDp.Load(t, idx) - gCp.Load(t, idx)*xNext
+		gX.Store(t, idx, xNext)
 	}
+	t.ThomasSteps(n - 1)
 }
 
-// solveStrided runs Thomas over rows base+r, base+r+p, ... base+r+(L-1)p.
-func solveStrided[T num.Real](t *gpusim.Thread, base, r, p, n int,
-	ga, gb, gc, gd, gcp, gdp, gx gpusim.Global[T]) {
+// ThreadStrided runs Thomas over rows base+r, base+r+p, ...
+// base+r+(L-1)p. It is the per-thread body of KernelStrided, exported
+// so pipelines can embed it in their own pre-built kernel closures.
+func ThreadStrided[T num.Real](t *gpusim.Thread, g *Bufs[T], base, r, p, n int) {
 	L := (n - r + p - 1) / p
 	if L <= 0 {
 		return
 	}
+	// Local copies of the array handles: the stores through Cp/Dp/X
+	// could alias any of the coefficient slices as far as the compiler
+	// knows, so indexing g's fields directly would reload the headers
+	// after every store. The Thomas-step accounting is batched per
+	// sweep (L forward, L-1 backward) — identical recorded totals.
+	gA, gB, gC, gD, gCp, gDp, gX := g.A, g.B, g.C, g.D, g.Cp, g.Dp, g.X
 	idx := base + r
-	bv := gb.Load(t, idx)
-	cpPrev := gc.Load(t, idx) / bv
-	dpPrev := gd.Load(t, idx) / bv
-	gcp.Store(t, idx, cpPrev)
-	gdp.Store(t, idx, dpPrev)
-	t.ThomasSteps(1)
+	bv := gB.Load(t, idx)
+	cpPrev := gC.Load(t, idx) / bv
+	dpPrev := gD.Load(t, idx) / bv
+	gCp.Store(t, idx, cpPrev)
+	gDp.Store(t, idx, dpPrev)
 	for l := 1; l < L; l++ {
 		idx = base + r + l*p
-		av := ga.Load(t, idx)
-		den := gb.Load(t, idx) - cpPrev*av
+		av := gA.Load(t, idx)
+		den := gB.Load(t, idx) - cpPrev*av
 		inv := 1 / den
-		cpPrev = gc.Load(t, idx) * inv
-		dpPrev = (gd.Load(t, idx) - dpPrev*av) * inv
-		gcp.Store(t, idx, cpPrev)
-		gdp.Store(t, idx, dpPrev)
-		t.ThomasSteps(1)
+		cpPrev = gC.Load(t, idx) * inv
+		dpPrev = (gD.Load(t, idx) - dpPrev*av) * inv
+		gCp.Store(t, idx, cpPrev)
+		gDp.Store(t, idx, dpPrev)
 	}
+	t.ThomasSteps(L)
 	xNext := dpPrev
-	gx.Store(t, base+r+(L-1)*p, xNext)
+	gX.Store(t, base+r+(L-1)*p, xNext)
 	for l := L - 2; l >= 0; l-- {
 		idx = base + r + l*p
-		xNext = gdp.Load(t, idx) - gcp.Load(t, idx)*xNext
-		gx.Store(t, idx, xNext)
-		t.ThomasSteps(1)
+		xNext = gDp.Load(t, idx) - gCp.Load(t, idx)*xNext
+		gX.Store(t, idx, xNext)
 	}
+	t.ThomasSteps(L - 1)
 }
 
 // SolveInterleavedRef is the plain-Go reference for KernelInterleaved:
@@ -187,28 +256,38 @@ func solveStrided[T num.Real](t *gpusim.Thread, base, r, p, n int,
 func SolveInterleavedRef[T num.Real](v *matrix.Interleaved[T]) []T {
 	m, n := v.M, v.N
 	x := make([]T, m*n)
-	cp := make([]T, n)
-	dp := make([]T, n)
+	SolveInterleavedRefInto(v, x, NewWorkspace[T](n))
+	return x
+}
+
+// SolveInterleavedRefInto is SolveInterleavedRef over caller-owned
+// storage; ws provides at least N elements of scratch.
+func SolveInterleavedRefInto[T num.Real](v *matrix.Interleaved[T], x []T, ws *Workspace[T]) {
+	m, n := v.M, v.N
+	cp, dp := ws.Ensure(n)
 	for i := 0; i < m; i++ {
 		thomasStrided(v.Lower, v.Diag, v.Upper, v.RHS, x, cp, dp, i, m, n)
 	}
-	return x
 }
 
 // SolveStridedRef is the plain-Go reference for KernelStrided.
 func SolveStridedRef[T num.Real](a, b, c, d []T, m, n, k int) []T {
-	p := 1 << k
 	x := make([]T, m*n)
-	L := num.CeilDiv(n, p)
-	cp := make([]T, L)
-	dp := make([]T, L)
+	SolveStridedRefInto(a, b, c, d, m, n, k, x, NewWorkspace[T](num.CeilDiv(n, 1<<k)))
+	return x
+}
+
+// SolveStridedRefInto is SolveStridedRef over caller-owned storage; ws
+// provides at least ceil(N/2^k) elements of scratch.
+func SolveStridedRefInto[T num.Real](a, b, c, d []T, m, n, k int, x []T, ws *Workspace[T]) {
+	p := 1 << k
+	cp, dp := ws.Ensure(num.CeilDiv(n, p))
 	for i := 0; i < m; i++ {
 		for r := 0; r < p && r < n; r++ {
 			base := i * n
 			thomasStrided(a[base:], b[base:], c[base:], d[base:], x[base:], cp, dp, r, p, (n-r+p-1)/p)
 		}
 	}
-	return x
 }
 
 // thomasStrided solves the system whose row l lives at flat index

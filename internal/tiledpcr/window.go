@@ -64,27 +64,35 @@ type Window[T num.Real] struct {
 	sysBase int // global offset of the system's row 0
 	in      Arrays[T]
 
-	stage   [4]gpusim.Shared[T]
-	hist    [4]gpusim.Shared[T]
-	histOff []int // offset of level j's (2^(j+1)+1)-element history
-	r0      int   // first raw index of the current run (set by InitRun)
+	// stage and hist model the window's __shared__ arrays. They are
+	// plain slices (accessed like Shared.Data, with traffic accounted
+	// in bulk via CountShared) so one Window's buffers can be re-bound
+	// to a new block each launch instead of reallocated; Bind charges
+	// sharedBytes against the block exactly as NewShared would. The
+	// row-of-structs layout turns each 4-coefficient access into one
+	// bounds check over one contiguous 4-element record; the recorded
+	// traffic (bulk element counts) is layout-independent.
+	stage       []pcr.Row[T]
+	hist        []pcr.Row[T]
+	sharedBytes int
+	histOff     []int // offset of level j's (2^(j+1)+1)-element history
+	r0          int   // first raw index of the current run (set by InitRun)
 
 	// Out is the register tile: after each sub-tile phase it holds the
 	// S freshly reduced level-k rows, Out[p] being row outBase+p.
 	Out []pcr.Row[T]
 }
 
-// NewWindow allocates the window's shared memory in block blk for a
-// system of n rows whose row 0 lives at global index sysBase of the
-// arrays in. Requires k >= 1 and c >= 1.
-func NewWindow[T num.Real](blk *gpusim.Block, k, c, n, sysBase int, in Arrays[T]) *Window[T] {
+// NewWindowBuffers allocates a window's buffers (shared-memory images,
+// history offsets, register tile) for depth k and sub-tile scale c
+// without binding them to a block. The result is reusable: call Bind
+// to attach it to a block and a system before each run. Requires
+// k >= 1 and c >= 1.
+func NewWindowBuffers[T num.Real](k, c int) *Window[T] {
 	if k < 1 || c < 1 {
-		panic(fmt.Sprintf("tiledpcr: NewWindow requires k >= 1 and c >= 1, got k=%d c=%d", k, c))
+		panic(fmt.Sprintf("tiledpcr: NewWindowBuffers requires k >= 1 and c >= 1, got k=%d c=%d", k, c))
 	}
-	w := &Window[T]{
-		blk: blk, k: k, c: c, S: c << k, threads: 1 << k,
-		n: n, sysBase: sysBase, in: in,
-	}
+	w := &Window[T]{k: k, c: c, S: c << k, threads: 1 << k}
 	stageCap := (1 << k) + w.S + 1
 	w.histOff = make([]int, k)
 	total := 0
@@ -92,12 +100,37 @@ func NewWindow[T num.Real](blk *gpusim.Block, k, c, n, sysBase int, in Arrays[T]
 		w.histOff[j] = total
 		total += (2 << j) + 1
 	}
-	for q := 0; q < 4; q++ {
-		w.stage[q] = gpusim.NewShared[T](blk, stageCap)
-		w.hist[q] = gpusim.NewShared[T](blk, total)
-	}
+	w.stage = make([]pcr.Row[T], stageCap)
+	w.hist = make([]pcr.Row[T], total)
+	w.sharedBytes = 4 * (stageCap + total) * num.SizeOf[T]()
 	w.Out = make([]pcr.Row[T], w.S)
 	return w
+}
+
+// Bind attaches the window to block blk for a system of n rows whose
+// row 0 lives at global index sysBase of the arrays in, charging the
+// window's shared-memory footprint against the block. It allocates
+// nothing and returns w for chaining. Stale buffer contents from a
+// previous run are harmless: InitRun re-initializes the history
+// caches, every staged value is rewritten before it is read, and the
+// only Out entries that could see leftover state are the pipeline
+// warm-up rows outside OutRange, which callers already discard (the
+// same dependency-cone argument that lets an interior block start from
+// placeholder history, §III.A).
+func (w *Window[T]) Bind(blk *gpusim.Block, n, sysBase int, in Arrays[T]) *Window[T] {
+	w.blk = blk
+	w.n = n
+	w.sysBase = sysBase
+	w.in = in
+	blk.ChargeSharedAlloc(w.sharedBytes)
+	return w
+}
+
+// NewWindow allocates the window's shared memory in block blk for a
+// system of n rows whose row 0 lives at global index sysBase of the
+// arrays in. Requires k >= 1 and c >= 1.
+func NewWindow[T num.Real](blk *gpusim.Block, k, c, n, sysBase int, in Arrays[T]) *Window[T] {
+	return NewWindowBuffers[T](k, c).Bind(blk, n, sysBase, in)
 }
 
 // Threads returns the thread-block width the window is designed for
@@ -125,40 +158,6 @@ func (w *Window[T]) loadRaw(t *gpusim.Thread, i int) pcr.Row[T] {
 		r.C = 0
 	}
 	return r
-}
-
-func (w *Window[T]) stagePut(p int, r pcr.Row[T]) {
-	w.stage[0].Data[p] = r.A
-	w.stage[1].Data[p] = r.B
-	w.stage[2].Data[p] = r.C
-	w.stage[3].Data[p] = r.D
-}
-
-func (w *Window[T]) stageGet(p int) pcr.Row[T] {
-	return pcr.Row[T]{
-		A: w.stage[0].Data[p],
-		B: w.stage[1].Data[p],
-		C: w.stage[2].Data[p],
-		D: w.stage[3].Data[p],
-	}
-}
-
-func (w *Window[T]) histPut(j, p int, r pcr.Row[T]) {
-	o := w.histOff[j] + p
-	w.hist[0].Data[o] = r.A
-	w.hist[1].Data[o] = r.B
-	w.hist[2].Data[o] = r.C
-	w.hist[3].Data[o] = r.D
-}
-
-func (w *Window[T]) histGet(j, p int) pcr.Row[T] {
-	o := w.histOff[j] + p
-	return pcr.Row[T]{
-		A: w.hist[0].Data[o],
-		B: w.hist[1].Data[o],
-		C: w.hist[2].Data[o],
-		D: w.hist[3].Data[o],
-	}
 }
 
 // Run streams rows [outStart, outEnd) of the system through the
@@ -195,13 +194,10 @@ func (w *Window[T]) InitRun(outStart, outEnd int) (phases int) {
 	// these are the true virtual rows before the system; for an
 	// interior block they are placeholders whose influence dies inside
 	// the f(k) warm-up zone (dependency-cone argument, §III.A).
-	histLen := w.hist[0].Len()
+	histLen := len(w.hist)
 	w.blk.Phase(func(t *gpusim.Thread) {
 		for p := t.ID; p < histLen; p += w.threads {
-			for q := 0; q < 4; q++ {
-				w.hist[q].Data[p] = 0
-			}
-			w.hist[1].Data[p] = 1 // B = 1: identity row
+			w.hist[p] = pcr.Identity[T]() // B = 1: identity row
 		}
 	})
 	w.blk.CountShared(0, int64(histLen)*4)
@@ -252,24 +248,31 @@ func (w *Window[T]) OutRange(outBase, outStart, outEnd int) (lo, hi int) {
 func (w *Window[T]) subTile(base int, sink func(outBase int)) {
 	k, c, S := w.k, w.c, w.S
 
+	// The hot phase bodies index local copies of the stage/hist/Out
+	// slice headers: stage, hist and Out share an element type, so
+	// without the locals the compiler must reload w's fields after
+	// every store.
+
 	// Load phase: stage <- hist0 (3 rows) ++ raw [base, base+S).
 	// Thread t loads elements base+t, base+t+2^k, ... — unit stride
 	// across the block and sub-tile aligned, hence coalesced.
 	w.blk.Phase(func(t *gpusim.Thread) {
+		st, hist0 := w.stage, w.hist
 		for e := 0; e < c; e++ {
 			i := base + t.ID + e*w.threads
-			w.stagePut(3+t.ID+e*w.threads, w.loadRaw(t, i))
+			st[3+t.ID+e*w.threads] = w.loadRaw(t, i)
 		}
 		for p := t.ID; p < 3; p += w.threads {
-			w.stagePut(p, w.histGet(0, p))
+			st[p] = hist0[p]
 		}
 	})
 	w.blk.CountShared(3*4, int64(S+3)*4)
 
 	// hist0 <- newest three raw rows, for the next sub-tile.
 	w.blk.Phase(func(t *gpusim.Thread) {
+		st, hist0 := w.stage, w.hist
 		for p := t.ID; p < 3; p += w.threads {
-			w.histPut(0, p, w.stageGet(S+p))
+			hist0[p] = st[S+p]
 		}
 	})
 	w.blk.CountShared(3*4, 3*4)
@@ -282,10 +285,11 @@ func (w *Window[T]) subTile(base int, sink func(outBase int)) {
 		// Compute phase: each thread produces its c fresh values into
 		// the register tile (3 row reads from shared, write to regs).
 		w.blk.Phase(func(t *gpusim.Thread) {
+			st, out := w.stage, w.Out
 			for e := 0; e < c; e++ {
 				p := t.ID + e*w.threads
 				rel := lo + p - stageBase
-				w.Out[p] = pcr.Combine(w.stageGet(rel-h), w.stageGet(rel), w.stageGet(rel+h))
+				out[p] = pcr.Combine(st[rel-h], st[rel], st[rel+h])
 			}
 			t.Eliminations(c)
 		})
@@ -298,11 +302,12 @@ func (w *Window[T]) subTile(base int, sink func(outBase int)) {
 
 		// Rebuild phase 1: stage <- hist[j] ++ fresh level-j rows.
 		w.blk.Phase(func(t *gpusim.Thread) {
+			st, hj, out := w.stage, w.hist[w.histOff[j]:], w.Out
 			for p := t.ID; p < width+S; p += w.threads {
 				if p < width {
-					w.stagePut(p, w.histGet(j, p))
+					st[p] = hj[p]
 				} else {
-					w.stagePut(p, w.Out[p-width])
+					st[p] = out[p-width]
 				}
 			}
 		})
@@ -313,8 +318,9 @@ func (w *Window[T]) subTile(base int, sink func(outBase int)) {
 		// the history is wider than one sub-tile, so part of it comes
 		// from the previous history rather than this phase's output).
 		w.blk.Phase(func(t *gpusim.Thread) {
+			st, hj := w.stage, w.hist[w.histOff[j]:]
 			for p := t.ID; p < width; p += w.threads {
-				w.histPut(j, p, w.stageGet(S+p))
+				hj[p] = st[S+p]
 			}
 		})
 		w.blk.CountShared(int64(width)*4, int64(width)*4)

@@ -1,0 +1,165 @@
+package gputrid
+
+import (
+	"fmt"
+	"time"
+
+	"gputrid/internal/core"
+	"gputrid/internal/guard"
+)
+
+// Typed errors of the reusable Solver, matchable with errors.Is through
+// the "gputrid:"-prefixed wrappers the methods return.
+var (
+	// ErrSolverBusy reports a SolveBatchInto that overlapped another
+	// call on the same Solver. The Solver stays fully usable; no state
+	// was touched. Distinct Solvers may always run concurrently.
+	ErrSolverBusy = core.ErrPipelineBusy
+	// ErrSolverClosed reports a call after Close.
+	ErrSolverClosed = core.ErrPipelineClosed
+	// ErrShapeMismatch reports a batch or destination whose shape does
+	// not match the one the Solver was built for.
+	ErrShapeMismatch = core.ErrShapeMismatch
+)
+
+// Solver is a reusable solver for one fixed batch shape (M systems of
+// N rows each). NewSolver pre-allocates every scratch buffer the
+// hybrid pipeline needs — device arrays, sliding-window rings,
+// p-Thomas workspaces, interleave planes — so a warmed Solver runs
+// SolveBatchInto with zero steady-state heap allocations.
+//
+// The simulated device events recorded in Stats are a pure function of
+// the shape and configuration, not of the coefficient values, so the
+// Solver records them on its first solve only; later solves replay the
+// data arithmetic with event recording disabled (sharded across a
+// bounded worker pool, see WithWorkers) and reuse the cached Stats.
+// Results are bitwise identical to the one-shot SolveBatch either way.
+//
+// A Solver is not safe for concurrent use: overlapping calls return
+// ErrSolverBusy (never corrupt state). Distinct Solvers are
+// independent and safe to use from different goroutines.
+//
+// The fused (WithKernelFusion) and multiplexed (WithSystemsPerBlock)
+// configurations keep their one-shot kernel implementations and
+// allocate per solve; the zero-allocation guarantee covers the default
+// hybrid and the k = 0 paths.
+type Solver[T Real] struct {
+	c    config
+	m, n int
+	pipe *core.Pipeline[T]
+	// resid is the verification scratch, allocated only under
+	// WithVerification so the plain path stays allocation-free.
+	resid []float64
+	// runner is the guarded pipeline, built on first SolveGuarded.
+	runner *guard.Runner[T]
+	gres   GuardedResult[T]
+	gresu  Result[T]
+}
+
+// NewSolver builds a reusable solver for batches of m systems of n
+// rows, applying the same options as SolveBatch plus WithWorkers.
+// Callers that solve many same-shaped batches (time stepping, ADI
+// sweeps) should build one Solver and reuse it; one-shot callers can
+// stay with SolveBatch, which wraps a transient pipeline.
+func NewSolver[T Real](m, n int, opts ...Option) (*Solver[T], error) {
+	c := buildConfig(opts)
+	p, err := core.NewPipeline[T](c.coreConfig(), m, n)
+	if err != nil {
+		return nil, fmt.Errorf("gputrid: %w", err)
+	}
+	s := &Solver[T]{c: c, m: m, n: n, pipe: p}
+	if c.verify {
+		s.resid = make([]float64, m)
+	}
+	return s, nil
+}
+
+// SolveBatchInto solves every system of the batch into dst (natural
+// order: row j of system i at dst[i*N+j]), which must have length M*N.
+// After the first (recording) solve it performs no heap allocations.
+//
+// Unlike SolveBatch it does not run the O(M·N) input Validate pass;
+// non-finite coefficients propagate into the solution. Callers wanting
+// the check can enable WithVerification (which validates the output
+// residuals from a pre-allocated scratch) or use SolveGuarded.
+func (s *Solver[T]) SolveBatchInto(dst []T, b *Batch[T]) error {
+	if err := s.pipe.SolveInto(dst, b); err != nil {
+		return fmt.Errorf("gputrid: %w", err)
+	}
+	if s.resid != nil {
+		return verifyBatchInto(b, dst, s.resid)
+	}
+	return nil
+}
+
+// SolveGuarded runs the guarded pipeline (see the package-level
+// SolveGuarded) through the Solver's reusable machinery: the bulk fast
+// path and the per-system residual scan are allocation-free, with only
+// the escalation rungs for failing systems allocating. The returned
+// result aliases the Solver's arenas and is valid until the next
+// SolveGuarded call or Close.
+func (s *Solver[T]) SolveGuarded(b *Batch[T]) (*GuardedResult[T], error) {
+	if s.runner == nil {
+		r, err := guard.NewRunner[T](s.c.coreConfig(), s.m, s.n)
+		if err != nil {
+			return nil, fmt.Errorf("gputrid: %w", err)
+		}
+		s.runner = r
+	}
+	var pol GuardPolicy
+	if s.c.guard != nil {
+		pol = *s.c.guard
+	}
+	start := time.Now()
+	gres, err := s.runner.Solve(b, pol)
+	if gres == nil {
+		return nil, fmt.Errorf("gputrid: %w", err)
+	}
+	wall := time.Since(start)
+	rep := gres.FastReport
+	s.gresu = Result[T]{
+		X:               gres.X,
+		K:               rep.K,
+		BlocksPerSystem: rep.BlocksPerSystem,
+		Fused:           rep.Fused,
+		Stats:           rep.Stats,
+		ModeledTime:     secondsToDuration(modeled[T](s.c.device, rep)),
+		WallTime:        wall,
+	}
+	s.gres = GuardedResult[T]{Result: &s.gresu, Reports: gres.Reports, Failed: gres.Failed}
+	if err != nil {
+		err = fmt.Errorf("gputrid: %w", err)
+	}
+	return &s.gres, err
+}
+
+// Shape returns the fixed (M, N) the Solver was built for.
+func (s *Solver[T]) Shape() (m, n int) { return s.m, s.n }
+
+// K returns the resolved number of PCR steps.
+func (s *Solver[T]) K() int { return s.pipe.K() }
+
+// BlocksPerSystem returns the resolved Fig. 11 front-end block mapping.
+func (s *Solver[T]) BlocksPerSystem() int { return s.pipe.Report().BlocksPerSystem }
+
+// Workers returns the size of the replay worker pool.
+func (s *Solver[T]) Workers() int { return s.pipe.Workers() }
+
+// Stats returns the recorded device events of a solve at this shape
+// (identical for every solve; zero before the first one).
+func (s *Solver[T]) Stats() *Stats { return s.pipe.Report().Stats }
+
+// ModeledTime returns the cost model's execution-time estimate for the
+// kernels of one solve; valid after the first solve.
+func (s *Solver[T]) ModeledTime() time.Duration {
+	return secondsToDuration(modeled[T](s.c.device, s.pipe.Report()))
+}
+
+// Close releases the worker pools. Subsequent solves return
+// ErrSolverClosed; Close is idempotent.
+func (s *Solver[T]) Close() {
+	s.pipe.Close()
+	if s.runner != nil {
+		s.runner.Close()
+	}
+}
