@@ -8,6 +8,7 @@
 //	tridbench -csv             # emit CSV instead of aligned text
 //	tridbench -measure-cpu     # also wall-clock the real Go CPU baseline
 //	tridbench -reuse 64:1024   # one-shot vs reusable-solver comparison
+//	tridbench -faults 64:1024  # fault-rate sweep of the recovery layer
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 		device     = flag.String("device", "gtx480", "GPU preset: gtx480|teslac2070|gtx280")
 		profile    = flag.String("profile", "", "per-kernel profile: solver:M:N[:k], e.g. hybrid:16:65536:7")
 		reuse      = flag.String("reuse", "", "compare one-shot vs reusable solver: M:N[:iters], e.g. 64:1024:20")
+		faults     = flag.String("faults", "", "fault-injection rate sweep on a reused solver: M:N[:iters], e.g. 64:1024:20")
 	)
 	flag.Parse()
 
@@ -79,6 +81,14 @@ func main() {
 
 	if *reuse != "" {
 		if err := runReuse(*reuse, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "tridbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *faults != "" {
+		if err := runFaultSweep(*faults, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "tridbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -187,6 +197,95 @@ func runReuse(spec string, seed uint64) error {
 	fmt.Printf("  %-10s %14v %14d\n", "reuse", reuseTime, reuseAllocs)
 	fmt.Printf("  speedup %.2fx, solutions bitwise identical\n",
 		float64(oneShotTime)/float64(reuseTime))
+	return nil
+}
+
+// runFaultSweep replays solves on one reused pipeline while sweeping
+// the transient-fault injection rate, reporting the recovery layer's
+// activity (faults seen, shard retries, degraded systems, wasted
+// modeled device time) and the wall-clock overhead relative to the
+// fault-free baseline. Recovered solutions are checked bitwise against
+// the fault-free reference — the checkpointed-retry guarantee.
+func runFaultSweep(spec string, seed uint64) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 {
+		return fmt.Errorf("-faults wants M:N[:iters]")
+	}
+	var m, n int
+	iters := 20
+	fmt.Sscan(parts[0], &m)
+	fmt.Sscan(parts[1], &n)
+	if len(parts) > 2 {
+		fmt.Sscan(parts[2], &iters)
+	}
+	if m <= 0 || n <= 0 || iters <= 0 {
+		return fmt.Errorf("-faults wants positive M:N[:iters], got %q", spec)
+	}
+
+	batch := workload.Batch[float64](workload.DiagDominant, m, n, seed)
+	dev := gpusim.GTX480()
+	cfg := core.Config{K: core.KAuto, Device: dev}
+	p, err := core.NewPipeline[float64](cfg, m, n)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	dst := make([]float64, m*n)
+	if err := p.SolveInto(dst, batch); err != nil { // recording solve, fault-free
+		return err
+	}
+	ref := make([]float64, m*n)
+	copy(ref, dst)
+
+	rates := []float64{0, 0.01, 0.02, 0.05, 0.1}
+	fmt.Printf("fault-rate sweep: M=%d N=%d k=%d iters=%d (float64, %s)\n",
+		m, n, p.K(), iters, dev.Name)
+	fmt.Printf("  %-6s %12s %8s %8s %9s %13s %9s\n",
+		"rate", "time/solve", "faults", "retries", "degraded", "wasted(dev)", "overhead")
+	var base time.Duration
+	for _, rate := range rates {
+		if rate == 0 {
+			dev.Faults = nil
+		} else {
+			dev.Faults = &gpusim.Injector{Seed: seed, Rate: rate}
+		}
+		var faults, retries, degraded int
+		var wasted time.Duration
+		elapsed, _, err := timeSolves(iters, func() error {
+			if err := p.SolveInto(dst, batch); err != nil {
+				return err
+			}
+			if fr := p.Report().Faults; fr != nil {
+				faults += fr.Faults
+				retries += fr.TotalRetries()
+				degraded += len(fr.Degraded)
+				wasted += fr.WastedModeledTime
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if degraded == 0 {
+			for i := range ref {
+				if dst[i] != ref[i] {
+					return fmt.Errorf("rate %g: recovered solution differs at element %d: %v != %v",
+						rate, i, dst[i], ref[i])
+				}
+			}
+		}
+		overhead := "1.00x"
+		if rate == 0 {
+			base = elapsed
+		} else if base > 0 {
+			overhead = fmt.Sprintf("%.2fx", float64(elapsed)/float64(base))
+		}
+		fmt.Printf("  %-6g %12v %8d %8d %9d %13v %9s\n",
+			rate, elapsed, faults, retries, degraded,
+			(wasted / time.Duration(iters)).Round(time.Nanosecond), overhead)
+	}
+	dev.Faults = nil
+	fmt.Printf("  recovered solutions bitwise identical to fault-free where no system degraded\n")
 	return nil
 }
 

@@ -14,6 +14,14 @@
 // deterministically corrupts chosen systems to demonstrate the ladder:
 //
 //	tridsolve -guard -m 64 -n 1024 -inject 7:zero-diag,23:singular
+//
+// The -chaos flag injects seeded transient device faults (aborted
+// launches, corrupted stores, hung blocks) at the given rate per
+// kernel block and lets the solver's checkpointed-retry layer recover;
+// the summary line reports what the recovery cost:
+//
+//	tridsolve -m 512 -n 2048 -chaos 0.05
+//	tridsolve -guard -m 64 -n 1024 -chaos 0.1 -inject 7:zero-diag
 package main
 
 import (
@@ -53,9 +61,13 @@ func main() {
 		quiet  = flag.Bool("q", false, "print only the summary line")
 		guard  = flag.Bool("guard", false, "guarded solve: per-system fault isolation with refinement/pivoting escalation")
 		inject = flag.String("inject", "", "guarded fault injection, e.g. 3:zero-diag,7:singular (kinds: corrupt|zero-diag|singular|nan)")
+		chaos  = flag.Float64("chaos", 0, "transient device-fault rate per kernel block (hybrid/guard; seeded by -seed)")
 	)
 	flag.Parse()
 
+	if *chaos < 0 || *chaos > 1 {
+		fail(fmt.Errorf("-chaos wants a rate in [0, 1], got %g", *chaos))
+	}
 	b, err := buildBatch(*in, *kind, *m, *n, *seed)
 	if err != nil {
 		fail(err)
@@ -65,15 +77,18 @@ func main() {
 		fmt.Printf("cond1(system 0) ~= %.3e\n", k1)
 	}
 	if *guard {
-		solveGuarded(b, *k, *fuse, *inject, *out)
+		solveGuarded(b, *k, *fuse, *inject, *out, *chaos, *seed)
 		return
 	}
 	if *inject != "" {
 		fail(fmt.Errorf("-inject requires -guard"))
 	}
+	if *chaos > 0 && *algo != "hybrid" {
+		fail(fmt.Errorf("-chaos requires -algo hybrid or -guard (algorithm %q has no recovery layer)", *algo))
+	}
 
 	start := time.Now()
-	x, detail, err := solve(*algo, b, *k, *fuse)
+	x, detail, err := solve(*algo, b, *k, *fuse, *chaos, *seed)
 	if err != nil {
 		fail(err)
 	}
@@ -137,19 +152,26 @@ func buildBatch(path, kind string, m, n int, seed uint64) (*matrix.Batch[float64
 	return trifile.ReadText[float64](bytes.NewReader(data))
 }
 
-func solve(algo string, b *matrix.Batch[float64], k int, fuse bool) ([]float64, string, error) {
+func solve(algo string, b *matrix.Batch[float64], k int, fuse bool, chaos float64, seed uint64) ([]float64, string, error) {
 	switch algo {
 	case "hybrid":
 		opts := []gputrid.Option{gputrid.WithK(k)}
 		if fuse {
 			opts = append(opts, gputrid.WithKernelFusion())
 		}
+		if chaos > 0 {
+			opts = append(opts, gputrid.WithFaultInjection(&gputrid.FaultInjector{Seed: seed, Rate: chaos}))
+		}
 		res, err := gputrid.SolveBatch(b, opts...)
 		if err != nil {
 			return nil, "", err
 		}
-		return res.X, fmt.Sprintf("k=%d blocks/sys=%d modeled=%v",
-			res.K, res.BlocksPerSystem, res.ModeledTime.Round(time.Nanosecond)), nil
+		detail := fmt.Sprintf("k=%d blocks/sys=%d modeled=%v",
+			res.K, res.BlocksPerSystem, res.ModeledTime.Round(time.Nanosecond))
+		if chaos > 0 {
+			detail += " " + faultSummary(res.Faults)
+		}
+		return res.X, detail, nil
 	case "cpu":
 		x, err := gputrid.SolveCPU(b)
 		return x, "", err
@@ -206,10 +228,13 @@ func solve(algo string, b *matrix.Batch[float64], k int, fuse bool) ([]float64, 
 // diagnosis: a summary of systems per stage, then one line for every
 // system that left the fast path. Exits 1 when any system was
 // unrecoverable (the healthy solutions are still written to -out).
-func solveGuarded(b *matrix.Batch[float64], k int, fuse bool, inject, out string) {
+func solveGuarded(b *matrix.Batch[float64], k int, fuse bool, inject, out string, chaos float64, seed uint64) {
 	opts := []gputrid.Option{gputrid.WithK(k)}
 	if fuse {
 		opts = append(opts, gputrid.WithKernelFusion())
+	}
+	if chaos > 0 {
+		opts = append(opts, gputrid.WithFaultInjection(&gputrid.FaultInjector{Seed: seed, Rate: chaos}))
 	}
 	var pol gputrid.GuardPolicy
 	if inject != "" {
@@ -236,6 +261,9 @@ func solveGuarded(b *matrix.Batch[float64], k int, fuse bool, inject, out string
 	fmt.Printf("%s: algo=guarded M=%d N=%d fast=%d refined=%d pivoted=%d failed=%d k=%d wall=%v\n",
 		status, b.M, b.N, st[gputrid.StageFast], st[gputrid.StageRefine],
 		st[gputrid.StagePivot], st[gputrid.StageFailed], res.K, wall.Round(time.Microsecond))
+	if chaos > 0 {
+		fmt.Printf("  chaos: rate=%g %s\n", chaos, faultSummary(res.Faults))
+	}
 	for _, rep := range res.Reports {
 		if rep.Stage == gputrid.StageFast {
 			continue
@@ -299,6 +327,18 @@ func parseInject(spec string, m int) (*gputrid.GuardInjection, error) {
 		inj.Faults = append(inj.Faults, kind)
 	}
 	return inj, nil
+}
+
+// faultSummary renders a FaultReport for the summary line.
+func faultSummary(fr *gputrid.FaultReport) string {
+	if fr == nil || !fr.Any() {
+		return "faults=0"
+	}
+	s := fmt.Sprintf("faults=%d retries=%d degraded=%d", fr.Faults, fr.TotalRetries(), len(fr.Degraded))
+	if fr.WastedModeledTime > 0 {
+		s += fmt.Sprintf(" wasted=%v", fr.WastedModeledTime.Round(time.Nanosecond))
+	}
+	return s
 }
 
 func fail(err error) {

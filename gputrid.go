@@ -27,6 +27,7 @@
 package gputrid
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -77,15 +78,18 @@ func GTX480() *Device { return gpusim.GTX480() }
 const AutoK = core.KAuto
 
 type config struct {
-	device  *Device
-	k       int
-	c       int
-	blocks  int
-	fuse    bool
-	mux     int
-	verify  bool
-	workers int
-	guard   *GuardPolicy
+	device   *Device
+	k        int
+	c        int
+	blocks   int
+	fuse     bool
+	mux      int
+	verify   bool
+	workers  int
+	guard    *GuardPolicy
+	retry    RetryPolicy
+	watchdog time.Duration
+	inject   *FaultInjector
 }
 
 func (c *config) coreConfig() core.Config {
@@ -97,6 +101,8 @@ func (c *config) coreConfig() core.Config {
 		Fuse:            c.fuse,
 		SystemsPerBlock: c.mux,
 		Workers:         c.workers,
+		Retry:           c.retry,
+		Watchdog:        c.watchdog,
 	}
 }
 
@@ -145,6 +151,33 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 // defaults. Ignored by the unguarded Solve/SolveBatch entry points.
 func WithGuard(p GuardPolicy) Option { return func(c *config) { c.guard = &p } }
 
+// WithRetry bounds the recovery from transient device faults: how many
+// times a faulted shard is re-executed (with capped exponential
+// backoff) before its systems degrade to the host pivoting path — or,
+// with RetryPolicy.NoDegrade, before the solve fails with ErrFaulted.
+// The zero value is the production default (3 retries, 50µs base
+// backoff capped at 2ms, degradation on). Only consulted when the
+// device injects faults (WithFaultInjection).
+func WithRetry(p RetryPolicy) Option { return func(c *config) { c.retry = p } }
+
+// WithWatchdog sets the modeled per-launch hang budget: a hung kernel
+// block counts as detected and killed after this much device time,
+// charged to FaultReport.WastedModeledTime. 0 (the default) means 10ms.
+func WithWatchdog(budget time.Duration) Option {
+	return func(c *config) { c.watchdog = budget }
+}
+
+// WithFaultInjection attaches a deterministic transient-fault injector
+// to the solve's device: kernel launches abort, corrupt their stores,
+// or hang according to the injector's seeded schedule, exercising the
+// retry/degradation machinery (see RetryPolicy). The caller's Device
+// value is not mutated — the solver works on a private copy carrying
+// the injector. Nil restores fault-free execution. For chaos tests and
+// demos (tridsolve -chaos), never enabled by default.
+func WithFaultInjection(inj *FaultInjector) Option {
+	return func(c *config) { c.inject = inj }
+}
+
 // Result reports a solve: the solution and what the solver did.
 type Result[T Real] struct {
 	// X holds the solutions in natural order: row j of system i at
@@ -165,6 +198,11 @@ type Result[T Real] struct {
 	// kernels (not comparable to real GPU time; use ModeledTime for
 	// paper-style comparisons).
 	WallTime time.Duration
+	// Faults describes the fault-recovery activity of the solve (nil
+	// when the solve ran without an injector or cancellable context, or
+	// on the fused/multiplexed fallback paths, which have no recovery
+	// layer).
+	Faults *FaultReport
 }
 
 func buildConfig(opts []Option) config {
@@ -175,7 +213,22 @@ func buildConfig(opts []Option) config {
 	if c.device == nil {
 		c.device = GTX480()
 	}
+	if c.inject != nil {
+		// Attach the injector to a private device copy so the caller's
+		// Device (possibly shared across solvers) stays fault-free.
+		d := *c.device
+		d.Faults = c.inject
+		c.device = &d
+	}
 	return c
+}
+
+// faultsOf extracts a solve's fault report when anything fired.
+func faultsOf(rep *core.Report) *FaultReport {
+	if rep.Faults != nil && rep.Faults.Any() {
+		return rep.Faults
+	}
+	return nil
 }
 
 // SolveBatch solves every system of the batch with the hybrid solver.
@@ -203,6 +256,48 @@ func SolveBatch[T Real](b *Batch[T], opts ...Option) (*Result[T], error) {
 		Stats:           rep.Stats,
 		ModeledTime:     secondsToDuration(modeled[T](c.device, rep)),
 		WallTime:        wall,
+		Faults:          faultsOf(rep),
+	}, nil
+}
+
+// SolveBatchCtx is SolveBatch with cooperative cancellation: once ctx
+// is done the solve stops promptly (between kernel blocks and during
+// retry backoff waits) and returns an error matching both ErrCancelled
+// and the context's own error, with no goroutine leaks. Combine with
+// WithFaultInjection and WithRetry to exercise transient-fault
+// recovery; the result's Faults field reports what the recovery layer
+// did.
+func SolveBatchCtx[T Real](ctx context.Context, b *Batch[T], opts ...Option) (*Result[T], error) {
+	c := buildConfig(opts)
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("gputrid: invalid batch: %w", err)
+	}
+	p, err := core.NewPipeline[T](c.coreConfig(), b.M, b.N)
+	if err != nil {
+		return nil, fmt.Errorf("gputrid: %w", err)
+	}
+	defer p.Close()
+	x := make([]T, b.M*b.N)
+	start := time.Now()
+	if err := p.SolveIntoCtx(ctx, x, b); err != nil {
+		return nil, fmt.Errorf("gputrid: %w", err)
+	}
+	wall := time.Since(start)
+	if c.verify {
+		if err := verifyBatch(b, x); err != nil {
+			return nil, err
+		}
+	}
+	rep := p.Report()
+	return &Result[T]{
+		X:               x,
+		K:               rep.K,
+		BlocksPerSystem: rep.BlocksPerSystem,
+		Fused:           rep.Fused,
+		Stats:           rep.Stats,
+		ModeledTime:     secondsToDuration(modeled[T](c.device, rep)),
+		WallTime:        wall,
+		Faults:          faultsOf(rep),
 	}, nil
 }
 
@@ -376,6 +471,52 @@ const (
 	FaultNaNCoefficient  = guard.FaultNaNCoefficient  // -> StageFailed (garbage-in)
 )
 
+// RetryPolicy bounds recovery from transient device faults; see
+// WithRetry. The zero value is the production default.
+type RetryPolicy = core.RetryPolicy
+
+// FaultReport describes what the fault-recovery layer did during one
+// solve: fault and retry counts per kernel, the systems degraded to
+// the host pivoting path, and the modeled device time the faulted
+// attempts wasted.
+type FaultReport = core.FaultReport
+
+// FaultInjector deterministically injects transient faults into kernel
+// launches; see WithFaultInjection. Decisions are a pure function of
+// (Seed, kernel, block, attempt) — independent of goroutine
+// scheduling — so a given seed reproduces the same faults every run.
+type FaultInjector = gpusim.Injector
+
+// ScheduledFault pins a fault to an exact (kernel, block) site; see
+// FaultInjector.Schedule.
+type ScheduledFault = gpusim.ScheduledFault
+
+// DeviceFaultKind enumerates the injectable transient launch faults.
+type DeviceFaultKind = gpusim.FaultKind
+
+// The transient launch-fault kinds (distinct from the guard's
+// data-level Fault* injection kinds above).
+const (
+	FaultAbort   = gpusim.FaultAbort   // launch fails before completing
+	FaultCorrupt = gpusim.FaultCorrupt // stores poisoned, fault detected
+	FaultHang    = gpusim.FaultHang    // block stalls past the watchdog
+)
+
+// LaunchError is the typed transient fault a kernel launch surfaces;
+// retrieve it from a returned error with errors.As.
+type LaunchError = gpusim.LaunchError
+
+// Typed execution-failure errors, matchable with errors.Is.
+var (
+	// ErrCancelled matches errors from solves stopped by context
+	// cancellation or deadline expiry. The same error also matches the
+	// underlying context.Canceled / context.DeadlineExceeded.
+	ErrCancelled = core.ErrCancelled
+	// ErrFaulted matches errors from transient device faults that
+	// survived the retry budget and could not be degraded away.
+	ErrFaulted = core.ErrFaulted
+)
+
 // ErrUnrecoverable matches (via errors.Is) every per-system SolveError:
 // the escalation ladder ran out of rungs for that system.
 var ErrUnrecoverable = guard.ErrUnrecoverable
@@ -441,6 +582,7 @@ func SolveGuarded[T Real](b *Batch[T], opts ...Option) (*GuardedResult[T], error
 			Stats:           rep.Stats,
 			ModeledTime:     secondsToDuration(modeled[T](c.device, rep)),
 			WallTime:        wall,
+			Faults:          faultsOf(rep),
 		},
 		Reports: gres.Reports,
 		Failed:  gres.Failed,

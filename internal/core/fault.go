@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Typed execution-failure errors of the fault-tolerant pipeline,
+// matchable with errors.Is through every wrapping layer up to the
+// public Solver.
+var (
+	// ErrCancelled reports a solve stopped by context cancellation or
+	// deadline expiry. The returned error also matches the underlying
+	// context.Canceled / context.DeadlineExceeded via errors.Is.
+	ErrCancelled = errors.New("core: solve cancelled")
+	// ErrFaulted reports a transient device fault that survived the
+	// retry budget and could not be degraded away (retries exhausted
+	// with degradation disabled, or the degraded re-solve itself
+	// failed). The wrapped chain carries the *gpusim.LaunchError.
+	ErrFaulted = errors.New("core: unrecovered device fault")
+)
+
+// cancelledError ties ErrCancelled to the specific context error so
+// callers can match either: errors.Is(err, ErrCancelled) and
+// errors.Is(err, context.DeadlineExceeded) both hold.
+type cancelledError struct{ cause error }
+
+func (e *cancelledError) Error() string        { return "core: solve cancelled: " + e.cause.Error() }
+func (e *cancelledError) Is(target error) bool { return target == ErrCancelled }
+func (e *cancelledError) Unwrap() error        { return e.cause }
+
+func cancelled(cause error) error {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return &cancelledError{cause}
+}
+
+// RetryPolicy bounds the pipeline's recovery from transient launch
+// faults. Each shard of a solve is a checkpointed unit of work: its
+// inputs are never mutated by its kernels, so a faulted shard is simply
+// re-executed from scratch, with capped exponential backoff between
+// attempts, and the recovered result is bitwise identical to a
+// fault-free run. A shard still faulting after MaxRetries retries is
+// degraded: its systems are re-solved through the pivoting GTSV path
+// (host-side, stable for any nonsingular system) instead of failing
+// the whole batch — unless NoDegrade demands a hard ErrFaulted.
+//
+// The zero value is the production default: 3 retries, 50µs base
+// backoff capped at 2ms, degradation on.
+type RetryPolicy struct {
+	// MaxRetries bounds re-executions per shard after the first
+	// attempt. 0 means the default of 3; negative disables retry
+	// (a first fault goes straight to degradation or ErrFaulted).
+	MaxRetries int
+	// BaseBackoff is the pre-retry wait of the first retry, doubled
+	// each further attempt; 0 means 50µs.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth; 0 means 2ms.
+	MaxBackoff time.Duration
+	// NoDegrade fails the solve with ErrFaulted once retries are
+	// exhausted instead of degrading the shard to the GTSV path,
+	// bounding the solve's cost envelope strictly to the fast path.
+	NoDegrade bool
+}
+
+func (p RetryPolicy) maxRetries() int {
+	switch {
+	case p.MaxRetries == 0:
+		return 3
+	case p.MaxRetries < 0:
+		return 0
+	default:
+		return p.MaxRetries
+	}
+}
+
+// backoff returns the wait before retry attempt+1, growing 2x per
+// attempt from BaseBackoff up to MaxBackoff.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 50 * time.Microsecond
+	}
+	cap := p.MaxBackoff
+	if cap <= 0 {
+		cap = 2 * time.Millisecond
+	}
+	if attempt > 30 {
+		return cap
+	}
+	d := base << uint(attempt)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	return d
+}
+
+// sleepBackoff waits d, returning early with the context error if ctx
+// is done first. A nil ctx sleeps unconditionally.
+func sleepBackoff(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// FaultReport describes what the fault-recovery layer did during one
+// solve: how many transient faults fired, how often each kernel was
+// retried, which systems were degraded to the pivoting GTSV path, and
+// how much modeled device time the faulted attempts wasted. It is
+// reset at the start of every solve that runs with an injector or a
+// cancellable context, and folded into the pipeline's Report.
+type FaultReport struct {
+	// Faults counts the transient launch faults observed.
+	Faults int
+	// Retries counts shard re-executions per kernel name. Nil until
+	// the first retry.
+	Retries map[string]int
+	// Degraded lists (ascending) the systems whose solutions came from
+	// the degraded GTSV re-solve instead of the device fast path.
+	Degraded []int
+	// WastedModeledTime estimates the modeled device time burned by
+	// faulted attempts: the re-executed blocks' share of their kernel's
+	// modeled time, plus one watchdog budget per hang.
+	WastedModeledTime time.Duration
+}
+
+// Any reports whether the solve saw any fault activity.
+func (r *FaultReport) Any() bool {
+	return r.Faults > 0 || len(r.Degraded) > 0
+}
+
+// TotalRetries sums Retries across kernels.
+func (r *FaultReport) TotalRetries() int {
+	n := 0
+	for _, v := range r.Retries {
+		n += v
+	}
+	return n
+}
+
+func (r *FaultReport) reset() {
+	r.Faults = 0
+	r.Degraded = r.Degraded[:0]
+	r.WastedModeledTime = 0
+	clear(r.Retries)
+}
+
+func (r *FaultReport) addRetry(kernel string, n int) {
+	if r.Retries == nil {
+		r.Retries = make(map[string]int, 4)
+	}
+	r.Retries[kernel] += n
+}
+
+// workerFaults is one worker lane's fault bookkeeping for the current
+// solve, merged into the pipeline FaultReport by the coordinator after
+// the join (the start/done handshake orders the accesses).
+type workerFaults struct {
+	faults   int
+	hangs    int
+	retries  [2]int // per launch slot (PCR/k0, then Thomas)
+	retryBlk [2]int // blocks re-executed per slot, for the waste model
+	degraded bool   // shard exhausted retries; systems go to GTSV
+}

@@ -19,6 +19,8 @@
 package core
 
 import (
+	"time"
+
 	"gputrid/internal/gpusim"
 	"gputrid/internal/matrix"
 	"gputrid/internal/num"
@@ -57,6 +59,15 @@ type Config struct {
 	// replayed solves across; 0 means GOMAXPROCS. One-shot Solve
 	// records on a single lane, so this only affects reuse.
 	Workers int
+	// Retry bounds recovery from transient device faults (see
+	// RetryPolicy; the zero value is the production default). Faults
+	// only occur when the device carries an Injector.
+	Retry RetryPolicy
+	// Watchdog is the modeled per-launch hang budget: a hung block is
+	// detected and killed after this much device time, which is charged
+	// to FaultReport.WastedModeledTime. 0 means 10ms. (The simulator
+	// cannot actually hang, so the budget is pure accounting.)
+	Watchdog time.Duration
 }
 
 // Report describes what the solver did and what it cost.
@@ -69,6 +80,10 @@ type Report struct {
 	Stats *gpusim.Stats
 	// Kernels holds the per-launch statistics in execution order.
 	Kernels []*gpusim.Stats
+	// Faults describes the fault-recovery activity of the most recent
+	// solve (zeroed when nothing fired). Nil for the fused/multiplexed
+	// fallback configurations, which have no recovery layer.
+	Faults *FaultReport
 }
 
 func (cfg *Config) device() *gpusim.Device {
@@ -83,6 +98,13 @@ func (cfg *Config) c() int {
 		return 1
 	}
 	return cfg.C
+}
+
+func (cfg *Config) watchdog() time.Duration {
+	if cfg.Watchdog > 0 {
+		return cfg.Watchdog
+	}
+	return 10 * time.Millisecond
 }
 
 // resolveK picks the PCR step count for a batch of m systems of n rows.

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
+	"gputrid/internal/cpu"
 	"gputrid/internal/gpusim"
 	"gputrid/internal/matrix"
 	"gputrid/internal/num"
@@ -96,6 +99,17 @@ type Pipeline[T num.Real] struct {
 	total    gpusim.Stats
 	rep      Report
 
+	// Fault-tolerant execution state. ctx is the current solve's
+	// context (nil on the uncancellable fast path); frep accumulates
+	// the solve's fault activity; degradeAll marks a recording solve
+	// whose launches could not complete fault-free, degrading the
+	// entire batch; gtsvWS is the (lazily built) workspace of the
+	// degraded per-system GTSV re-solve.
+	ctx        context.Context
+	frep       FaultReport
+	degradeAll bool
+	gtsvWS     *cpu.GTSVWorkspace[T]
+
 	workers []*pipeWorker[T]
 	inUse   atomic.Bool
 	closed  bool
@@ -113,6 +127,11 @@ type pipeWorker[T num.Real] struct {
 
 	firstSys, nSys int // k >= 1: system range [firstSys, firstSys+nSys)
 	firstBlk, nBlk int // k == 0: block range of the interleaved grid
+
+	// Per-solve fault-tolerant state: written by the worker, read by
+	// the coordinator after the done handshake.
+	err error
+	wf  workerFaults
 
 	start, done chan struct{} // nil for the coordinator lane (index 0)
 }
@@ -175,7 +194,7 @@ func NewPipeline[T num.Real](cfg Config, m, n int) (*Pipeline[T], error) {
 			p.per = num.CeilDiv(n, p.g)
 		}
 	}
-	p.rep = Report{K: p.k, C: p.c, BlocksPerSystem: p.g, Stats: &p.total}
+	p.rep = Report{K: p.k, C: p.c, BlocksPerSystem: p.g, Stats: &p.total, Faults: &p.frep}
 
 	if !p.fallback {
 		p.buildWorkers()
@@ -226,7 +245,7 @@ func (p *Pipeline[T]) buildWorkers() {
 			w.done = make(chan struct{}, 1)
 			go func() {
 				for range w.start {
-					p.runShard(w)
+					p.runShardAuto(w)
 					w.done <- struct{}{}
 				}
 			}()
@@ -319,9 +338,30 @@ func (p *Pipeline[T]) runShard(w *pipeWorker[T]) {
 // pipeline it performs no heap allocations. The batch must match the
 // pipeline's shape; dst must not alias the batch's slices.
 func (p *Pipeline[T]) SolveInto(dst []T, b *matrix.Batch[T]) error {
-	if p.closed {
-		return ErrPipelineClosed
-	}
+	return p.SolveIntoCtx(context.Background(), dst, b)
+}
+
+// SolveIntoCtx is SolveInto with cooperative cancellation and
+// transient-fault recovery.
+//
+// Cancellation: once ctx is done, every worker stops promptly (between
+// thread blocks, and during retry backoff waits), the pool is joined
+// with no goroutine leaks, and the solve returns an error matching both
+// ErrCancelled and the context's own error. dst is written at whole-
+// system granularity only, so every system's rows are either fully
+// written or untouched; on the k = 0 path dst is written in one final
+// host pass and is fully untouched by a cancelled solve.
+//
+// Faults: when the device carries a gpusim.Injector, each shard of the
+// batch is a checkpointed unit of work — its kernels never mutate
+// their inputs — so a transient LaunchError is recovered by re-running
+// just the faulted shard with capped exponential backoff (Config.Retry),
+// and the recovered solution is bitwise identical to a fault-free run.
+// A shard still faulting after the retry budget degrades gracefully:
+// its systems are re-solved on the host through the pivoting GTSV path
+// (or, under RetryPolicy.NoDegrade, the solve fails with ErrFaulted).
+// The recovery activity is reported in Report().Faults.
+func (p *Pipeline[T]) SolveIntoCtx(ctx context.Context, dst []T, b *matrix.Batch[T]) error {
 	if b.M != p.m || b.N != p.n {
 		return fmt.Errorf("%w: batch is %dx%d, pipeline wants %dx%d", ErrShapeMismatch, b.M, b.N, p.m, p.n)
 	}
@@ -336,14 +376,51 @@ func (p *Pipeline[T]) SolveInto(dst []T, b *matrix.Batch[T]) error {
 		return ErrPipelineBusy
 	}
 	defer p.inUse.Store(false)
+	if p.closed {
+		return ErrPipelineClosed
+	}
+
+	// An uncancellable context (Background, TODO) costs nothing: the
+	// fast path is taken whenever there is neither a Done channel nor
+	// an injector, and then no per-block checks run at all.
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return cancelled(err)
+		}
+	}
 
 	if p.fallback {
 		return p.solveFallback(dst, b)
 	}
-	if p.k == 0 {
-		return p.solveK0(dst, b)
+
+	ft := ctx != nil || p.dev.Faults != nil
+	if ft {
+		p.ctx = ctx
+		p.frep.reset()
+		p.degradeAll = false
+		for _, w := range p.workers {
+			w.err = nil
+			w.wf = workerFaults{}
+		}
+		defer func() { p.ctx = nil }()
 	}
-	return p.solveHybrid(dst, b)
+
+	var err error
+	if p.k == 0 {
+		err = p.solveK0(dst, b)
+	} else {
+		err = p.solveHybrid(dst, b)
+	}
+	if ft {
+		p.mergeFaults()
+		if err == nil && len(p.frep.Degraded) > 0 {
+			err = p.degradedResolve(dst, b)
+		}
+	}
+	return err
 }
 
 // solveK0 runs the pure p-Thomas path: blocked host interleave, one
@@ -351,16 +428,23 @@ func (p *Pipeline[T]) SolveInto(dst []T, b *matrix.Batch[T]) error {
 func (p *Pipeline[T]) solveK0(dst []T, b *matrix.Batch[T]) error {
 	b.ToInterleavedInto(p.vbuf)
 	if !p.recorded {
-		st := &p.kern[0]
-		*st = gpusim.Stats{Kernel: "pThomas", Launches: 1, Blocks: p.grid, ThreadsPerBlock: p.bs}
 		w := p.workers[0]
-		if err := w.exec.RunBlocks(st, p.bs, 0, p.grid, true, w.kernK0); err != nil {
+		err := p.recordLaunch(&p.kern[0], "pThomas", 0, p.bs, p.grid, w.kernK0)
+		switch {
+		case err == nil:
+			p.finishRecording(1)
+		case errors.Is(err, ErrFaulted) && !p.cfg.Retry.NoDegrade:
+			// The recording solve could not complete fault-free; the
+			// whole batch degrades to GTSV and the next solve records.
+			p.degradeAll = true
+		default:
 			return err
 		}
-		p.finishRecording(1)
-	} else {
-		p.replay()
+	} else if err := p.replay(); err != nil {
+		return err
 	}
+	// A degraded xi holds garbage here, but every degraded system of
+	// dst is overwritten by degradedResolve before the solve returns.
 	matrix.DeinterleaveVectorInto(dst, p.xi, p.m, p.n)
 	return nil
 }
@@ -373,21 +457,58 @@ func (p *Pipeline[T]) solveHybrid(dst []T, b *matrix.Batch[T]) error {
 	if !p.recorded {
 		tpb := 1 << p.k
 		w := p.workers[0]
-		st1 := &p.kern[0]
-		*st1 = gpusim.Stats{Kernel: "tiledPCR", Launches: 1, Blocks: p.m * p.g, ThreadsPerBlock: tpb}
-		if err := w.exec.RunBlocks(st1, tpb, 0, p.m*p.g, true, w.pcrKern); err != nil {
+		err := p.recordLaunch(&p.kern[0], "tiledPCR", 0, tpb, p.m*p.g, w.pcrKern)
+		if err == nil {
+			err = p.recordLaunch(&p.kern[1], "pThomasStrided", 1, tpb, p.m, w.thomasKern)
+		}
+		switch {
+		case err == nil:
+			p.finishRecording(2)
+		case errors.Is(err, ErrFaulted) && !p.cfg.Retry.NoDegrade:
+			p.degradeAll = true
+		default:
 			return err
 		}
-		st2 := &p.kern[1]
-		*st2 = gpusim.Stats{Kernel: "pThomasStrided", Launches: 1, Blocks: p.m, ThreadsPerBlock: tpb}
-		if err := w.exec.RunBlocks(st2, tpb, 0, p.m, true, w.thomasKern); err != nil {
-			return err
-		}
-		p.finishRecording(2)
-	} else {
-		p.replay()
+		return nil
 	}
-	return nil
+	return p.replay()
+}
+
+// recordLaunch runs one full recording launch on the coordinator lane
+// with the same retry ladder the replay shards use. Each attempt
+// resets st and re-records from block 0 — recording is a pure function
+// of the geometry, so a recovered recording is indistinguishable from
+// a fault-free one.
+func (p *Pipeline[T]) recordLaunch(st *gpusim.Stats, name string, slot, tpb, grid int, kern gpusim.Kernel) error {
+	w := p.workers[0]
+	maxR := p.cfg.Retry.maxRetries()
+	for attempt := 0; ; attempt++ {
+		*st = gpusim.Stats{Kernel: name, Launches: 1, Blocks: grid, ThreadsPerBlock: tpb}
+		err := w.exec.RunBlocksCtx(p.ctx, st, tpb, 0, grid, true, kern,
+			gpusim.FaultSite{Inj: p.dev.Faults, Kernel: name, Attempt: attempt})
+		if err == nil {
+			return nil
+		}
+		if p.ctx != nil && p.ctx.Err() != nil {
+			return cancelled(p.ctx.Err())
+		}
+		var le *gpusim.LaunchError
+		if !errors.As(err, &le) {
+			return err
+		}
+		w.wf.faults++
+		if le.Kind == gpusim.FaultHang {
+			w.wf.hangs++
+		}
+		if attempt >= maxR {
+			return fmt.Errorf("%w: recording launch %s: %w", ErrFaulted, name, le)
+		}
+		w.wf.retries[slot]++
+		w.wf.retryBlk[slot] += grid
+		if err := sleepBackoff(p.ctx, p.cfg.Retry.backoff(attempt)); err != nil {
+			return cancelled(err)
+		}
+	}
 }
 
 // finishRecording publishes the per-kernel stats recorded by the
@@ -404,15 +525,194 @@ func (p *Pipeline[T]) finishRecording(nKern int) {
 }
 
 // replay fans the pre-built shards out over the pool (the coordinator
-// runs lane 0 inline) with recording disabled.
-func (p *Pipeline[T]) replay() {
+// runs lane 0 inline) with recording disabled. Every lane is always
+// joined — even after an error — so the pool is quiescent and reusable
+// when replay returns. A cancellation error takes precedence over
+// fault errors in the merge.
+func (p *Pipeline[T]) replay() error {
 	for _, w := range p.workers[1:] {
 		w.start <- struct{}{}
 	}
-	p.runShard(p.workers[0])
+	p.runShardAuto(p.workers[0])
 	for _, w := range p.workers[1:] {
 		<-w.done
 	}
+	var first error
+	for _, w := range p.workers {
+		if w.err == nil {
+			continue
+		}
+		if first == nil || (errors.Is(w.err, ErrCancelled) && !errors.Is(first, ErrCancelled)) {
+			first = w.err
+		}
+	}
+	return first
+}
+
+// runShardAuto dispatches one lane's shard: the original zero-overhead
+// path when the solve is uncancellable and fault-free, the checkpointed
+// retry path otherwise. The outcome lands in w.err (the worker must not
+// return an error through the done channel).
+func (p *Pipeline[T]) runShardAuto(w *pipeWorker[T]) {
+	if p.ctx == nil && p.dev.Faults == nil {
+		p.runShard(w)
+		w.err = nil
+		return
+	}
+	w.err = p.runShardFT(w)
+}
+
+// runShardFT executes w's shard as a checkpointed unit: the kernels
+// never mutate their inputs, so a transient LaunchError is recovered
+// by re-running the whole shard (both launches for k >= 1) with capped
+// exponential backoff until the retry budget is spent, at which point
+// the shard degrades (its systems marked for the GTSV re-solve) or,
+// under NoDegrade, fails with ErrFaulted.
+func (p *Pipeline[T]) runShardFT(w *pipeWorker[T]) error {
+	maxR := p.cfg.Retry.maxRetries()
+	for attempt := 0; ; attempt++ {
+		slot, err := p.tryShard(w, attempt)
+		if err == nil {
+			return nil
+		}
+		if p.ctx != nil && p.ctx.Err() != nil {
+			return cancelled(p.ctx.Err())
+		}
+		var le *gpusim.LaunchError
+		if !errors.As(err, &le) {
+			return err
+		}
+		w.wf.faults++
+		if le.Kind == gpusim.FaultHang {
+			w.wf.hangs++
+		}
+		if attempt >= maxR {
+			if p.cfg.Retry.NoDegrade {
+				return fmt.Errorf("%w: shard retries exhausted: %w", ErrFaulted, le)
+			}
+			w.wf.degraded = true
+			return nil
+		}
+		w.wf.retries[slot]++
+		w.wf.retryBlk[slot] += p.shardBlocks(w, slot)
+		if err := sleepBackoff(p.ctx, p.cfg.Retry.backoff(attempt)); err != nil {
+			return cancelled(err)
+		}
+	}
+}
+
+// tryShard runs one attempt of w's shard under the context and the
+// device's injector, reporting which launch slot failed.
+func (p *Pipeline[T]) tryShard(w *pipeWorker[T], attempt int) (slot int, err error) {
+	inj := p.dev.Faults
+	if p.k == 0 {
+		return 0, w.exec.RunBlocksCtx(p.ctx, nil, p.bs, w.firstBlk, w.nBlk, false, w.kernK0,
+			gpusim.FaultSite{Inj: inj, Kernel: "pThomas", Attempt: attempt})
+	}
+	tpb := 1 << p.k
+	if err := w.exec.RunBlocksCtx(p.ctx, nil, tpb, w.firstSys*p.g, w.nSys*p.g, false, w.pcrKern,
+		gpusim.FaultSite{Inj: inj, Kernel: "tiledPCR", Attempt: attempt}); err != nil {
+		return 0, err
+	}
+	return 1, w.exec.RunBlocksCtx(p.ctx, nil, tpb, w.firstSys, w.nSys, false, w.thomasKern,
+		gpusim.FaultSite{Inj: inj, Kernel: "pThomasStrided", Attempt: attempt})
+}
+
+// shardBlocks is the block count of w's launch slot, for the
+// wasted-time model.
+func (p *Pipeline[T]) shardBlocks(w *pipeWorker[T], slot int) int {
+	if p.k == 0 {
+		return w.nBlk
+	}
+	if slot == 0 {
+		return w.nSys * p.g
+	}
+	return w.nSys
+}
+
+// kernelName maps a launch slot to its kernel name for the report.
+func (p *Pipeline[T]) kernelName(slot int) string {
+	if p.k == 0 {
+		return "pThomas"
+	}
+	if slot == 0 {
+		return "tiledPCR"
+	}
+	return "pThomasStrided"
+}
+
+// mergeFaults folds the per-lane fault bookkeeping into the solve's
+// FaultReport: fault and retry counts, the ascending list of degraded
+// systems (lane shards are disjoint and ordered, so appending in lane
+// order keeps it sorted), and the wasted-modeled-time estimate —
+// re-executed blocks are charged their share of the recorded kernel
+// time, and every hang one watchdog budget.
+func (p *Pipeline[T]) mergeFaults() {
+	r := &p.frep
+	hangs := 0
+	for _, w := range p.workers {
+		wf := &w.wf
+		r.Faults += wf.faults
+		hangs += wf.hangs
+		for slot := 0; slot < 2; slot++ {
+			if wf.retries[slot] > 0 {
+				r.addRetry(p.kernelName(slot), wf.retries[slot])
+			}
+			if p.recorded && wf.retryBlk[slot] > 0 && p.kern[slot].Blocks > 0 {
+				t := p.dev.EstimateTime(&p.kern[slot], num.SizeOf[T]())
+				share := float64(wf.retryBlk[slot]) / float64(p.kern[slot].Blocks)
+				r.WastedModeledTime += time.Duration(share * t * float64(time.Second))
+			}
+		}
+		if !wf.degraded {
+			continue
+		}
+		if p.k == 0 {
+			lo, hi := w.firstBlk*p.bs, (w.firstBlk+w.nBlk)*p.bs
+			if hi > p.m {
+				hi = p.m
+			}
+			for i := lo; i < hi; i++ {
+				r.Degraded = append(r.Degraded, i)
+			}
+		} else {
+			for i := w.firstSys; i < w.firstSys+w.nSys; i++ {
+				r.Degraded = append(r.Degraded, i)
+			}
+		}
+	}
+	if p.degradeAll {
+		r.Degraded = r.Degraded[:0]
+		for i := 0; i < p.m; i++ {
+			r.Degraded = append(r.Degraded, i)
+		}
+	}
+	r.WastedModeledTime += time.Duration(hangs) * p.cfg.watchdog()
+}
+
+// degradedResolve re-solves every degraded system on the host through
+// the pivoting GTSV path, writing its rows of dst. The inputs were
+// never mutated by the device attempts, so the re-solve sees the
+// original batch. A system the direct solver also rejects (singular)
+// zeroes its rows and contributes an ErrFaulted-wrapped error.
+func (p *Pipeline[T]) degradedResolve(dst []T, b *matrix.Batch[T]) error {
+	if p.gtsvWS == nil {
+		p.gtsvWS = cpu.NewGTSVWorkspace[T](p.n)
+	}
+	var errs []error
+	for _, i := range p.frep.Degraded {
+		lo, hi := i*p.n, (i+1)*p.n
+		var sys matrix.System[T]
+		sys.Lower = b.Lower[lo:hi]
+		sys.Diag = b.Diag[lo:hi]
+		sys.Upper = b.Upper[lo:hi]
+		sys.RHS = b.RHS[lo:hi]
+		if err := cpu.SolveGTSVInto(&sys, dst[lo:hi], p.gtsvWS); err != nil {
+			clear(dst[lo:hi])
+			errs = append(errs, fmt.Errorf("%w: degraded re-solve of system %d: %v", ErrFaulted, i, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // solveFallback delegates the fused / multiplexed configurations to
@@ -459,12 +759,17 @@ func (p *Pipeline[T]) Workers() int { return len(p.workers) }
 // Device returns the pipeline's simulated device.
 func (p *Pipeline[T]) Device() *gpusim.Device { return p.dev }
 
-// Close stops the worker pool. The pipeline must not be closed while
-// a solve is in flight; after Close, SolveInto returns
-// ErrPipelineClosed. Close is idempotent.
-func (p *Pipeline[T]) Close() {
+// Close stops the worker pool. A Close that races an in-flight solve
+// returns ErrPipelineBusy without touching the pool (the solve keeps
+// its arena); after a successful Close, SolveInto returns
+// ErrPipelineClosed. Close is idempotent — repeat calls return nil.
+func (p *Pipeline[T]) Close() error {
+	if !p.inUse.CompareAndSwap(false, true) {
+		return ErrPipelineBusy
+	}
+	defer p.inUse.Store(false)
 	if p.closed {
-		return
+		return nil
 	}
 	p.closed = true
 	for _, w := range p.workers {
@@ -472,4 +777,5 @@ func (p *Pipeline[T]) Close() {
 			close(w.start)
 		}
 	}
+	return nil
 }

@@ -52,6 +52,13 @@ type Device struct {
 	BarrierCost          float64 // per block-wide barrier
 	SharedAccessCost     float64 // amortized per shared-memory access
 	SharedConflictCost   float64 // per extra bank-conflict serialization cycle
+
+	// Faults, when non-nil, injects transient execution faults into
+	// kernel launches on this device: Device.Launch and the Executor
+	// surface them as typed LaunchErrors instead of silent success.
+	// Nil (the default on every preset) injects nothing. Attach or
+	// detach between solves, never while a launch is in flight.
+	Faults *Injector
 }
 
 // GTX480 returns the device description for the paper's test GPU

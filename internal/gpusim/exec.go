@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // LaunchConfig shapes a kernel launch: a 1-D grid of Grid blocks, each
@@ -35,13 +36,38 @@ func (d *Device) Launch(name string, cfg LaunchConfig, k Kernel) (*Stats, error)
 			name, cfg.Block, d.MaxThreadsPerBlock)
 	}
 
+	// The first injected fault (if any) aborts the launch: workers skip
+	// remaining blocks, and the typed error is returned instead of
+	// silent success. Fault decisions are deterministic per block, so
+	// which blocks completed before the abort may vary with scheduling —
+	// exactly the partial-write hazard the retry layer must tolerate —
+	// but the reported fault is always the same for a given injector.
+	var faulted atomic.Pointer[LaunchError]
+
 	blockStats := make([]Stats, cfg.Grid)
 	run := func(id int) {
+		if faulted.Load() != nil {
+			return
+		}
 		b := &Block{
 			ID:      id,
 			Threads: cfg.Block,
 			dev:     d,
 			stats:   &blockStats[id],
+		}
+		if d.Faults != nil {
+			if kind, ok := d.Faults.At(name, id, 0); ok {
+				le := &LaunchError{Kernel: name, Block: id, Kind: kind}
+				if kind != FaultCorrupt {
+					// Abort/hang: the block never executes.
+					faulted.CompareAndSwap(nil, le)
+					return
+				}
+				// Corrupt: the block runs, poisoning some stores; the
+				// error is reported once it completes (ECC detection).
+				b.corrupt = d.Faults.armCorrupt()
+				defer faulted.CompareAndSwap(nil, le)
+			}
 		}
 		k(b)
 		b.endPhaseSlots() // flush any pending coalescing state
@@ -73,6 +99,10 @@ func (d *Device) Launch(name string, cfg LaunchConfig, k Kernel) (*Stats, error)
 			}()
 		}
 		wg.Wait()
+	}
+
+	if le := faulted.Load(); le != nil {
+		return nil, le
 	}
 
 	total := &Stats{
@@ -120,6 +150,11 @@ type Block struct {
 	// value records, so Launch-created blocks behave as always; only the
 	// replaying Executor sets it (see Executor and Stats.Accumulate).
 	norec bool
+	// corrupt, when non-nil, arms the block with an injected corrupt
+	// fault: selected stores are poisoned (see Injector). Nil in every
+	// fault-free execution, so the store fast path pays one predictable
+	// branch.
+	corrupt *corruptState
 	// thread is the Thread context Phase/PhaseNoSync hand to every
 	// tid in turn. It lives in the Block (rather than on the Phase
 	// stack frame) because &thread is passed to an opaque func value,

@@ -1,6 +1,9 @@
 package gpusim
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Executor runs kernel blocks sequentially on the caller's goroutine,
 // reusing one Block context (and its coalescing-slot capacity) across
@@ -46,18 +49,49 @@ func NewExecutor(d *Device) *Executor {
 // performs, evaluated per block; it can only trip while recording
 // (a replayed geometry was already validated when it was recorded).
 func (e *Executor) RunBlocks(st *Stats, threadsPerBlock, first, count int, record bool, kern Kernel) error {
+	return e.RunBlocksCtx(nil, st, threadsPerBlock, first, count, record, kern, FaultSite{})
+}
+
+// RunBlocksCtx is RunBlocks with cooperative cancellation and fault
+// injection. A non-nil ctx is checked between blocks: once it is done,
+// execution stops promptly and ctx.Err() is returned, with every block
+// either fully executed or never started. When site.Inj is non-nil,
+// each block consults the injector at (site.Kernel, block, site.Attempt)
+// and a scheduled fault aborts the run with a typed *LaunchError:
+// abort/hang faults before the block executes, corrupt faults after it
+// executed with poisoned stores. Blocks before the faulted one keep
+// their writes — the partial-output hazard the caller's retry repairs
+// by re-running the whole range.
+func (e *Executor) RunBlocksCtx(ctx context.Context, st *Stats, threadsPerBlock, first, count int, record bool, kern Kernel, site FaultSite) error {
 	b := &e.blk
 	b.Threads = threadsPerBlock
 	b.dev = e.dev
 	b.stats = &e.scratch
 	b.norec = !record
 	for id := first; id < first+count; id++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if site.Inj != nil {
+			if kind, ok := site.Inj.At(site.Kernel, id, site.Attempt); ok {
+				if kind != FaultCorrupt {
+					return &LaunchError{Kernel: site.Kernel, Block: id, Kind: kind, Attempt: site.Attempt}
+				}
+				b.corrupt = site.Inj.armCorrupt()
+			}
+		}
 		e.scratch = Stats{}
 		b.ID = id
 		b.sharedSeq = 0
 		kern(b)
 		b.endPhaseSlots()
 		b.endPhaseBankSlots()
+		if b.corrupt != nil {
+			b.corrupt = nil
+			return &LaunchError{Kernel: site.Kernel, Block: id, Kind: FaultCorrupt, Attempt: site.Attempt}
+		}
 		if !record {
 			continue
 		}

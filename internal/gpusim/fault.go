@@ -1,0 +1,227 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+
+	"gputrid/internal/num"
+)
+
+// FaultKind selects which transient execution fault the injector models.
+// All kinds are detected faults: the launch reports a LaunchError
+// instead of silently returning corrupted results, mirroring how a real
+// driver surfaces an ECC error, a launch failure, or a watchdog kill.
+type FaultKind int
+
+const (
+	// FaultAbort kills the launch before the faulted block runs. Blocks
+	// already executed keep their writes, later blocks never run — the
+	// partially-written-output hazard a retry must repair.
+	FaultAbort FaultKind = iota
+	// FaultCorrupt lets the faulted block run but poisons a bounded
+	// number of its global/shared stores (modeling an ECC-detected
+	// multi-bit upset); the launch reports the error after the block
+	// completes, so every poisoned word is reachable by the caller
+	// until the shard is re-executed.
+	FaultCorrupt
+	// FaultHang stalls the faulted block forever; the watchdog kills the
+	// launch after its budget. Like FaultAbort nothing at or after the
+	// faulted block completes, but the caller is charged the watchdog
+	// budget as wasted modeled time.
+	FaultHang
+
+	numFaultKinds = 3
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultAbort:
+		return "abort"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultHang:
+		return "hang"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// LaunchError is the typed failure of a kernel launch that hit an
+// injected transient fault. It is returned by Device.Launch and
+// Executor.RunBlocksCtx instead of silent success, and is matchable
+// with errors.As through every wrapping layer.
+type LaunchError struct {
+	// Kernel is the launch's kernel name.
+	Kernel string
+	// Block is the grid index of the faulted block.
+	Block int
+	// Kind is what went wrong.
+	Kind FaultKind
+	// Attempt is the retry attempt (0 = first execution) that faulted.
+	Attempt int
+}
+
+// Error formats the fault.
+func (e *LaunchError) Error() string {
+	return fmt.Sprintf("gpusim: kernel %q block %d: transient %s fault (attempt %d)",
+		e.Kernel, e.Block, e.Kind, e.Attempt)
+}
+
+// Transient reports whether re-running the launch can succeed. Every
+// modeled kind is transient — permanent device loss is out of scope.
+func (e *LaunchError) Transient() bool { return true }
+
+// ScheduledFault pins a fault to explicit coordinates, for tests and
+// demos that need a specific kernel/block to fail deterministically.
+type ScheduledFault struct {
+	// Kernel matches the launch's kernel name; "" matches any kernel.
+	Kernel string
+	// Block matches the grid index; negative matches any block.
+	Block int
+	// Kind is the fault to inject.
+	Kind FaultKind
+	// Repeat is how many consecutive attempts of the site keep
+	// faulting before it heals; 0 applies the injector default.
+	Repeat int
+}
+
+// Injector is a seeded, schedulable source of transient device faults.
+// Whether a fault fires is a pure function of (Seed, kernel, block,
+// attempt) — never of wall-clock time or goroutine scheduling — so a
+// given injector reproduces exactly the same fault pattern on every
+// run, concurrent shards included, and a retried attempt redraws
+// deterministically.
+//
+// Faults come from two sources: the explicit Schedule, and a seeded
+// per-(kernel, block) Bernoulli draw at probability Rate. A faulted
+// site keeps failing for Repeat consecutive attempts and then heals
+// (the transient-fault model), so recovery converges whenever the
+// retry budget is at least Repeat.
+//
+// Attach an injector to Device.Faults before launching. The zero value
+// injects nothing.
+type Injector struct {
+	// Seed drives every pseudo-random decision.
+	Seed uint64
+	// Rate is the per-(kernel, block) fault probability in [0, 1].
+	Rate float64
+	// Kinds is drawn from for rate faults; empty means all kinds.
+	Kinds []FaultKind
+	// Repeat is how many consecutive attempts a faulted site keeps
+	// failing before it heals; 0 means 1 (a one-shot transient).
+	Repeat int
+	// CorruptStores bounds the stores poisoned per corrupt fault;
+	// 0 means 4.
+	CorruptStores int
+	// Schedule lists explicit faults, applied before the rate draw.
+	Schedule []ScheduledFault
+}
+
+func (in *Injector) repeat() int {
+	if in.Repeat <= 0 {
+		return 1
+	}
+	return in.Repeat
+}
+
+func (in *Injector) corruptStores() int {
+	if in.CorruptStores <= 0 {
+		return 4
+	}
+	return in.CorruptStores
+}
+
+// At decides whether block `block` of kernel `kernel` faults on the
+// given attempt, and with which kind. It is safe for concurrent use.
+func (in *Injector) At(kernel string, block, attempt int) (FaultKind, bool) {
+	if in == nil {
+		return 0, false
+	}
+	for _, f := range in.Schedule {
+		if f.Kernel != "" && f.Kernel != kernel {
+			continue
+		}
+		if f.Block >= 0 && f.Block != block {
+			continue
+		}
+		rep := f.Repeat
+		if rep <= 0 {
+			rep = in.repeat()
+		}
+		if attempt < rep {
+			return f.Kind, true
+		}
+		return 0, false
+	}
+	if in.Rate <= 0 || attempt >= in.repeat() {
+		return 0, false
+	}
+	h := siteHash(in.Seed, kernel, block)
+	if float64(h>>11)/(1<<53) >= in.Rate {
+		return 0, false
+	}
+	kinds := in.Kinds
+	if len(kinds) == 0 {
+		return FaultKind(mix64(h) % numFaultKinds), true
+	}
+	return kinds[mix64(h)%uint64(len(kinds))], true
+}
+
+// siteHash hashes the fault coordinates: FNV-1a over the kernel name,
+// mixed with the seed and block index through splitmix64 finalizers.
+func siteHash(seed uint64, kernel string, block int) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(kernel); i++ {
+		h = (h ^ uint64(kernel[i])) * 1099511628211
+	}
+	return mix64(h ^ mix64(seed) ^ mix64(uint64(block)*0x9E3779B97F4A7C15+1))
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// FaultSite carries the fault-injection coordinates of one launch into
+// Executor.RunBlocksCtx: which injector (nil disables injection), the
+// kernel name faults are keyed on, and the retry attempt. The zero
+// value injects nothing.
+type FaultSite struct {
+	Inj     *Injector
+	Kernel  string
+	Attempt int
+}
+
+// corruptState is the per-block countdown a corrupt fault arms: every
+// stride-th store through the block is poisoned until the budget is
+// spent. It lives behind a single nil-check on the store fast path.
+type corruptState struct {
+	stride int
+	left   int
+	seq    int
+}
+
+func (in *Injector) armCorrupt() *corruptState {
+	// A small prime stride spreads the poisoned words across the
+	// block's output instead of clustering them at the front.
+	return &corruptState{stride: 5, left: in.corruptStores()}
+}
+
+// corruptStore poisons v when the block's armed corrupt fault selects
+// this store. NaN is deliberate: it is the loudest possible corruption,
+// so a recovery layer that fails to re-execute the shard cannot pass a
+// bitwise-identity test by luck.
+func corruptStore[T num.Real](b *Block, v T) T {
+	c := b.corrupt
+	c.seq++
+	if c.left <= 0 || c.seq%c.stride != 0 {
+		return v
+	}
+	c.left--
+	return T(math.NaN())
+}

@@ -23,6 +23,7 @@
 package guard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -138,11 +139,14 @@ func NewRunner[T num.Real](cfg core.Config, m, n int) (*Runner[T], error) {
 }
 
 // Close releases the underlying pipeline's worker pool. The Runner is
-// unusable afterwards.
-func (r *Runner[T]) Close() {
-	if r.pipe != nil {
-		r.pipe.Close()
+// unusable afterwards. Close is idempotent; a Close racing an
+// in-flight Solve returns core.ErrPipelineBusy and leaves the Runner
+// usable.
+func (r *Runner[T]) Close() error {
+	if r.pipe == nil {
+		return nil
 	}
+	return r.pipe.Close()
 }
 
 // Solve runs the guarded pipeline over the batch, which must match the
@@ -150,6 +154,16 @@ func (r *Runner[T]) Close() {
 // Reports) and is valid until the next Solve or Close; callers that
 // need the data longer must copy it out.
 func (r *Runner[T]) Solve(b *matrix.Batch[T], pol Policy) (*Result[T], error) {
+	return r.SolveCtx(context.Background(), b, pol)
+}
+
+// SolveCtx is Solve with cooperative cancellation and transient-fault
+// recovery (see core.Pipeline.SolveIntoCtx). A cancelled solve returns
+// a nil Result with an error matching core.ErrCancelled. Systems the
+// fault-recovery layer degraded to the pivoting GTSV path are folded
+// into the ladder's reporting as StagePivot — the guarantee is the
+// same one rung 2 gives.
+func (r *Runner[T]) SolveCtx(ctx context.Context, b *matrix.Batch[T], pol Policy) (*Result[T], error) {
 	m, n := r.m, r.n
 	if b.M != m || b.N != n {
 		return nil, fmt.Errorf("guard: batch shape %dx%d does not match runner shape %dx%d: %w",
@@ -198,12 +212,23 @@ func (r *Runner[T]) Solve(b *matrix.Batch[T], pol Policy) (*Result[T], error) {
 		}
 	}
 
-	// Bulk fast path over the (sanitized) batch, into the arena.
-	if err := r.pipe.SolveInto(r.x, work); err != nil {
-		return nil, err
+	// Bulk fast path over the (sanitized) batch, into the arena. An
+	// ErrFaulted here means the recovery layer already degraded the
+	// affected systems to GTSV but some of them failed even that
+	// (singular); their slots are zeroed, so the ladder below
+	// re-classifies them per system instead of failing the batch.
+	// Under NoDegrade an ErrFaulted is a hard batch failure by request.
+	if err := r.pipe.SolveIntoCtx(ctx, r.x, work); err != nil {
+		if !errors.Is(err, core.ErrFaulted) || r.cfg.Retry.NoDegrade {
+			return nil, err
+		}
 	}
 	x := r.x
 	fastRep := r.pipe.Report()
+	var degraded []int
+	if fastRep.Faults != nil {
+		degraded = fastRep.Faults.Degraded
+	}
 	if pol.Inject != nil {
 		injectSolution(pol.Inject, x, m, n)
 	}
@@ -221,9 +246,14 @@ func (r *Runner[T]) Solve(b *matrix.Batch[T], pol Policy) (*Result[T], error) {
 		res.Reports[i] = SystemReport{}
 	}
 	matrix.ResidualsPerSystemInto(r.resid, work, x)
+	di := 0 // cursor into the (ascending) degraded-system list
 	for i := 0; i < m; i++ {
 		rep := &res.Reports[i]
 		rep.System = i
+		for di < len(degraded) && degraded[di] < i {
+			di++
+		}
+		fromGTSV := di < len(degraded) && degraded[di] == i
 		if r.isInvalid[i] {
 			rep.Stage = StageFailed
 			rep.ResidualBefore = inf()
@@ -238,6 +268,11 @@ func (r *Runner[T]) Solve(b *matrix.Batch[T], pol Policy) (*Result[T], error) {
 		rep.ResidualBefore = r0
 		if r0 <= tol {
 			rep.Stage = StageFast
+			if fromGTSV {
+				// The fault-recovery layer already re-solved this system
+				// through the pivoting path; report the rung that ran.
+				rep.Stage = StagePivot
+			}
 			rep.ResidualAfter = r0
 			continue
 		}

@@ -1,6 +1,7 @@
 package gputrid
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -92,6 +93,39 @@ func (s *Solver[T]) SolveBatchInto(dst []T, b *Batch[T]) error {
 	return nil
 }
 
+// SolveBatchIntoCtx is SolveBatchInto with cooperative cancellation and
+// transient-fault recovery. Once ctx is done the solve stops promptly
+// — between kernel blocks and during retry backoff waits — with no
+// goroutine leaks, returning an error matching both ErrCancelled and
+// the context's own error; dst is written at whole-system granularity,
+// so every healthy system's rows are either fully written or untouched.
+// With a fault-injecting device (WithFaultInjection), transient
+// LaunchErrors are retried per WithRetry and the recovered solution is
+// bitwise identical to a fault-free solve; systems that exhaust the
+// budget degrade to the host pivoting path (inspect FaultReport), or
+// fail with ErrFaulted under RetryPolicy.NoDegrade. An uncancellable
+// context (Background, TODO, nil) with a fault-free device takes the
+// zero-overhead fast path — identical to SolveBatchInto.
+func (s *Solver[T]) SolveBatchIntoCtx(ctx context.Context, dst []T, b *Batch[T]) error {
+	if err := s.pipe.SolveIntoCtx(ctx, dst, b); err != nil {
+		return fmt.Errorf("gputrid: %w", err)
+	}
+	if s.resid != nil {
+		return verifyBatchInto(b, dst, s.resid)
+	}
+	return nil
+}
+
+// FaultReport describes the fault-recovery activity of the Solver's
+// most recent solve: nil when nothing fired (fault-free solves, and
+// the fused/multiplexed fallback configurations, which have no
+// recovery layer), otherwise the retry/degradation/wasted-time
+// accounting of that solve. The report aliases the Solver's arena —
+// read it before the next solve resets it.
+func (s *Solver[T]) FaultReport() *FaultReport {
+	return faultsOf(s.pipe.Report())
+}
+
 // SolveGuarded runs the guarded pipeline (see the package-level
 // SolveGuarded) through the Solver's reusable machinery: the bulk fast
 // path and the per-system residual scan are allocation-free, with only
@@ -99,6 +133,15 @@ func (s *Solver[T]) SolveBatchInto(dst []T, b *Batch[T]) error {
 // result aliases the Solver's arenas and is valid until the next
 // SolveGuarded call or Close.
 func (s *Solver[T]) SolveGuarded(b *Batch[T]) (*GuardedResult[T], error) {
+	return s.SolveGuardedCtx(context.Background(), b)
+}
+
+// SolveGuardedCtx is SolveGuarded with cooperative cancellation and
+// transient-fault recovery (see SolveBatchIntoCtx). A cancelled solve
+// returns a nil result with an error matching ErrCancelled. Systems
+// the recovery layer degraded to the host pivoting path appear in the
+// per-system reports as StagePivot.
+func (s *Solver[T]) SolveGuardedCtx(ctx context.Context, b *Batch[T]) (*GuardedResult[T], error) {
 	if s.runner == nil {
 		r, err := guard.NewRunner[T](s.c.coreConfig(), s.m, s.n)
 		if err != nil {
@@ -111,7 +154,7 @@ func (s *Solver[T]) SolveGuarded(b *Batch[T]) (*GuardedResult[T], error) {
 		pol = *s.c.guard
 	}
 	start := time.Now()
-	gres, err := s.runner.Solve(b, pol)
+	gres, err := s.runner.SolveCtx(ctx, b, pol)
 	if gres == nil {
 		return nil, fmt.Errorf("gputrid: %w", err)
 	}
@@ -125,6 +168,7 @@ func (s *Solver[T]) SolveGuarded(b *Batch[T]) (*GuardedResult[T], error) {
 		Stats:           rep.Stats,
 		ModeledTime:     secondsToDuration(modeled[T](s.c.device, rep)),
 		WallTime:        wall,
+		Faults:          faultsOf(rep),
 	}
 	s.gres = GuardedResult[T]{Result: &s.gresu, Reports: gres.Reports, Failed: gres.Failed}
 	if err != nil {
@@ -156,10 +200,20 @@ func (s *Solver[T]) ModeledTime() time.Duration {
 }
 
 // Close releases the worker pools. Subsequent solves return
-// ErrSolverClosed; Close is idempotent.
-func (s *Solver[T]) Close() {
-	s.pipe.Close()
+// ErrSolverClosed; Close is idempotent (repeat calls return nil). A
+// Close racing an in-flight solve does not tear the solve down: it
+// returns an error matching ErrSolverBusy and leaves the Solver fully
+// usable — call Close again once the solve has returned (or cancel it
+// first via SolveBatchIntoCtx's context).
+func (s *Solver[T]) Close() error {
+	err := s.pipe.Close()
 	if s.runner != nil {
-		s.runner.Close()
+		if rerr := s.runner.Close(); err == nil {
+			err = rerr
+		}
 	}
+	if err != nil {
+		return fmt.Errorf("gputrid: %w", err)
+	}
+	return nil
 }
