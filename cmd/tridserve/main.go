@@ -1,0 +1,62 @@
+// Command tridserve exposes the overload-safe solver pool over HTTP:
+// a JSON solve endpoint with typed overload/deadline rejections, plus
+// health and stats endpoints reporting the circuit breaker and queue
+// state. It is the serving-layer demonstrator: many concurrent clients
+// multiplex onto a bounded set of warmed solvers, excess load fails
+// fast with 503 instead of collapsing latency, and a degrading device
+// trips traffic over to the host pivoting fallback.
+//
+//	tridserve                          # serve on :8437
+//	tridserve -capacity 4 -queue 16    # bigger pool
+//	tridserve -warm 64:1024,16:4096    # pre-build shapes at startup
+//	tridserve -selftest                # no listener: end-to-end self-check
+//
+// Endpoints:
+//
+//	POST /solve    {"m","n","lower","diag","upper","rhs","timeout_ms"}
+//	               -> 200 {"x","route","wait_ns","wall_ns"}
+//	               -> 400 invalid input, 503 overloaded/draining (with
+//	                  Retry-After), 504 deadline/cancelled, 500 faulted
+//	GET  /healthz  200 while serving (breaker state in the body; a
+//	               tripped breaker is "degraded" but still healthy —
+//	               the fallback serves), 503 once draining
+//	GET  /stats    pool statistics snapshot (JSON)
+//
+// The -selftest mode runs the whole stack in-process against a real
+// HTTP listener on a loopback port: correctness vs the reference CPU
+// solve, fail-fast 503s under 4x-capacity offered load, breaker trip
+// and recovery under injected faults, and graceful drain. It exits 0
+// on success and 1 on failure, and is wired into CI under -race.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8437", "listen address")
+		capacity = flag.Int("capacity", 2, "warmed solvers per shape")
+		queue    = flag.Int("queue", 0, "admission queue per shape (0 = 4x capacity)")
+		shapes   = flag.Int("maxshapes", 8, "max distinct warmed shapes")
+		warm     = flag.String("warm", "", "comma list of M:N shapes to pre-build")
+		selftest = flag.Bool("selftest", false, "run the end-to-end self-check and exit")
+	)
+	flag.Parse()
+
+	if *selftest {
+		if err := runSelfTest(); err != nil {
+			fmt.Fprintf(os.Stderr, "tridserve: selftest FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("tridserve: selftest ok")
+		return
+	}
+
+	if err := serve(*addr, *capacity, *queue, *shapes, *warm); err != nil {
+		fmt.Fprintf(os.Stderr, "tridserve: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,271 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"gputrid"
+)
+
+// solveRequest is the JSON body of POST /solve: one M x N batch in
+// natural order (row j of system i at index i*N+j), with an optional
+// per-request timeout the pool's admission controller can reject
+// against early.
+type solveRequest struct {
+	M         int       `json:"m"`
+	N         int       `json:"n"`
+	Lower     []float64 `json:"lower"`
+	Diag      []float64 `json:"diag"`
+	Upper     []float64 `json:"upper"`
+	RHS       []float64 `json:"rhs"`
+	TimeoutMS int       `json:"timeout_ms,omitempty"`
+}
+
+// solveResponse is the success body: the solution plus how the pool
+// served the request.
+type solveResponse struct {
+	X      []float64 `json:"x"`
+	Route  string    `json:"route"`
+	WaitNS int64     `json:"wait_ns"`
+	WallNS int64     `json:"wall_ns"`
+}
+
+// errorResponse is every non-200 body.
+type errorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+	// RetryAfterMS hints when an overloaded request could succeed
+	// (also sent as a Retry-After header).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// server ties the HTTP front-end to the solver pool.
+type server struct {
+	pool     *gputrid.Pool[float64]
+	draining atomic.Bool
+	// maxTimeout caps client-requested per-solve timeouts.
+	maxTimeout time.Duration
+}
+
+func newServer(cfg gputrid.PoolConfig) *server {
+	return &server{pool: gputrid.NewPool[float64](cfg), maxTimeout: time.Minute}
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining", 0)
+		return
+	}
+	var req solveRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", "invalid JSON: "+err.Error(), 0)
+		return
+	}
+	size := req.M * req.N
+	if req.M <= 0 || req.N <= 0 ||
+		len(req.Lower) != size || len(req.Diag) != size ||
+		len(req.Upper) != size || len(req.RHS) != size {
+		writeError(w, http.StatusBadRequest, "bad-request",
+			fmt.Sprintf("batch arrays must all have length m*n = %d", size), 0)
+		return
+	}
+	b := &gputrid.Batch[float64]{
+		M: req.M, N: req.N,
+		Lower: req.Lower, Diag: req.Diag, Upper: req.Upper, RHS: req.RHS,
+	}
+
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		d := time.Duration(req.TimeoutMS) * time.Millisecond
+		if d > s.maxTimeout {
+			d = s.maxTimeout
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	res, err := s.pool.Solve(ctx, b)
+	if err != nil {
+		s.writeSolveError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, solveResponse{
+		X:      res.X,
+		Route:  res.Route.String(),
+		WaitNS: int64(res.Wait),
+		WallNS: int64(res.WallTime),
+	})
+}
+
+// writeSolveError maps the pool's typed errors onto HTTP status codes.
+func (s *server) writeSolveError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, gputrid.ErrOverloaded):
+		// Hint a retry after roughly one service time.
+		retry := int64(50)
+		var oe *gputrid.OverloadError
+		if errors.As(err, &oe) && oe.EstWait > 0 {
+			retry = int64(oe.EstWait / time.Millisecond)
+			if retry < 1 {
+				retry = 1
+			}
+		}
+		writeError(w, http.StatusServiceUnavailable, "overloaded", err.Error(), retry)
+	case errors.Is(err, gputrid.ErrPoolClosed):
+		writeError(w, http.StatusServiceUnavailable, "draining", err.Error(), 0)
+	case errors.Is(err, gputrid.ErrCancelled):
+		writeError(w, http.StatusGatewayTimeout, "cancelled", err.Error(), 0)
+	case errors.Is(err, gputrid.ErrFaulted):
+		writeError(w, http.StatusInternalServerError, "faulted", err.Error(), 0)
+	default:
+		writeError(w, http.StatusBadRequest, "bad-request", err.Error(), 0)
+	}
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	brk := s.pool.Breaker()
+	body := map[string]any{
+		"status":  "ok",
+		"breaker": brk.State.String(),
+	}
+	code := http.StatusOK
+	switch {
+	case s.draining.Load():
+		body["status"] = "draining"
+		code = http.StatusServiceUnavailable
+	case brk.State != gputrid.BreakerClosed:
+		// Degraded but healthy: the CPU fallback serves while the
+		// breaker is open, so the instance must keep receiving traffic.
+		body["status"] = "degraded"
+	}
+	writeJSON(w, code, body)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.pool.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shapes":              st.Shapes,
+		"in_flight":           st.InFlight,
+		"queue_depth":         st.QueueDepth,
+		"admitted":            st.Admitted,
+		"rejected_queue_full": st.RejectedQueueFull,
+		"rejected_deadline":   st.RejectedDeadline,
+		"rejected_closed":     st.RejectedClosed,
+		"cancelled_waits":     st.CancelledWaits,
+		"device_solves":       st.DeviceSolves,
+		"probe_solves":        st.ProbeSolves,
+		"fallback_solves":     st.FallbackSolves,
+		"breaker": map[string]any{
+			"state":           st.Breaker.State.String(),
+			"window_fill":     st.Breaker.WindowFill,
+			"window_degraded": st.Breaker.WindowDegraded,
+			"trips":           st.Breaker.Trips,
+			"probe_streak":    st.Breaker.ProbeStreak,
+		},
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, code int, kind, msg string, retryAfterMS int64) {
+	if retryAfterMS > 0 {
+		secs := (retryAfterMS + 999) / 1000
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, code, errorResponse{Error: msg, Kind: kind, RetryAfterMS: retryAfterMS})
+}
+
+// parseWarmShapes parses "-warm 64:1024,16:4096".
+func parseWarmShapes(spec string) ([][2]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out [][2]int
+	for _, part := range strings.Split(spec, ",") {
+		mn := strings.Split(strings.TrimSpace(part), ":")
+		if len(mn) != 2 {
+			return nil, fmt.Errorf("bad -warm entry %q (want M:N)", part)
+		}
+		m, err1 := strconv.Atoi(mn[0])
+		n, err2 := strconv.Atoi(mn[1])
+		if err1 != nil || err2 != nil || m <= 0 || n <= 0 {
+			return nil, fmt.Errorf("bad -warm entry %q (want positive M:N)", part)
+		}
+		out = append(out, [2]int{m, n})
+	}
+	return out, nil
+}
+
+// serve runs the HTTP front-end until SIGINT/SIGTERM, then drains:
+// the listener stops accepting, in-flight requests finish, and the
+// pool is closed gracefully (force-cancelling stragglers after a
+// bounded drain window).
+func serve(addr string, capacity, queue, maxShapes int, warm string) error {
+	shapes, err := parseWarmShapes(warm)
+	if err != nil {
+		return err
+	}
+	srv := newServer(gputrid.PoolConfig{
+		Capacity:   capacity,
+		QueueLimit: queue,
+		MaxShapes:  maxShapes,
+	})
+	for _, mn := range shapes {
+		if err := srv.pool.Warm(mn[0], mn[1]); err != nil {
+			return fmt.Errorf("warming %dx%d: %w", mn[0], mn[1], err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.routes()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	fmt.Printf("tridserve: listening on %s (capacity %d/shape)\n", ln.Addr(), capacity)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-sig:
+	}
+
+	fmt.Println("tridserve: draining...")
+	srv.draining.Store(true)
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(shCtx)
+	if err := srv.pool.Close(shCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "tridserve: pool drain: %v\n", err)
+	}
+	return nil
+}

@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
+	"time"
 
 	"gputrid"
 )
@@ -44,8 +46,9 @@ func main() {
 	}
 
 	// The implicit matrix is identical for every rod and time step, so
-	// factor it once (k-step PCR transform + p-Thomas pivots) and replay
-	// against each step's right-hand side.
+	// build one reusable Solver (arenas allocated once, device events
+	// recorded on the first solve) and feed it each step's right-hand
+	// side; after the first step every solve is allocation-free.
 	b := gputrid.NewBatch[float64](rods, n)
 	for m := 0; m < rods; m++ {
 		base := m * n
@@ -59,15 +62,22 @@ func main() {
 			}
 		}
 	}
-	fac, err := gputrid.FactorHybrid(b, gputrid.AutoK)
+	sol, err := gputrid.NewSolver[float64](rods, n)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sol.Close()
 
-	rhs := make([]float64, rods*n)
+	// The time-stepping loop runs under a deadline: if the integration
+	// hangs (or the host is pathologically slow) the context cancels
+	// the in-flight solve cleanly instead of wedging the process.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
 	x := make([]float64, rods*n)
 	for s := 0; s < steps; s++ {
-		// Explicit half: d = (I + λ/2 L) u.
+		// Explicit half: d = (I + λ/2 L) u, written straight into the
+		// batch's right-hand side.
 		for m := 0; m < rods; m++ {
 			base := m * n
 			for j := 0; j < n; j++ {
@@ -78,10 +88,10 @@ func main() {
 				if j < n-1 {
 					v += lambda / 2 * u[m][j+1]
 				}
-				rhs[base+j] = v
+				b.RHS[base+j] = v
 			}
 		}
-		if err := fac.Solve(rhs, x); err != nil {
+		if err := sol.SolveBatchIntoCtx(ctx, x, b); err != nil {
 			log.Fatalf("step %d: %v", s, err)
 		}
 		for m := 0; m < rods; m++ {
@@ -102,8 +112,8 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("integrated %d rods × %d points for %d Crank-Nicolson steps (λ=%.2f, factored once, k=%d)\n",
-		rods, n, steps, lambda, fac.K())
+	fmt.Printf("integrated %d rods × %d points for %d Crank-Nicolson steps (λ=%.2f, one warmed solver, k=%d)\n",
+		rods, n, steps, lambda, sol.K())
 	fmt.Printf("max |u − exact| = %.3e (discretization error O(Δt²+Δx²) ≈ %.1e)\n",
 		worst, dt*dt+dx*dx)
 	if worst > 1e-3 {

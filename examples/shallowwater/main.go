@@ -16,9 +16,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
+	"time"
 
 	"gputrid"
 )
@@ -54,6 +56,12 @@ func main() {
 	// line, alternating directions (c² = g·depth).
 	lam := grav * depth * dt * dt / (dx * dx)
 
+	// The frame loop runs under a deadline: a wedged solve is cancelled
+	// cleanly (SolveBatchCtx stops between kernel blocks) instead of
+	// hanging an interactive simulation forever.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
 	stepDir := func(rhs []float64, m, n int, pix func(l, i int) int) ([]float64, error) {
 		b := gputrid.NewBatch[float64](m, n)
 		for l := 0; l < m; l++ {
@@ -76,7 +84,7 @@ func main() {
 				b.RHS[base+i] = rhs[pix(l, i)]
 			}
 		}
-		res, err := gputrid.SolveBatch(b)
+		res, err := gputrid.SolveBatchCtx(ctx, b)
 		if err != nil {
 			return nil, err
 		}

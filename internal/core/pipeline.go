@@ -110,6 +110,11 @@ type Pipeline[T num.Real] struct {
 	degradeAll bool
 	gtsvWS     *cpu.GTSVWorkspace[T]
 
+	// lastWall is the measured host time of the most recent solve,
+	// the pool's per-shape service-time observation. Written at the end
+	// of each solve; reads are ordered by the solve's completion.
+	lastWall time.Duration
+
 	workers []*pipeWorker[T]
 	inUse   atomic.Bool
 	closed  bool
@@ -379,6 +384,11 @@ func (p *Pipeline[T]) SolveIntoCtx(ctx context.Context, dst []T, b *matrix.Batch
 	if p.closed {
 		return ErrPipelineClosed
 	}
+	// Service-time hook for the serving pool's admission controller:
+	// every executed solve (even a faulted or cancelled one — its slot
+	// was occupied regardless) updates the last observed wall time.
+	start := time.Now()
+	defer func() { p.lastWall = time.Since(start) }()
 
 	// An uncancellable context (Background, TODO) costs nothing: the
 	// fast path is taken whenever there is neither a Done channel nor
@@ -749,6 +759,11 @@ func (p *Pipeline[T]) Report() *Report {
 
 // K returns the resolved PCR step count.
 func (p *Pipeline[T]) K() int { return p.k }
+
+// LastSolveTime returns the measured host duration of the most recent
+// solve (zero before the first one) — the observed per-shape service
+// time the serving pool's admission controller feeds its EWMA.
+func (p *Pipeline[T]) LastSolveTime() time.Duration { return p.lastWall }
 
 // Shape returns the fixed batch shape (M systems, N rows).
 func (p *Pipeline[T]) Shape() (m, n int) { return p.m, p.n }

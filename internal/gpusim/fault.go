@@ -116,6 +116,12 @@ type Injector struct {
 	CorruptStores int
 	// Schedule lists explicit faults, applied before the rate draw.
 	Schedule []ScheduledFault
+	// Gate dynamically arms and disarms the injector: when non-nil and
+	// returning false, no fault fires. It must be safe for concurrent
+	// use (e.g. read an atomic.Bool); fault-regime sweeps and breaker
+	// recovery tests flip it between solves to model a fault burst that
+	// heals. Nil means always armed.
+	Gate func() bool
 }
 
 func (in *Injector) repeat() int {
@@ -136,6 +142,9 @@ func (in *Injector) corruptStores() int {
 // given attempt, and with which kind. It is safe for concurrent use.
 func (in *Injector) At(kernel string, block, attempt int) (FaultKind, bool) {
 	if in == nil {
+		return 0, false
+	}
+	if in.Gate != nil && !in.Gate() {
 		return 0, false
 	}
 	for _, f := range in.Schedule {

@@ -1,0 +1,316 @@
+package gputrid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"maps"
+	"time"
+
+	"gputrid/internal/cpu"
+	"gputrid/internal/pool"
+)
+
+// Typed serving-layer errors, matchable with errors.Is through the
+// "gputrid:"-prefixed wrappers Pool returns.
+var (
+	// ErrOverloaded matches admission-control rejections: the shape's
+	// wait queue was full, or the request's deadline was infeasible
+	// given the observed service time. The concrete error is an
+	// *OverloadError with a congestion snapshot (errors.As).
+	ErrOverloaded = pool.ErrOverloaded
+	// ErrPoolClosed matches requests that arrive at (or are queued in)
+	// a pool whose Close has begun.
+	ErrPoolClosed = pool.ErrClosed
+)
+
+// OverloadError is the typed fail-fast rejection of admission control,
+// carrying the shape, the rejection reason, and a queue-depth
+// snapshot; see the pool package for fields.
+type OverloadError = pool.OverloadError
+
+// OverloadReason says which admission check rejected a request.
+type OverloadReason = pool.OverloadReason
+
+// The admission rejection reasons.
+const (
+	QueueFull          = pool.QueueFull
+	DeadlineInfeasible = pool.DeadlineInfeasible
+)
+
+// BreakerPolicy tunes the pool's circuit breaker; the zero value is
+// the production default (20-solve window, trip at 50% degraded with
+// ≥8 samples, 100ms cooldown, 3 probe successes to close).
+type BreakerPolicy = pool.BreakerPolicy
+
+// BreakerState is the circuit breaker's position.
+type BreakerState = pool.BreakerState
+
+// The breaker states.
+const (
+	BreakerClosed   = pool.BreakerClosed
+	BreakerOpen     = pool.BreakerOpen
+	BreakerHalfOpen = pool.BreakerHalfOpen
+)
+
+// BreakerSnapshot is the observable breaker state.
+type BreakerSnapshot = pool.BreakerSnapshot
+
+// PoolStats snapshots a Pool: warmed shapes, in-flight and queued
+// requests, admission and route counters, breaker state.
+type PoolStats = pool.Stats
+
+// PoolConfig sizes a Pool. The zero value is a small production
+// default: 2 solvers and a queue of 8 per shape, at most 8 warmed
+// shapes, the default breaker, no extra solver options.
+type PoolConfig struct {
+	// Capacity is the number of warmed Solver instances per shape —
+	// the per-shape concurrency limit; 0 means 2.
+	Capacity int
+	// QueueLimit bounds the requests waiting per shape; beyond it
+	// admission fails fast with ErrOverloaded. 0 means 4*Capacity;
+	// negative disables queueing.
+	QueueLimit int
+	// MaxShapes bounds the distinct warmed shapes (LRU idle shapes are
+	// evicted past it); 0 means 8.
+	MaxShapes int
+	// Breaker tunes the circuit breaker.
+	Breaker BreakerPolicy
+	// EWMAAlpha is the service-time smoothing factor in (0, 1];
+	// 0 means 0.2.
+	EWMAAlpha float64
+	// SolverOptions are applied to every Solver the pool builds
+	// (WithDevice, WithK, WithWorkers, WithFaultInjection, ...).
+	SolverOptions []Option
+}
+
+// Route says which execution path served a pool solve.
+type Route int
+
+const (
+	// RouteDevice: the warmed hybrid solver (simulated device) path.
+	RouteDevice Route = iota
+	// RouteFallback: the host pivoting GTSV path, used while the
+	// circuit breaker is open (or half-open, for non-probe traffic).
+	RouteFallback
+)
+
+// String names the route.
+func (r Route) String() string {
+	switch r {
+	case RouteDevice:
+		return "device"
+	case RouteFallback:
+		return "fallback"
+	default:
+		return fmt.Sprintf("route(%d)", int(r))
+	}
+}
+
+// PoolResult is a pool solve's result: the usual Result plus how the
+// request was served. Unlike Solver results, X and Faults are owned by
+// the caller — the pool copies them out of the solver's arenas before
+// recycling the instance.
+type PoolResult[T Real] struct {
+	*Result[T]
+	// Route says which path produced X. Fallback results carry no
+	// device stats (Stats is nil, ModeledTime 0).
+	Route Route
+	// Wait is the admission wait: time from Solve entry to a granted
+	// solver (0 for fallback routes).
+	Wait time.Duration
+}
+
+// Pool is the concurrent serving layer over reusable Solvers: it
+// multiplexes any number of concurrent callers onto a bounded set of
+// warmed, shape-keyed Solver instances with overload protection.
+//
+//   - Admission control: per shape, at most Capacity solves run while
+//     at most QueueLimit requests wait; beyond that Solve fails fast
+//     with ErrOverloaded instead of letting latency collapse.
+//   - Backpressure and deadlines: every Solve respects its context;
+//     requests whose deadline cannot be met given the observed
+//     per-shape service time (an EWMA fed by each solve) are rejected
+//     early, while queued requests whose context ends return an error
+//     matching ErrCancelled.
+//   - Circuit breaker: sustained fault degradation (FaultReport
+//     activity from the transient-fault layer) trips the breaker and
+//     routes traffic to the host pivoting GTSV fallback; after a
+//     cooldown, half-open probes test the device path and close the
+//     breaker once they come back clean.
+//   - Graceful drain: Close stops admissions, drains in-flight solves,
+//     and force-cancels them through the PR 4 context paths when its
+//     own context expires; all solver worker goroutines settle.
+//
+// A Pool is safe for concurrent use by any number of goroutines.
+type Pool[T Real] struct {
+	cfg   PoolConfig
+	inner *pool.Pool[*Solver[T]]
+}
+
+// NewPool builds an overload-safe serving pool. Solvers are created
+// lazily per shape (use Warm to pre-build a shape's complement).
+func NewPool[T Real](cfg PoolConfig) *Pool[T] {
+	inner := pool.New(
+		pool.Config{
+			Capacity:   cfg.Capacity,
+			QueueLimit: cfg.QueueLimit,
+			MaxShapes:  cfg.MaxShapes,
+			Breaker:    cfg.Breaker,
+			EWMAAlpha:  cfg.EWMAAlpha,
+		},
+		func(m, n int) (*Solver[T], error) {
+			s, err := NewSolver[T](m, n, cfg.SolverOptions...)
+			if err != nil {
+				return nil, err
+			}
+			return s, nil
+		},
+		func(s *Solver[T]) error { return s.Close() },
+		func(s *Solver[T]) time.Duration { return s.ModeledTime() },
+	)
+	return &Pool[T]{cfg: cfg, inner: inner}
+}
+
+// Warm eagerly builds the full solver complement for a shape, so the
+// first requests are not serialized behind arena allocation and the
+// recording solve.
+func (p *Pool[T]) Warm(m, n int) error {
+	if err := p.inner.Warm(m, n); err != nil {
+		return fmt.Errorf("gputrid: %w", err)
+	}
+	return nil
+}
+
+// Solve solves the batch through the pool: it validates the input,
+// asks the breaker for a route, acquires a warmed Solver (waiting in
+// the shape's bounded queue if necessary), and runs the solve under
+// the request context. Errors are typed: ErrOverloaded (admission
+// rejected), ErrPoolClosed (pool draining), ErrCancelled (context
+// ended while queued or mid-solve), ErrFaulted (unrecovered device
+// fault). The returned result is caller-owned.
+func (p *Pool[T]) Solve(ctx context.Context, b *Batch[T]) (*PoolResult[T], error) {
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("gputrid: invalid batch: %w", err)
+	}
+	device, probe := p.inner.Route()
+	if !device {
+		return p.solveFallback(ctx, b)
+	}
+
+	enq := time.Now()
+	lease, err := p.inner.Acquire(ctx, b.M, b.N)
+	if err != nil {
+		p.inner.Abandon(probe)
+		return nil, fmt.Errorf("gputrid: %w", err)
+	}
+	wait := time.Since(enq)
+
+	s := lease.Solver
+	x := make([]T, b.M*b.N)
+	err = s.SolveBatchIntoCtx(lease.Ctx, x, b)
+	svc := s.LastSolveTime()
+
+	// Everything read off the solver must be captured before Release
+	// hands it to the next request.
+	if err != nil && errors.Is(err, ErrCancelled) {
+		lease.Release(0)
+		p.inner.Abandon(probe)
+		return nil, fmt.Errorf("gputrid: %w", err)
+	}
+	res := &PoolResult[T]{
+		Result: &Result[T]{
+			X:               x,
+			K:               s.K(),
+			BlocksPerSystem: s.BlocksPerSystem(),
+			Stats:           cloneStats(s.Stats()),
+			ModeledTime:     s.ModeledTime(),
+			WallTime:        svc,
+			Faults:          cloneFaultReport(s.FaultReport()),
+		},
+		Route: RouteDevice,
+		Wait:  wait,
+	}
+	lease.Release(svc)
+	// Breaker signal: any fault-layer activity (retries, degraded
+	// systems) or a non-cancellation error counts as device
+	// degradation; clean solves count toward recovery.
+	p.inner.Record(probe, err != nil || res.Faults != nil)
+	if err != nil {
+		return nil, fmt.Errorf("gputrid: %w", err)
+	}
+	return res, nil
+}
+
+// solveFallback serves one request on the host pivoting GTSV path —
+// the breaker-open route. It is deliberately boring: no queue, no
+// device, stable for any nonsingular system.
+func (p *Pool[T]) solveFallback(ctx context.Context, b *Batch[T]) (*PoolResult[T], error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("gputrid: %w: %w", ErrCancelled, err)
+	}
+	start := time.Now()
+	x, err := cpu.SolveBatchGTSV(b)
+	if err != nil {
+		return nil, fmt.Errorf("gputrid: fallback: %w", err)
+	}
+	p.inner.RecordFallback()
+	return &PoolResult[T]{
+		Result: &Result[T]{X: x, WallTime: time.Since(start)},
+		Route:  RouteFallback,
+	}, nil
+}
+
+// Stats snapshots the pool's admission, routing and breaker state.
+func (p *Pool[T]) Stats() PoolStats { return p.inner.Stats() }
+
+// Breaker returns the circuit breaker's observable state.
+func (p *Pool[T]) Breaker() BreakerSnapshot { return p.inner.Breaker() }
+
+// ServiceTime returns the pool's current service-time estimate for a
+// shape (false when the shape has never been served).
+func (p *Pool[T]) ServiceTime(m, n int) (time.Duration, bool) {
+	return p.inner.ServiceTime(m, n)
+}
+
+// Close gracefully drains the pool: admissions stop immediately (new
+// and queued requests fail with ErrPoolClosed), in-flight solves run
+// to completion, and when ctx expires first they are force-cancelled
+// through their solve contexts. All solver worker goroutines are
+// settled and every Solver closed before Close returns. Idempotent;
+// returns nil on a clean drain and an error wrapping ctx's error when
+// solves had to be force-cancelled.
+func (p *Pool[T]) Close(ctx context.Context) error {
+	if err := p.inner.Close(ctx); err != nil {
+		return fmt.Errorf("gputrid: %w", err)
+	}
+	return nil
+}
+
+// cloneStats copies the recorded device events out of the solver, so
+// pool results stay valid after the solver is recycled (configurations
+// that rebuild their report per solve would otherwise alias it).
+func cloneStats(s *Stats) *Stats {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	return &c
+}
+
+// cloneFaultReport deep-copies a solve's fault report out of the
+// solver's reusable arena, so pool results stay valid after the
+// solver is recycled to another request.
+func cloneFaultReport(r *FaultReport) *FaultReport {
+	if r == nil {
+		return nil
+	}
+	c := &FaultReport{Faults: r.Faults, WastedModeledTime: r.WastedModeledTime}
+	if len(r.Degraded) > 0 {
+		c.Degraded = append([]int(nil), r.Degraded...)
+	}
+	if len(r.Retries) > 0 {
+		c.Retries = maps.Clone(r.Retries)
+	}
+	return c
+}

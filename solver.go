@@ -199,6 +199,12 @@ func (s *Solver[T]) ModeledTime() time.Duration {
 	return secondsToDuration(modeled[T](s.c.device, s.pipe.Report()))
 }
 
+// LastSolveTime returns the measured host duration of the Solver's
+// most recent solve (zero before the first one). The serving Pool
+// feeds it to its per-shape service-time EWMA for deadline-aware
+// admission control.
+func (s *Solver[T]) LastSolveTime() time.Duration { return s.pipe.LastSolveTime() }
+
 // Close releases the worker pools. Subsequent solves return
 // ErrSolverClosed; Close is idempotent (repeat calls return nil). A
 // Close racing an in-flight solve does not tear the solve down: it
