@@ -1,0 +1,310 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"gputrid"
+	"gputrid/internal/fleet"
+	"gputrid/internal/fleet/scenario"
+	"gputrid/internal/gpusim"
+)
+
+// fleetTickInterval drives the live control loop; cordon/heal and
+// autoscaling decisions are evaluated at this cadence.
+const fleetTickInterval = 250 * time.Millisecond
+
+// fleetServer ties the HTTP front-end to the multi-device fleet
+// control plane instead of a single pool: requests route to the
+// least-loaded healthy device, device-local failures re-route, and
+// operators can observe and drive the control plane over HTTP.
+type fleetServer struct {
+	fl         *fleet.Fleet
+	draining   atomic.Bool
+	maxTimeout time.Duration
+}
+
+// fleetSolveResponse extends the pool-mode response with where the
+// fleet actually ran the solve.
+type fleetSolveResponse struct {
+	solveResponse
+	// Device is the id of the device that served the request; Attempts
+	// is how many devices were tried (>1 means a re-route saved it).
+	Device   int `json:"device"`
+	Attempts int `json:"attempts"`
+}
+
+// injectRequest is the body of POST /fleet/inject: one synthetic
+// device health event, applied by the next control-loop tick.
+type injectRequest struct {
+	Device  int     `json:"device"`
+	Kind    string  `json:"kind"`
+	XID     int     `json:"xid,omitempty"`
+	Temp    float64 `json:"temp,omitempty"`
+	Message string  `json:"message,omitempty"`
+}
+
+func (s *fleetServer) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /fleet", s.handleFleet)
+	mux.HandleFunc("POST /fleet/inject", s.handleInject)
+	return mux
+}
+
+func (s *fleetServer) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining", 0)
+		return
+	}
+	var req solveRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", "invalid JSON: "+err.Error(), 0)
+		return
+	}
+	size := req.M * req.N
+	if req.M <= 0 || req.N <= 0 ||
+		len(req.Lower) != size || len(req.Diag) != size ||
+		len(req.Upper) != size || len(req.RHS) != size {
+		writeError(w, http.StatusBadRequest, "bad-request",
+			fmt.Sprintf("batch arrays must all have length m*n = %d", size), 0)
+		return
+	}
+	b := &gputrid.Batch[float64]{
+		M: req.M, N: req.N,
+		Lower: req.Lower, Diag: req.Diag, Upper: req.Upper, RHS: req.RHS,
+	}
+
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		d := time.Duration(req.TimeoutMS) * time.Millisecond
+		if d > s.maxTimeout {
+			d = s.maxTimeout
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	res, err := s.fl.Solve(ctx, b)
+	if err != nil {
+		s.writeSolveError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fleetSolveResponse{
+		solveResponse: solveResponse{
+			X:      res.X,
+			Route:  res.Route.String(),
+			WaitNS: int64(res.Wait),
+			WallNS: int64(res.WallTime),
+		},
+		Device:   res.Device,
+		Attempts: res.Attempts,
+	})
+}
+
+// writeSolveError maps fleet and pool errors onto HTTP status codes.
+// Overload hints use the rejecting device's congestion estimate; "no
+// servable device" is a 503 too — the fleet may heal or scale up.
+func (s *fleetServer) writeSolveError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, gputrid.ErrOverloaded):
+		writeError(w, http.StatusServiceUnavailable, "overloaded", err.Error(),
+			retryAfterMS(err, nil))
+	case errors.Is(err, fleet.ErrNoDevices):
+		writeError(w, http.StatusServiceUnavailable, "no-device", err.Error(),
+			int64(fleetTickInterval/time.Millisecond))
+	case errors.Is(err, fleet.ErrFleetClosed), errors.Is(err, gputrid.ErrPoolClosed):
+		writeError(w, http.StatusServiceUnavailable, "draining", err.Error(), 0)
+	case errors.Is(err, gputrid.ErrCancelled):
+		writeError(w, http.StatusGatewayTimeout, "cancelled", err.Error(), 0)
+	case errors.Is(err, gputrid.ErrFaulted):
+		writeError(w, http.StatusInternalServerError, "faulted", err.Error(), 0)
+	default:
+		writeError(w, http.StatusBadRequest, "bad-request", err.Error(), 0)
+	}
+}
+
+func (s *fleetServer) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.fl.Stats()
+	servable := st.Active + st.Probation + st.Deprioritized
+	body := map[string]any{
+		"status":   "ok",
+		"servable": servable,
+	}
+	code := http.StatusOK
+	switch {
+	case s.draining.Load():
+		body["status"] = "draining"
+		code = http.StatusServiceUnavailable
+	case servable == 0:
+		// Everything cordoned/dead: unhealthy until a heal or scale-up.
+		body["status"] = "no-device"
+		code = http.StatusServiceUnavailable
+	case st.Active == 0:
+		body["status"] = "degraded"
+	}
+	writeJSON(w, code, body)
+}
+
+func (s *fleetServer) handleFleet(w http.ResponseWriter, r *http.Request) {
+	st := s.fl.Stats()
+	devices := make([]map[string]any, 0, len(st.Devices))
+	for _, d := range st.Devices {
+		devices = append(devices, map[string]any{
+			"id":            d.ID,
+			"state":         d.State.String(),
+			"in_flight":     d.InFlight,
+			"served":        d.Served,
+			"failed":        d.Failed,
+			"corrected_ecc": d.CorrectedECC,
+			"queue_depth":   d.QueueDepth,
+			"breaker":       d.Breaker.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"devices": devices,
+		"census": map[string]any{
+			"active":        st.Active,
+			"probation":     st.Probation,
+			"deprioritized": st.Deprioritized,
+			"cordoned":      st.Cordoned,
+			"dead":          st.Dead,
+			"standby":       st.Standby,
+		},
+		"in_flight":      st.InFlight,
+		"queue_depth":    st.QueueDepth,
+		"served":         st.Served,
+		"rejected":       st.Rejected,
+		"rerouted":       st.Rerouted,
+		"no_device":      st.NoDevice,
+		"cordons":        st.Cordons,
+		"heals":          st.Heals,
+		"scale_ups":      st.ScaleUps,
+		"scale_downs":    st.ScaleDowns,
+		"forced_drains":  st.ForcedDrains,
+		"build_failures": st.BuildFailures,
+		"events":         st.Events,
+	})
+}
+
+func (s *fleetServer) handleInject(w http.ResponseWriter, r *http.Request) {
+	var req injectRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", "invalid JSON: "+err.Error(), 0)
+		return
+	}
+	kind, err := gpusim.ParseHealthKind(req.Kind)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", err.Error(), 0)
+		return
+	}
+	ev := gpusim.HealthEvent{
+		Device: req.Device, Kind: kind,
+		XID: req.XID, Temp: req.Temp, Message: req.Message,
+	}
+	s.fl.Inject(ev)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"accepted": ev.String(),
+		"note":     "applied by the next control-loop tick",
+	})
+}
+
+// serveFleet runs the multi-device serving mode: a fleet of `devices`
+// failure domains behind the HTTP front-end, with a wall-clock ticker
+// driving the control loop. SIGINT/SIGTERM drains the whole fleet.
+func serveFleet(addr string, devices, capacity, queue, maxShapes int, warm string) error {
+	shapes, err := parseWarmShapes(warm)
+	if err != nil {
+		return err
+	}
+	fl, err := fleet.New(fleet.Config{
+		Devices: devices,
+		Pool: gputrid.PoolConfig{
+			Capacity:   capacity,
+			QueueLimit: queue,
+			MaxShapes:  maxShapes,
+		},
+		WarmShapes: shapes,
+	})
+	if err != nil {
+		return err
+	}
+	srv := &fleetServer{fl: fl, maxTimeout: time.Minute}
+
+	stopTicks := make(chan struct{})
+	go func() {
+		tk := time.NewTicker(fleetTickInterval)
+		defer tk.Stop()
+		for {
+			select {
+			case <-tk.C:
+				fl.Tick()
+			case <-stopTicks:
+				return
+			}
+		}
+	}()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		_ = fl.Close(context.Background())
+		return err
+	}
+	hs := &http.Server{Handler: srv.routes()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	fmt.Printf("tridserve: fleet of %d devices listening on %s (capacity %d/shape/device)\n",
+		devices, ln.Addr(), capacity)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		close(stopTicks)
+		_ = fl.Close(context.Background())
+		return err
+	case <-sig:
+	}
+
+	fmt.Println("tridserve: draining fleet...")
+	srv.draining.Store(true)
+	close(stopTicks)
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(shCtx)
+	if err := fl.Close(shCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "tridserve: fleet drain: %v\n", err)
+	}
+	return nil
+}
+
+// runScenario replays one YAML fleet scenario deterministically and
+// prints its report; the exit status is the assertion verdict, which
+// is what lets CI run scenarios as smoke tests.
+func runScenario(path string) error {
+	rep, err := scenario.RunFile(path, log.New(os.Stderr, "", 0).Printf)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Summary())
+	if !rep.OK() {
+		return fmt.Errorf("scenario %s failed %d assertion(s)", rep.Scenario, len(rep.Failures))
+	}
+	return nil
+}

@@ -10,17 +10,41 @@
 //	tridserve -capacity 4 -queue 16    # bigger pool
 //	tridserve -warm 64:1024,16:4096    # pre-build shapes at startup
 //	tridserve -selftest                # no listener: end-to-end self-check
+//	tridserve -fleet 3                 # 3-device fleet behind one front-end
+//	tridserve -scenario death.yaml     # replay a fleet scenario, exit 0/1
 //
 // Endpoints:
 //
 //	POST /solve    {"m","n","lower","diag","upper","rhs","timeout_ms"}
 //	               -> 200 {"x","route","wait_ns","wall_ns"}
-//	               -> 400 invalid input, 503 overloaded/draining (with
-//	                  Retry-After), 504 deadline/cancelled, 500 faulted
+//	               -> 400 invalid input, 503 overloaded/draining (with a
+//	                  Retry-After derived from the pool's service-time
+//	                  estimate), 504 deadline/cancelled, 500 faulted
 //	GET  /healthz  200 while serving (breaker state in the body; a
 //	               tripped breaker is "degraded" but still healthy —
 //	               the fallback serves), 503 once draining
-//	GET  /stats    pool statistics snapshot (JSON)
+//	GET  /stats    pool statistics snapshot, including per-shape queue
+//	               depths and service-time estimates (JSON)
+//
+// With -fleet N the process serves through the multi-device control
+// plane instead of a single pool: every device is an independent
+// failure domain with its own warmed pool, requests route to the
+// least-loaded healthy device and re-route when a device dies beneath
+// them, and a ticker runs the cordon/drain/autoscale control loop.
+// /solve responses then also carry "device" and "attempts", and two
+// endpoints replace /stats:
+//
+//	GET  /fleet         fleet snapshot: per-device state machine
+//	                    position, census, control-plane counters
+//	POST /fleet/inject  {"device","kind","xid","temp","message"} —
+//	                    inject a synthetic health event ("xid",
+//	                    "thermal", "ecc-corrected", "ecc-uncorrected",
+//	                    "healed"); applied by the next tick
+//
+// With -scenario FILE the process runs no listener at all: it replays
+// the YAML fleet scenario (load phases, injected health events,
+// assertions) deterministically on a virtual clock and exits 0 when
+// every assertion holds, 1 otherwise. See internal/fleet/scenario.
 //
 // The -selftest mode runs the whole stack in-process against a real
 // HTTP listener on a loopback port: correctness vs the reference CPU
@@ -43,6 +67,8 @@ func main() {
 		shapes   = flag.Int("maxshapes", 8, "max distinct warmed shapes")
 		warm     = flag.String("warm", "", "comma list of M:N shapes to pre-build")
 		selftest = flag.Bool("selftest", false, "run the end-to-end self-check and exit")
+		fleetN   = flag.Int("fleet", 0, "serve through a fleet of N device failure domains (0 = single pool)")
+		scenFile = flag.String("scenario", "", "replay a YAML fleet scenario and exit 0/1 on its assertions")
 	)
 	flag.Parse()
 
@@ -52,6 +78,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("tridserve: selftest ok")
+		return
+	}
+
+	if *scenFile != "" {
+		if err := runScenario(*scenFile); err != nil {
+			fmt.Fprintf(os.Stderr, "tridserve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *fleetN > 0 {
+		if err := serveFleet(*addr, *fleetN, *capacity, *queue, *shapes, *warm); err != nil {
+			fmt.Fprintf(os.Stderr, "tridserve: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 

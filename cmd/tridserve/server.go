@@ -119,20 +119,41 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// retryAfterMS derives a 503 retry hint from the best congestion
+// estimate available, in preference order: the rejection's own EstWait
+// (the admission controller already computed the queue-drain time),
+// else one queue's worth of the pool's EWMA service-time estimate for
+// the rejected shape, else a conservative 50ms when the shape has
+// never been observed. est may be nil when no estimator applies.
+func retryAfterMS(err error, est func(m, n int) (time.Duration, bool)) int64 {
+	var oe *gputrid.OverloadError
+	if !errors.As(err, &oe) {
+		return 50
+	}
+	wait := oe.EstWait
+	if wait <= 0 && est != nil {
+		if svc, ok := est(oe.M, oe.N); ok && svc > 0 {
+			// The request would land behind QueueDepth waiters plus the
+			// solves already holding the capacity.
+			wait = svc * time.Duration(oe.QueueDepth+1)
+		}
+	}
+	if wait <= 0 {
+		return 50
+	}
+	ms := int64(wait / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
 // writeSolveError maps the pool's typed errors onto HTTP status codes.
 func (s *server) writeSolveError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, gputrid.ErrOverloaded):
-		// Hint a retry after roughly one service time.
-		retry := int64(50)
-		var oe *gputrid.OverloadError
-		if errors.As(err, &oe) && oe.EstWait > 0 {
-			retry = int64(oe.EstWait / time.Millisecond)
-			if retry < 1 {
-				retry = 1
-			}
-		}
-		writeError(w, http.StatusServiceUnavailable, "overloaded", err.Error(), retry)
+		writeError(w, http.StatusServiceUnavailable, "overloaded", err.Error(),
+			retryAfterMS(err, s.pool.ServiceTime))
 	case errors.Is(err, gputrid.ErrPoolClosed):
 		writeError(w, http.StatusServiceUnavailable, "draining", err.Error(), 0)
 	case errors.Is(err, gputrid.ErrCancelled):
@@ -165,8 +186,22 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.pool.Stats()
+	// Per-shape congestion so operators can see *which* traffic class
+	// is queueing, not just the pool-wide aggregate.
+	perShape := make([]map[string]any, 0, len(st.PerShape))
+	for _, sh := range st.PerShape {
+		perShape = append(perShape, map[string]any{
+			"m":               sh.M,
+			"n":               sh.N,
+			"built":           sh.Built,
+			"leased":          sh.Leased,
+			"queue_depth":     sh.QueueDepth,
+			"service_time_ns": int64(sh.ServiceTime),
+		})
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"shapes":              st.Shapes,
+		"per_shape":           perShape,
 		"in_flight":           st.InFlight,
 		"queue_depth":         st.QueueDepth,
 		"admitted":            st.Admitted,

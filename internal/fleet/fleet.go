@@ -1,0 +1,586 @@
+// Package fleet is the multi-device serving control plane: N simulated
+// devices, each wrapping its own warmed solver pool as an independent
+// failure domain, behind a control loop that consumes typed device
+// health events (gpusim.HealthEvent), applies a cordon/drain policy
+// (fatal events drain the device through the pool's graceful-drain
+// path, thermal events deprioritize it, healed events revive it into
+// probation on a fresh pool), routes requests to the least-loaded
+// healthy device with automatic re-route when a device dies beneath a
+// request, and scales the active device set up and down on load
+// watermarks with a cooldown.
+//
+// The control loop is deliberately *stepped*, not free-running: all
+// policy evaluation happens in Tick, every elapsed-time decision reads
+// an injectable Clock, and health events buffer in an injectable feed
+// until the next Tick. Driven by a ticker and the wall clock this is a
+// live control plane; driven by a scenario runner and a VirtualClock
+// it is a fully deterministic, replayable one (see the scenario
+// subpackage).
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gputrid"
+	"gputrid/internal/gpusim"
+)
+
+// Typed fleet errors.
+var (
+	// ErrNoDevices reports that no servable device exists (every device
+	// is cordoned, dead, or in standby).
+	ErrNoDevices = errors.New("fleet: no servable device")
+	// ErrFleetClosed reports a Solve against a closed fleet.
+	ErrFleetClosed = errors.New("fleet: closed")
+)
+
+// Config sizes and tunes a fleet. The zero value of every field picks
+// a sensible default (see each field); Devices is the only required
+// one.
+type Config struct {
+	// Devices is the total number of failure domains (required ≥ 1).
+	Devices int
+	// InitialActive is how many devices start Active; the rest start
+	// Standby for the autoscaler. 0 means all of them.
+	InitialActive int
+	// MinActive is the autoscaler's floor; 0 means 1.
+	MinActive int
+
+	// Factory builds one device's pool; nil means a gputrid.NewPool
+	// over Pool + DeviceOptions, warmed on WarmShapes.
+	Factory BackendFactory
+	// Pool configures each device's pool (default factory only).
+	Pool gputrid.PoolConfig
+	// DeviceOptions returns extra per-device solver options — e.g. a
+	// per-device fault injector seed (default factory only).
+	DeviceOptions func(id int) []gputrid.Option
+	// WarmShapes are pre-built on every device the factory creates.
+	WarmShapes [][2]int
+
+	// Clock drives every elapsed-time policy decision; nil means wall
+	// clock.
+	Clock Clock
+
+	// CorrectedECCLimit is how many corrected-ECC events a device
+	// absorbs before the controller escalates to a cordon; 0 means 8,
+	// negative disables the escalation.
+	CorrectedECCLimit int
+	// Probation is how long a revived device must stay clean before
+	// promotion to Active; 0 means 1s.
+	Probation time.Duration
+	// DrainTimeout bounds a cordon's graceful drain; past it in-flight
+	// solves are force-cancelled through their lease contexts (they
+	// re-route to healthy devices). 0 means 5s. This is a data-plane
+	// safety bound and always reads the wall clock.
+	DrainTimeout time.Duration
+	// RerouteAttempts is the maximum number of devices one request may
+	// try before its last error is returned; 0 means 3.
+	RerouteAttempts int
+	// DisableFaultECC stops the fleet from synthesizing corrected-ECC
+	// health events out of solve-level fault reports. By default a
+	// device whose transient-fault layer is visibly retrying emits
+	// HealthECCCorrected into the feed, so sustained data-plane faults
+	// escalate into control-plane action.
+	DisableFaultECC bool
+
+	// ScaleUpAt and ScaleDownAt are the autoscaler's load-per-slot
+	// watermarks: load is max(requests routed, peak concurrency) since
+	// the last Tick, slots is the Active+Probation solver capacity.
+	// 0 means 1.5 up, 0.25 down; see scaler.go.
+	ScaleUpAt, ScaleDownAt float64
+	// ScaleCooldown is the minimum time between scaling actions;
+	// 0 means 1s.
+	ScaleCooldown time.Duration
+}
+
+func (c Config) initialActive() int {
+	if c.InitialActive <= 0 || c.InitialActive > c.Devices {
+		return c.Devices
+	}
+	return c.InitialActive
+}
+
+func (c Config) minActive() int {
+	if c.MinActive <= 0 {
+		return 1
+	}
+	if c.MinActive > c.Devices {
+		return c.Devices
+	}
+	return c.MinActive
+}
+
+func (c Config) correctedECCLimit() int {
+	switch {
+	case c.CorrectedECCLimit == 0:
+		return 8
+	case c.CorrectedECCLimit < 0:
+		return 1 << 30
+	default:
+		return c.CorrectedECCLimit
+	}
+}
+
+func (c Config) probation() time.Duration {
+	if c.Probation <= 0 {
+		return time.Second
+	}
+	return c.Probation
+}
+
+func (c Config) drainTimeout() time.Duration {
+	if c.DrainTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.DrainTimeout
+}
+
+func (c Config) rerouteAttempts() int {
+	if c.RerouteAttempts <= 0 {
+		return 3
+	}
+	return c.RerouteAttempts
+}
+
+// Result is one fleet-served solve: the pool result plus which device
+// produced it and how many devices were tried.
+type Result struct {
+	*gputrid.PoolResult[float64]
+	// Device is the id of the device that served the request.
+	Device int
+	// Attempts is the number of devices tried (1 = no re-route).
+	Attempts int
+}
+
+// Stats is an instantaneous fleet snapshot.
+type Stats struct {
+	// Devices details every device, by id.
+	Devices []DeviceStats
+	// State census.
+	Active, Probation, Deprioritized, Cordoned, Dead, Standby int
+	// InFlight is the number of fleet requests currently being served;
+	// QueueDepth aggregates the live device pools' wait queues.
+	InFlight   int64
+	QueueDepth int
+	// Served counts successful solves; Rejected counts requests that
+	// exhausted their attempts; Rerouted counts device-failure retries;
+	// NoDevice counts requests that found no servable device at all.
+	Served, Rejected, Rerouted, NoDevice uint64
+	// Control-plane action counters.
+	Cordons, Heals, ScaleUps, ScaleDowns, ForcedDrains uint64
+	// BuildFailures counts factory failures during revive/scale-up.
+	BuildFailures uint64
+	// Events is the cumulative injected health-event count.
+	Events uint64
+}
+
+// Fleet is the control plane over N device failure domains. All
+// methods are safe for concurrent use; policy evaluation happens only
+// inside Tick.
+type Fleet struct {
+	cfg     Config
+	clock   Clock
+	factory BackendFactory
+	feed    *gpusim.HealthFeed
+
+	mu        sync.Mutex
+	devices   []*device
+	closed    bool
+	lastScale time.Time
+	// rr rotates pick's scan start so full routing ties round-robin.
+	rr int
+	// offeredInterval and peakInterval are the scaler's load signals,
+	// reset each Tick (guarded by mu).
+	offeredInterval int
+	peakInterval    int64
+
+	inflightTotal atomic.Int64
+	drains        sync.WaitGroup
+
+	served, rejected, rerouted, noDevice               atomic.Uint64
+	cordons, heals, scaleUps, scaleDowns, forcedDrains atomic.Uint64
+	buildFailures                                      atomic.Uint64
+}
+
+// New builds the fleet: InitialActive devices get live pools, the rest
+// start in standby. A factory failure tears down what was built.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Devices < 1 || cfg.Devices > 64 {
+		return nil, fmt.Errorf("fleet: Devices = %d, want 1..64", cfg.Devices)
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = WallClock{}
+	}
+	factory := cfg.Factory
+	if factory == nil {
+		factory = defaultFactory(cfg)
+	}
+	f := &Fleet{
+		cfg:     cfg,
+		clock:   clock,
+		factory: factory,
+		feed:    &gpusim.HealthFeed{},
+	}
+	now := clock.Now()
+	f.lastScale = now
+	active := cfg.initialActive()
+	for id := 0; id < cfg.Devices; id++ {
+		d := &device{id: id, state: StateStandby, lastTransition: now}
+		if id < active {
+			be, err := factory(id)
+			if err != nil {
+				_ = f.Close(context.Background())
+				return nil, fmt.Errorf("fleet: building device %d: %w", id, err)
+			}
+			d.backend = be
+			d.state = StateActive
+		}
+		f.devices = append(f.devices, d)
+	}
+	return f, nil
+}
+
+// defaultFactory builds real gputrid pools, warmed on WarmShapes.
+func defaultFactory(cfg Config) BackendFactory {
+	return func(id int) (Backend, error) {
+		pc := cfg.Pool
+		if cfg.DeviceOptions != nil {
+			opts := append([]gputrid.Option(nil), pc.SolverOptions...)
+			pc.SolverOptions = append(opts, cfg.DeviceOptions(id)...)
+		}
+		p := gputrid.NewPool[float64](pc)
+		for _, mn := range cfg.WarmShapes {
+			if err := p.Warm(mn[0], mn[1]); err != nil {
+				_ = p.Close(context.Background())
+				return nil, err
+			}
+		}
+		return p, nil
+	}
+}
+
+// Feed returns the fleet's health-event feed, the injection hook for
+// scenario runners, tests, and operational endpoints.
+func (f *Fleet) Feed() *gpusim.HealthFeed { return f.feed }
+
+// Inject stamps the event with the fleet clock when its Time is zero
+// and appends it to the feed; the next Tick applies it.
+func (f *Fleet) Inject(ev gpusim.HealthEvent) {
+	if ev.Time.IsZero() {
+		ev.Time = f.clock.Now()
+	}
+	f.feed.Inject(ev)
+}
+
+// Solve routes one batch to the least-loaded servable device and runs
+// it there. When the device fails in a device-local way — drained
+// beneath the request, force-cancelled mid-solve by a cordon, queue
+// full, faulted — and the request's own context is still live, the
+// request re-routes to the next-best untried device, up to
+// RerouteAttempts devices in total. The returned error is the last
+// device's (typed: ErrOverloaded, ErrPoolClosed, ErrCancelled,
+// ErrFaulted through gputrid), or ErrNoDevices/ErrFleetClosed.
+func (f *Fleet) Solve(ctx context.Context, b *gputrid.Batch[float64]) (*Result, error) {
+	var tried uint64 // bitmask over device ids (Devices ≤ 64 enforced by pick)
+	var lastErr error
+	for attempt := 1; attempt <= f.cfg.rerouteAttempts(); attempt++ {
+		d, be, err := f.pick(&tried)
+		if err != nil {
+			if lastErr != nil {
+				// Every servable device was tried and failed; surface
+				// the device error, not the exhaustion.
+				break
+			}
+			if errors.Is(err, ErrNoDevices) {
+				f.noDevice.Add(1)
+			}
+			return nil, err
+		}
+
+		// pick counted the request in flight on d; be is the backend
+		// captured under the lock (a concurrent cordon may nil
+		// d.backend at any moment).
+		res, err := be.Solve(ctx, b)
+		f.inflightTotal.Add(-1)
+		d.inflight.Add(-1)
+
+		if err == nil {
+			d.served.Add(1)
+			f.served.Add(1)
+			if res.Faults != nil && !f.cfg.DisableFaultECC {
+				// The device's fault layer had to repair this solve:
+				// surface it to the control plane as corrected-ECC
+				// pressure so a sick device escalates to a cordon.
+				f.Inject(gpusim.HealthEvent{
+					Device: d.id, Kind: gpusim.HealthECCCorrected,
+					Message: "fault-layer recovery activity",
+				})
+			}
+			return &Result{PoolResult: res, Device: d.id, Attempts: attempt}, nil
+		}
+		d.failed.Add(1)
+		lastErr = err
+		if ctx.Err() != nil {
+			// The caller's own deadline/cancellation — nothing another
+			// device could fix.
+			break
+		}
+		// Device-local failure: the pool drained beneath the request
+		// (cordon), the lease was force-cancelled, the device is
+		// overloaded, or the solve faulted unrecoverably. Re-route.
+		f.rerouted.Add(1)
+	}
+	f.rejected.Add(1)
+	return nil, lastErr
+}
+
+// Tick runs one control-loop step against the fleet clock: it applies
+// every buffered health event, promotes devices whose probation
+// expired, revives drained devices with a pending heal, and evaluates
+// the autoscaler. Call it from a ticker in live serving, or from the
+// scenario runner's virtual-time loop.
+func (f *Fleet) Tick() {
+	evs := f.feed.Drain()
+	now := f.clock.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	for _, ev := range evs {
+		f.applyEventLocked(ev, now)
+	}
+	for _, d := range f.devices {
+		switch {
+		case d.state == StateProbation && !now.Before(d.probationUntil):
+			d.state = StateActive
+			d.lastTransition = now
+		case d.state == StateDead && d.wantHeal && !d.draining:
+			d.wantHeal = false
+			f.reviveLocked(d, StateProbation, now)
+		}
+	}
+	f.scaleLocked(now)
+}
+
+// applyEventLocked is the cordon/drain policy table.
+func (f *Fleet) applyEventLocked(ev gpusim.HealthEvent, now time.Time) {
+	if ev.Device < 0 || ev.Device >= len(f.devices) {
+		return
+	}
+	d := f.devices[ev.Device]
+
+	// A probation device gets no grace: anything short of recovery
+	// re-cordons it immediately.
+	if d.state == StateProbation && ev.Kind.Severity() != gpusim.SeverityRecovery {
+		f.cordonLocked(d, StateDead, now)
+		return
+	}
+
+	switch ev.Kind.Severity() {
+	case gpusim.SeverityFatal:
+		if d.state.servable() {
+			f.cordonLocked(d, StateDead, now)
+		} else if d.state == StateStandby {
+			// No traffic to drain; the device is simply unavailable to
+			// the scaler until healed.
+			d.state = StateDead
+			d.lastTransition = now
+		}
+	case gpusim.SeverityDegraded:
+		if d.state == StateActive {
+			d.state = StateDeprioritized
+			d.lastTransition = now
+		}
+	case gpusim.SeverityInfo:
+		d.correctedECC++
+		if d.correctedECC >= f.cfg.correctedECCLimit() && d.state.servable() {
+			f.cordonLocked(d, StateDead, now)
+		}
+	case gpusim.SeverityRecovery:
+		f.heals.Add(1)
+		switch d.state {
+		case StateDead:
+			if d.draining {
+				d.wantHeal = true
+			} else {
+				f.reviveLocked(d, StateProbation, now)
+			}
+		case StateCordoned:
+			d.wantHeal = true
+		case StateDeprioritized:
+			// The pool survived a thermal deprioritization; probation
+			// on the same pool.
+			d.state = StateProbation
+			d.probationUntil = now.Add(f.cfg.probation())
+			d.lastTransition = now
+		case StateActive:
+			d.correctedECC = 0
+		}
+	}
+}
+
+// cordonLocked starts a graceful drain of the device's pool — the
+// exact pool.Close protocol: admissions stop, in-flight solves finish,
+// the DrainTimeout force-cancels stragglers (whose requests then
+// re-route). The device lands in `target` (Dead for health cordons,
+// Standby for scale-downs) once the drain completes.
+func (f *Fleet) cordonLocked(d *device, target DeviceState, now time.Time) {
+	if d.backend == nil || d.draining {
+		return
+	}
+	f.cordons.Add(1)
+	be := d.backend
+	d.backend = nil // the router can no longer pick it
+	d.state = StateCordoned
+	d.drainTarget = target
+	d.draining = true
+	d.correctedECC = 0
+	d.lastTransition = now
+	f.drains.Add(1)
+	go func() {
+		defer f.drains.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), f.cfg.drainTimeout())
+		defer cancel()
+		if be.Close(ctx) != nil {
+			f.forcedDrains.Add(1)
+		}
+		f.mu.Lock()
+		d.draining = false
+		d.state = d.drainTarget
+		d.lastTransition = f.clock.Now()
+		f.mu.Unlock()
+	}()
+}
+
+// reviveLocked gives a drained device a fresh pool (a real device
+// reset wipes device state, so nothing warmed survives) and puts it in
+// `state` — Probation for heals, Active for scale-ups.
+func (f *Fleet) reviveLocked(d *device, state DeviceState, now time.Time) {
+	be, err := f.factory(d.id)
+	if err != nil {
+		f.buildFailures.Add(1)
+		return
+	}
+	d.backend = be
+	d.state = state
+	d.correctedECC = 0
+	d.lastTransition = now
+	if state == StateProbation {
+		d.probationUntil = now.Add(f.cfg.probation())
+	}
+}
+
+// Quiesce blocks until every in-progress drain has completed — the
+// scenario runner calls it so device state is settled before
+// assertions, without any wall-clock sleep.
+func (f *Fleet) Quiesce() { f.drains.Wait() }
+
+// Stats snapshots the fleet.
+func (f *Fleet) Stats() Stats {
+	s := Stats{
+		InFlight:      f.inflightTotal.Load(),
+		Served:        f.served.Load(),
+		Rejected:      f.rejected.Load(),
+		Rerouted:      f.rerouted.Load(),
+		NoDevice:      f.noDevice.Load(),
+		Cordons:       f.cordons.Load(),
+		Heals:         f.heals.Load(),
+		ScaleUps:      f.scaleUps.Load(),
+		ScaleDowns:    f.scaleDowns.Load(),
+		ForcedDrains:  f.forcedDrains.Load(),
+		BuildFailures: f.buildFailures.Load(),
+		Events:        f.feed.Injected(),
+	}
+	type liveDev struct {
+		i  int
+		be Backend
+	}
+	var live []liveDev
+	f.mu.Lock()
+	for _, d := range f.devices {
+		ds := DeviceStats{
+			ID:           d.id,
+			State:        d.state,
+			InFlight:     d.inflight.Load(),
+			Served:       d.served.Load(),
+			Failed:       d.failed.Load(),
+			CorrectedECC: d.correctedECC,
+		}
+		switch d.state {
+		case StateActive:
+			s.Active++
+		case StateProbation:
+			s.Probation++
+		case StateDeprioritized:
+			s.Deprioritized++
+		case StateCordoned:
+			s.Cordoned++
+		case StateDead:
+			s.Dead++
+		case StateStandby:
+			s.Standby++
+		}
+		if d.backend != nil {
+			live = append(live, liveDev{len(s.Devices), d.backend})
+		}
+		s.Devices = append(s.Devices, ds)
+	}
+	f.mu.Unlock()
+	// Pool snapshots outside the fleet lock: Stats takes pool mutexes.
+	for _, ld := range live {
+		ps := ld.be.Stats()
+		s.Devices[ld.i].QueueDepth = ps.QueueDepth
+		s.Devices[ld.i].Breaker = ps.Breaker.State
+		s.QueueDepth += ps.QueueDepth
+	}
+	return s
+}
+
+// Close shuts the fleet down: Solve and Tick become no-ops, every live
+// device pool is drained concurrently under ctx, and outstanding
+// cordon drains are awaited. Idempotent.
+func (f *Fleet) Close(ctx context.Context) error {
+	f.mu.Lock()
+	alreadyClosed := f.closed
+	f.closed = true
+	var live []Backend
+	for _, d := range f.devices {
+		if d.backend != nil {
+			live = append(live, d.backend)
+			d.backend = nil
+			d.state = StateDead
+			d.lastTransition = f.clock.Now()
+		}
+	}
+	f.mu.Unlock()
+
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for _, be := range live {
+		wg.Add(1)
+		go func(be Backend) {
+			defer wg.Done()
+			if err := be.Close(ctx); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(be)
+	}
+	wg.Wait()
+	f.drains.Wait()
+	if alreadyClosed {
+		return nil
+	}
+	return firstErr
+}

@@ -1,0 +1,526 @@
+package fleet_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"gputrid"
+	"gputrid/internal/fleet"
+	"gputrid/internal/gpusim"
+)
+
+// fakeBackend is a deterministic stand-in for one device's pool.
+type fakeBackend struct {
+	id int
+
+	mu       sync.Mutex
+	closed   bool
+	solves   int
+	solveErr error
+	faults   *gputrid.FaultReport
+	breaker  gputrid.BreakerState
+	// holdClose, when non-nil, blocks Close until the channel closes or
+	// the drain context expires (modeling a long graceful drain).
+	holdClose chan struct{}
+}
+
+func (b *fakeBackend) Solve(ctx context.Context, _ *gputrid.Batch[float64]) (*gputrid.PoolResult[float64], error) {
+	b.mu.Lock()
+	closed, err, faults := b.closed, b.solveErr, b.faults
+	if !closed && err == nil {
+		b.solves++
+	}
+	b.mu.Unlock()
+	if closed {
+		return nil, gputrid.ErrPoolClosed
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &gputrid.PoolResult[float64]{
+		Result: &gputrid.Result[float64]{X: []float64{float64(b.id)}, Faults: faults},
+		Route:  gputrid.RouteDevice,
+	}, nil
+}
+
+func (b *fakeBackend) Warm(m, n int) error { return nil }
+func (b *fakeBackend) Stats() gputrid.PoolStats {
+	return gputrid.PoolStats{Breaker: gputrid.BreakerSnapshot{State: b.breakerState()}}
+}
+func (b *fakeBackend) ServiceTime(m, n int) (time.Duration, bool) { return time.Millisecond, true }
+func (b *fakeBackend) Breaker() gputrid.BreakerSnapshot {
+	return gputrid.BreakerSnapshot{State: b.breakerState()}
+}
+
+func (b *fakeBackend) breakerState() gputrid.BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.breaker
+}
+
+func (b *fakeBackend) Close(ctx context.Context) error {
+	b.mu.Lock()
+	hold := b.holdClose
+	b.mu.Unlock()
+	if hold != nil {
+		select {
+		case <-hold:
+		case <-ctx.Done():
+			b.mu.Lock()
+			b.closed = true
+			b.mu.Unlock()
+			return ctx.Err()
+		}
+	}
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *fakeBackend) isClosed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+// fakeFactory builds fakeBackends and remembers every instance, so
+// tests can assert which generation a device is running.
+type fakeFactory struct {
+	mu   sync.Mutex
+	made []*fakeBackend
+}
+
+func (f *fakeFactory) build(id int) (fleet.Backend, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	be := &fakeBackend{id: id}
+	f.made = append(f.made, be)
+	return be, nil
+}
+
+func (f *fakeFactory) builds() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.made)
+}
+
+func (f *fakeFactory) backend(i int) *fakeBackend {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.made[i]
+}
+
+func newTestFleet(t *testing.T, cfg fleet.Config, ff *fakeFactory, vc *fleet.VirtualClock) *fleet.Fleet {
+	t.Helper()
+	cfg.Factory = ff.build
+	cfg.Clock = vc
+	f, err := fleet.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = f.Close(context.Background()) })
+	return f
+}
+
+func deviceState(t *testing.T, f *fleet.Fleet, id int) fleet.DeviceState {
+	t.Helper()
+	return f.Stats().Devices[id].State
+}
+
+// TestCordonDrainHealProbation walks the full state machine: a fatal
+// XID cordons and drains the device, traffic re-routes, a healed event
+// revives it on a *fresh* pool into probation, and a clean probation
+// period promotes it back to Active.
+func TestCordonDrainHealProbation(t *testing.T) {
+	vc := fleet.NewVirtualClock(time.Unix(0, 0))
+	ff := &fakeFactory{}
+	f := newTestFleet(t, fleet.Config{Devices: 2, Probation: 2 * time.Second}, ff, vc)
+	ctx := context.Background()
+
+	// Routing is least-loaded with round-robin ties; the first pick
+	// starts its scan at device 0.
+	res, err := f.Solve(ctx, nil)
+	if err != nil || res.Device != 0 {
+		t.Fatalf("first solve: dev=%v err=%v, want device 0", res, err)
+	}
+
+	// Fatal XID on device 0: next Tick cordons and drains it.
+	f.Inject(gpusim.HealthEvent{Device: 0, Kind: gpusim.HealthXID, XID: 79, Message: "fallen off the bus"})
+	f.Tick()
+	f.Quiesce()
+	if got := deviceState(t, f, 0); got != fleet.StateDead {
+		t.Fatalf("after XID + drain: device 0 state = %v, want dead", got)
+	}
+	if !ff.backend(0).isClosed() {
+		t.Fatal("cordon did not drain device 0's pool through Close")
+	}
+	st := f.Stats()
+	if st.Cordons != 1 || st.ForcedDrains != 0 {
+		t.Fatalf("cordons/forced = %d/%d, want 1/0 (graceful)", st.Cordons, st.ForcedDrains)
+	}
+
+	// Traffic routes around the corpse.
+	for i := 0; i < 3; i++ {
+		res, err := f.Solve(ctx, nil)
+		if err != nil {
+			t.Fatalf("solve after cordon: %v", err)
+		}
+		if res.Device != 1 {
+			t.Fatalf("solve routed to device %d, want 1", res.Device)
+		}
+	}
+
+	// Heal: fresh pool, probation.
+	f.Inject(gpusim.HealthEvent{Device: 0, Kind: gpusim.HealthHealed})
+	f.Tick()
+	if got := deviceState(t, f, 0); got != fleet.StateProbation {
+		t.Fatalf("after heal: device 0 state = %v, want probation", got)
+	}
+	if ff.builds() != 3 { // 2 initial + 1 revive
+		t.Fatalf("factory built %d backends, want 3 (heal must NOT reuse the drained pool)", ff.builds())
+	}
+
+	// Probation device serves traffic.
+	served0 := false
+	for i := 0; i < 4; i++ {
+		res, err := f.Solve(ctx, nil)
+		if err != nil {
+			t.Fatalf("probation solve: %v", err)
+		}
+		served0 = served0 || res.Device == 0
+	}
+	if !served0 {
+		t.Fatal("probation device received no traffic")
+	}
+
+	// Probation expires only after the configured period of clock time.
+	vc.Advance(time.Second)
+	f.Tick()
+	if got := deviceState(t, f, 0); got != fleet.StateProbation {
+		t.Fatalf("1s into 2s probation: state = %v, want probation", got)
+	}
+	vc.Advance(time.Second + time.Millisecond)
+	f.Tick()
+	if got := deviceState(t, f, 0); got != fleet.StateActive {
+		t.Fatalf("after probation: state = %v, want active", got)
+	}
+}
+
+// TestProbationViolationRecordons: any non-recovery event during
+// probation cordons the device immediately — no second chances.
+func TestProbationViolationRecordons(t *testing.T) {
+	vc := fleet.NewVirtualClock(time.Unix(0, 0))
+	ff := &fakeFactory{}
+	f := newTestFleet(t, fleet.Config{Devices: 2}, ff, vc)
+
+	f.Inject(gpusim.HealthEvent{Device: 0, Kind: gpusim.HealthECCUncorrected})
+	f.Tick()
+	f.Quiesce()
+	f.Inject(gpusim.HealthEvent{Device: 0, Kind: gpusim.HealthHealed})
+	f.Tick()
+	if got := deviceState(t, f, 0); got != fleet.StateProbation {
+		t.Fatalf("state = %v, want probation", got)
+	}
+
+	// Even a mere corrected-ECC event is a probation violation.
+	f.Inject(gpusim.HealthEvent{Device: 0, Kind: gpusim.HealthECCCorrected})
+	f.Tick()
+	f.Quiesce()
+	if got := deviceState(t, f, 0); got != fleet.StateDead {
+		t.Fatalf("state after probation violation = %v, want dead", got)
+	}
+}
+
+// TestThermalDeprioritize: a thermal event demotes the device to
+// last-choice routing without draining its pool; healing returns it
+// through probation on the SAME pool (thermals don't wipe device
+// state).
+func TestThermalDeprioritize(t *testing.T) {
+	vc := fleet.NewVirtualClock(time.Unix(0, 0))
+	ff := &fakeFactory{}
+	f := newTestFleet(t, fleet.Config{Devices: 2}, ff, vc)
+	ctx := context.Background()
+
+	f.Inject(gpusim.HealthEvent{Device: 0, Kind: gpusim.HealthThermal, Temp: 95})
+	f.Tick()
+	if got := deviceState(t, f, 0); got != fleet.StateDeprioritized {
+		t.Fatalf("state = %v, want deprioritized", got)
+	}
+	if ff.backend(0).isClosed() {
+		t.Fatal("thermal deprioritization must not drain the pool")
+	}
+
+	// All traffic avoids the hot device while device 1 is healthy.
+	for i := 0; i < 4; i++ {
+		res, err := f.Solve(ctx, nil)
+		if err != nil || res.Device != 1 {
+			t.Fatalf("solve %d: dev=%v err=%v, want device 1", i, res, err)
+		}
+	}
+
+	// ...but it still serves when it is the only device left.
+	f.Inject(gpusim.HealthEvent{Device: 1, Kind: gpusim.HealthXID, XID: 48})
+	f.Tick()
+	f.Quiesce()
+	res, err := f.Solve(ctx, nil)
+	if err != nil || res.Device != 0 {
+		t.Fatalf("last-resort solve: dev=%v err=%v, want the deprioritized device 0", res, err)
+	}
+
+	// Heal the thermal: probation on the same pool — no rebuild.
+	builds := ff.builds()
+	f.Inject(gpusim.HealthEvent{Device: 0, Kind: gpusim.HealthHealed})
+	f.Tick()
+	if got := deviceState(t, f, 0); got != fleet.StateProbation {
+		t.Fatalf("state after thermal heal = %v, want probation", got)
+	}
+	if ff.builds() != builds {
+		t.Fatal("thermal heal rebuilt the pool; it must keep the live one")
+	}
+}
+
+// TestCorrectedECCEscalation: corrected-ECC events are harmless
+// individually but cordon the device once they accumulate past the
+// policy threshold.
+func TestCorrectedECCEscalation(t *testing.T) {
+	vc := fleet.NewVirtualClock(time.Unix(0, 0))
+	ff := &fakeFactory{}
+	f := newTestFleet(t, fleet.Config{Devices: 2, CorrectedECCLimit: 3}, ff, vc)
+
+	for i := 0; i < 2; i++ {
+		f.Inject(gpusim.HealthEvent{Device: 0, Kind: gpusim.HealthECCCorrected})
+	}
+	f.Tick()
+	if got := deviceState(t, f, 0); got != fleet.StateActive {
+		t.Fatalf("below threshold: state = %v, want active", got)
+	}
+	f.Inject(gpusim.HealthEvent{Device: 0, Kind: gpusim.HealthECCCorrected})
+	f.Tick()
+	f.Quiesce()
+	if got := deviceState(t, f, 0); got != fleet.StateDead {
+		t.Fatalf("at threshold: state = %v, want dead (cordoned + drained)", got)
+	}
+}
+
+// TestSolveFaultsEscalateToCordon: device solves whose fault layer had
+// to recover emit corrected-ECC health events, so a device with
+// sustained data-plane faults eventually cordons itself.
+func TestSolveFaultsEscalateToCordon(t *testing.T) {
+	vc := fleet.NewVirtualClock(time.Unix(0, 0))
+	ff := &fakeFactory{}
+	f := newTestFleet(t, fleet.Config{Devices: 2, CorrectedECCLimit: 2}, ff, vc)
+	ctx := context.Background()
+
+	// Device 0's solves carry fault reports; keep device 1 clean.
+	ff.backend(0).mu.Lock()
+	ff.backend(0).faults = &gputrid.FaultReport{Faults: 1}
+	ff.backend(0).mu.Unlock()
+
+	// Ties rotate round-robin, so 4 solves land on device 0 twice.
+	for i := 0; i < 4; i++ {
+		if _, err := f.Solve(ctx, nil); err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+		f.Tick()
+		f.Quiesce()
+	}
+	if got := deviceState(t, f, 0); got != fleet.StateDead {
+		t.Fatalf("faulty device state = %v, want dead (ECC escalation)", got)
+	}
+	if got := deviceState(t, f, 1); got != fleet.StateActive {
+		t.Fatalf("clean device state = %v, want active", got)
+	}
+}
+
+// TestRerouteOnDeadDevice: a request whose device drains beneath it
+// re-routes to the next device and succeeds; Attempts reflects it.
+func TestRerouteOnDeadDevice(t *testing.T) {
+	vc := fleet.NewVirtualClock(time.Unix(0, 0))
+	ff := &fakeFactory{}
+	f := newTestFleet(t, fleet.Config{Devices: 2}, ff, vc)
+
+	// Device 0's pool rejects with ErrPoolClosed (drained beneath the
+	// router's nose — the fleet hasn't processed the cordon yet).
+	ff.backend(0).mu.Lock()
+	ff.backend(0).closed = true
+	ff.backend(0).mu.Unlock()
+
+	res, err := f.Solve(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if res.Device != 1 || res.Attempts != 2 {
+		t.Fatalf("served by device %d in %d attempts, want device 1 in 2", res.Device, res.Attempts)
+	}
+	if st := f.Stats(); st.Rerouted != 1 {
+		t.Fatalf("rerouted = %d, want 1", st.Rerouted)
+	}
+}
+
+// TestCallerCancellationDoesNotReroute: when the request's own context
+// is dead, no re-route may happen — nothing another device could fix.
+func TestCallerCancellationDoesNotReroute(t *testing.T) {
+	vc := fleet.NewVirtualClock(time.Unix(0, 0))
+	ff := &fakeFactory{}
+	f := newTestFleet(t, fleet.Config{Devices: 2}, ff, vc)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ff.backend(0).mu.Lock()
+	ff.backend(0).solveErr = gputrid.ErrCancelled
+	ff.backend(0).mu.Unlock()
+	ff.backend(1).mu.Lock()
+	ff.backend(1).solveErr = gputrid.ErrCancelled
+	ff.backend(1).mu.Unlock()
+
+	if _, err := f.Solve(ctx, nil); !errors.Is(err, gputrid.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if st := f.Stats(); st.Rerouted != 0 {
+		t.Fatalf("rerouted = %d, want 0 for caller-cancelled request", st.Rerouted)
+	}
+}
+
+// TestBreakerAwareRouting: at equal load, a device whose breaker is
+// open (serving off its CPU fallback) loses to one whose device path
+// is healthy.
+func TestBreakerAwareRouting(t *testing.T) {
+	vc := fleet.NewVirtualClock(time.Unix(0, 0))
+	ff := &fakeFactory{}
+	f := newTestFleet(t, fleet.Config{Devices: 2}, ff, vc)
+
+	// Device 0 would take its round-robin share; trip its breaker.
+	ff.backend(0).mu.Lock()
+	ff.backend(0).breaker = gputrid.BreakerOpen
+	ff.backend(0).mu.Unlock()
+
+	for i := 0; i < 3; i++ {
+		res, err := f.Solve(context.Background(), nil)
+		if err != nil || res.Device != 1 {
+			t.Fatalf("solve %d: dev=%v err=%v, want breaker-closed device 1", i, res, err)
+		}
+	}
+}
+
+// TestAutoscaleUpAndDown: offered load above the high watermark
+// activates a standby device (after the cooldown); sustained idleness
+// drains one back to standby, never below MinActive.
+func TestAutoscaleUpAndDown(t *testing.T) {
+	vc := fleet.NewVirtualClock(time.Unix(0, 0))
+	ff := &fakeFactory{}
+	f := newTestFleet(t, fleet.Config{
+		Devices: 2, InitialActive: 1, MinActive: 1,
+		ScaleCooldown: time.Second,
+	}, ff, vc)
+	ctx := context.Background()
+
+	// Heavy offered load: 10 requests against 1 device x capacity 2.
+	for i := 0; i < 10; i++ {
+		if _, err := f.Solve(ctx, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Inside the cooldown no scaling happens...
+	f.Tick()
+	if got := deviceState(t, f, 1); got != fleet.StateStandby {
+		t.Fatalf("scaled during cooldown: device 1 = %v", got)
+	}
+	// ...after it, the same load scales up.
+	for i := 0; i < 10; i++ {
+		if _, err := f.Solve(ctx, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vc.Advance(1100 * time.Millisecond)
+	f.Tick()
+	if got := deviceState(t, f, 1); got != fleet.StateActive {
+		t.Fatalf("device 1 = %v, want active after scale-up", got)
+	}
+	if st := f.Stats(); st.ScaleUps != 1 {
+		t.Fatalf("scaleUps = %d, want 1", st.ScaleUps)
+	}
+
+	// Idle long enough: scale back down to MinActive, but never below.
+	vc.Advance(1100 * time.Millisecond)
+	f.Tick() // idle interval -> scale down one
+	f.Quiesce()
+	vc.Advance(1100 * time.Millisecond)
+	f.Tick() // still idle -> at MinActive, must hold
+	f.Quiesce()
+	st := f.Stats()
+	if st.ScaleDowns != 1 {
+		t.Fatalf("scaleDowns = %d, want exactly 1 (MinActive floor)", st.ScaleDowns)
+	}
+	if st.Active != 1 || st.Standby != 1 {
+		t.Fatalf("census after scale-down: %+v, want 1 active + 1 standby", st)
+	}
+}
+
+// TestMassCordonRevivesStandby: when every serving device dies, the
+// scaler reactivates a standby device immediately, cooldown be damned.
+func TestMassCordonRevivesStandby(t *testing.T) {
+	vc := fleet.NewVirtualClock(time.Unix(0, 0))
+	ff := &fakeFactory{}
+	f := newTestFleet(t, fleet.Config{Devices: 2, InitialActive: 1}, ff, vc)
+
+	f.Inject(gpusim.HealthEvent{Device: 0, Kind: gpusim.HealthXID, XID: 79})
+	f.Tick()
+	f.Quiesce()
+	f.Tick() // scaler sees zero serving devices -> instant reactivation
+	res, err := f.Solve(context.Background(), nil)
+	if err != nil || res.Device != 1 {
+		t.Fatalf("post-mass-cordon solve: dev=%v err=%v, want standby-revived device 1", res, err)
+	}
+}
+
+// TestForcedDrainCount: a drain that outlives DrainTimeout is
+// force-cancelled and counted.
+func TestForcedDrainCount(t *testing.T) {
+	vc := fleet.NewVirtualClock(time.Unix(0, 0))
+	ff := &fakeFactory{}
+	f := newTestFleet(t, fleet.Config{Devices: 2, DrainTimeout: 10 * time.Millisecond}, ff, vc)
+
+	hold := make(chan struct{})
+	ff.backend(0).mu.Lock()
+	ff.backend(0).holdClose = hold
+	ff.backend(0).mu.Unlock()
+	defer close(hold)
+
+	f.Inject(gpusim.HealthEvent{Device: 0, Kind: gpusim.HealthXID})
+	f.Tick()
+	f.Quiesce()
+	st := f.Stats()
+	if st.ForcedDrains != 1 {
+		t.Fatalf("forcedDrains = %d, want 1", st.ForcedDrains)
+	}
+	if st.Devices[0].State != fleet.StateDead {
+		t.Fatalf("device 0 = %v, want dead after forced drain", st.Devices[0].State)
+	}
+}
+
+// TestFleetClose: close drains every live pool, further solves fail
+// typed, and close is idempotent.
+func TestFleetClose(t *testing.T) {
+	vc := fleet.NewVirtualClock(time.Unix(0, 0))
+	ff := &fakeFactory{}
+	f := newTestFleet(t, fleet.Config{Devices: 3}, ff, vc)
+
+	if err := f.Close(context.Background()); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for i := 0; i < ff.builds(); i++ {
+		if !ff.backend(i).isClosed() {
+			t.Fatalf("backend %d not drained by Close", i)
+		}
+	}
+	if _, err := f.Solve(context.Background(), nil); !errors.Is(err, fleet.ErrFleetClosed) {
+		t.Fatalf("solve after close: %v, want ErrFleetClosed", err)
+	}
+	if err := f.Close(context.Background()); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

@@ -1,0 +1,427 @@
+// Package scenario makes fleet failure stories declarative and
+// replayable: a YAML file describes a timeline of load profiles and
+// injected device health events plus the assertions the run must
+// satisfy ("device 1 dies at t=5s under 200 rps; zero incorrect
+// responses; the device is back by the end"), and the runner replays
+// it against a real fleet of simulated devices on a virtual clock —
+// no wall-clock sleeps, so the same file produces the same control
+// decisions every run, in tests, CI, and `tridserve -scenario`.
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"gputrid/internal/gpusim"
+)
+
+// Scenario is one replayable fleet story.
+type Scenario struct {
+	// Name labels reports; defaults to the file name.
+	Name string
+	// Seed drives every pseudo-random choice: batch coefficients and
+	// per-device fault-injector seeds.
+	Seed uint64
+	// Tick is the virtual control-loop step; Duration the total
+	// virtual run time.
+	Tick, Duration time.Duration
+	// M, N is the (single) batch shape the scenario serves; Variants
+	// distinct batches of that shape rotate through the load.
+	M, N     int
+	Variants int
+
+	// Devices / InitialActive / MinActive size the fleet.
+	Devices, InitialActive, MinActive int
+	// Capacity and Queue configure each device's pool.
+	Capacity, Queue int
+
+	// Policy knobs (zero = fleet defaults).
+	Probation, DrainTimeout, ScaleCooldown time.Duration
+	CorrectedECCLimit, RerouteAttempts     int
+	ScaleUpAt, ScaleDownAt                 float64
+
+	// FaultRate, when positive, arms each device's deterministic
+	// transient-fault injector (seeded per device, one-shot faults the
+	// retry layer recovers exactly).
+	FaultRate float64
+
+	// Load is the offered-load timeline; phases may overlap (rates
+	// add).
+	Load []LoadPhase
+	// Events is the health-event timeline, applied in `At` order.
+	Events []Event
+
+	// Assert is evaluated after the run.
+	Assert Assertions
+}
+
+// LoadPhase offers `RPS` requests per virtual second over [From, To).
+type LoadPhase struct {
+	From, To time.Duration
+	RPS      float64
+}
+
+// Event injects one health event at virtual time At.
+type Event struct {
+	At      time.Duration
+	Device  int
+	Kind    gpusim.HealthKind
+	XID     int
+	Temp    float64
+	Message string
+}
+
+// FinalState asserts a device's state at the end of the run; any of
+// the listed states passes (e.g. "active|probation" when the exact
+// probation expiry tick is not the point of the scenario).
+type FinalState struct {
+	Device int
+	States []fleet_states
+}
+
+type fleet_states = string
+
+// Assertions are the scenario's pass/fail conditions. The zero value
+// demands only correctness: MaxIncorrect is always 0 — a scenario can
+// tolerate rejections, but never a wrong answer.
+type Assertions struct {
+	// MinServed is the minimum number of successfully served requests.
+	MinServed int
+	// MaxRejectedFrac bounds rejected/issued (unset = 1.0).
+	MaxRejectedFrac float64
+	rejectedSet     bool
+	// Cordons / ScaleUps / ScaleDowns / ForcedDrains, when set, bound
+	// the control-plane action counters.
+	Cordons, MaxForcedDrains   *int
+	MinScaleUps, MinScaleDowns int
+	// MinRerouted, when set, demands at least that many re-routes
+	// (proving the death actually happened under traffic).
+	MinRerouted int
+	// FinalStates pins device states at the end of the run.
+	FinalStates []FinalState
+}
+
+// Load reads and decodes a scenario file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if sc.Name == "" {
+		base := path
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		sc.Name = strings.TrimSuffix(base, ".yaml")
+	}
+	return sc, nil
+}
+
+// Decode parses scenario YAML and applies defaults and validation.
+func Decode(data []byte) (*Scenario, error) {
+	root, err := parseYAML(data)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{}
+	top := d.section(root, "")
+
+	sc := &Scenario{
+		Name:     top.str("name", ""),
+		Seed:     uint64(top.num("seed", 1)),
+		Tick:     top.dur("tick", 100*time.Millisecond),
+		Duration: top.dur("duration", 10*time.Second),
+		Variants: top.num("variants", 4),
+	}
+
+	shape := d.section(top.child("shape"), "shape")
+	sc.M = shape.num("m", 8)
+	sc.N = shape.num("n", 64)
+
+	dev := d.section(top.child("devices"), "devices")
+	sc.Devices = dev.num("count", 3)
+	sc.InitialActive = dev.num("initial", 0)
+	sc.MinActive = dev.num("min_active", 0)
+
+	pool := d.section(top.child("pool"), "pool")
+	sc.Capacity = pool.num("capacity", 2)
+	sc.Queue = pool.num("queue", 0)
+
+	pol := d.section(top.child("policy"), "policy")
+	sc.Probation = pol.dur("probation", 0)
+	sc.DrainTimeout = pol.dur("drain_timeout", 0)
+	sc.ScaleCooldown = pol.dur("scale_cooldown", 0)
+	sc.CorrectedECCLimit = pol.num("corrected_ecc_limit", 0)
+	sc.RerouteAttempts = pol.num("reroute_attempts", 0)
+	sc.ScaleUpAt = pol.flt("scale_up_at", 0)
+	sc.ScaleDownAt = pol.flt("scale_down_at", 0)
+
+	faults := d.section(top.child("faults"), "faults")
+	sc.FaultRate = faults.flt("rate", 0)
+
+	for i, item := range top.list("load") {
+		ph := d.section(item, fmt.Sprintf("load[%d]", i))
+		sc.Load = append(sc.Load, LoadPhase{
+			From: ph.dur("from", 0),
+			To:   ph.dur("to", sc.Duration),
+			RPS:  ph.flt("rps", 0),
+		})
+	}
+	for i, item := range top.list("events") {
+		ev := d.section(item, fmt.Sprintf("events[%d]", i))
+		e := Event{
+			At:      ev.dur("at", 0),
+			Device:  ev.num("device", 0),
+			XID:     ev.num("xid", 0),
+			Temp:    ev.flt("temp", 0),
+			Message: ev.str("message", ""),
+		}
+		kind := ev.str("kind", "")
+		if kind != "" {
+			k, err := gpusim.ParseHealthKind(kind)
+			if err != nil {
+				d.fail("events[%d]: %v", i, err)
+			} else {
+				e.Kind = k
+			}
+		} else {
+			d.fail("events[%d]: missing kind", i)
+		}
+		sc.Events = append(sc.Events, e)
+	}
+	sort.SliceStable(sc.Events, func(i, j int) bool { return sc.Events[i].At < sc.Events[j].At })
+
+	as := d.section(top.child("assert"), "assert")
+	sc.Assert.MinServed = as.num("min_served", 0)
+	sc.Assert.MaxRejectedFrac, sc.Assert.rejectedSet = 1, false
+	if f, ok := as.fltOpt("max_rejected_frac"); ok {
+		sc.Assert.MaxRejectedFrac, sc.Assert.rejectedSet = f, true
+	}
+	if n, ok := as.numOpt("cordons"); ok {
+		sc.Assert.Cordons = &n
+	}
+	if n, ok := as.numOpt("max_forced_drains"); ok {
+		sc.Assert.MaxForcedDrains = &n
+	}
+	sc.Assert.MinScaleUps = as.num("min_scale_ups", 0)
+	sc.Assert.MinScaleDowns = as.num("min_scale_downs", 0)
+	sc.Assert.MinRerouted = as.num("min_rerouted", 0)
+	for i, item := range as.list("final_states") {
+		fs := d.section(item, fmt.Sprintf("assert.final_states[%d]", i))
+		sc.Assert.FinalStates = append(sc.Assert.FinalStates, FinalState{
+			Device: fs.num("device", 0),
+			States: strings.Split(fs.str("state", "active"), "|"),
+		})
+	}
+
+	d.finish()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return sc, sc.validate()
+}
+
+func (sc *Scenario) validate() error {
+	switch {
+	case sc.Tick <= 0 || sc.Duration <= 0:
+		return fmt.Errorf("scenario: tick and duration must be positive")
+	case sc.Duration/sc.Tick > 100_000:
+		return fmt.Errorf("scenario: %v/%v is over 100000 ticks", sc.Duration, sc.Tick)
+	case sc.M < 1 || sc.N < 2:
+		return fmt.Errorf("scenario: bad shape %dx%d", sc.M, sc.N)
+	case sc.Devices < 1 || sc.Devices > 64:
+		return fmt.Errorf("scenario: devices = %d, want 1..64", sc.Devices)
+	case sc.Variants < 1:
+		return fmt.Errorf("scenario: variants must be ≥ 1")
+	case len(sc.Load) == 0:
+		return fmt.Errorf("scenario: no load phases")
+	}
+	for _, ev := range sc.Events {
+		if ev.Device < 0 || ev.Device >= sc.Devices {
+			return fmt.Errorf("scenario: event device %d out of range", ev.Device)
+		}
+	}
+	for _, fs := range sc.Assert.FinalStates {
+		if fs.Device < 0 || fs.Device >= sc.Devices {
+			return fmt.Errorf("scenario: final_states device %d out of range", fs.Device)
+		}
+	}
+	return nil
+}
+
+// decoder accumulates strict-decode errors: unknown keys (typos in a
+// scenario file must fail, not silently pass the run) and conversion
+// failures.
+type decoder struct {
+	err      error
+	sections []*section
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("scenario: "+format, args...)
+	}
+}
+
+// section wraps one YAML map with typed, defaulted accessors and
+// used-key tracking.
+type section struct {
+	d    *decoder
+	path string
+	m    map[string]any
+	used map[string]bool
+}
+
+func (d *decoder) section(v any, path string) *section {
+	s := &section{d: d, path: path, used: make(map[string]bool)}
+	switch m := v.(type) {
+	case nil:
+		s.m = map[string]any{}
+	case map[string]any:
+		s.m = m
+	case string:
+		if m == "" { // `key:` with no body
+			s.m = map[string]any{}
+		} else {
+			d.fail("%s: expected a map, got %q", path, m)
+			s.m = map[string]any{}
+		}
+	default:
+		d.fail("%s: expected a map", path)
+		s.m = map[string]any{}
+	}
+	d.sections = append(d.sections, s)
+	return s
+}
+
+// finish reports unknown keys across every section.
+func (d *decoder) finish() {
+	for _, s := range d.sections {
+		var unknown []string
+		for k := range s.m {
+			if !s.used[k] {
+				unknown = append(unknown, k)
+			}
+		}
+		sort.Strings(unknown)
+		for _, k := range unknown {
+			d.fail("%s: unknown key %q", s.keyPath(k), k)
+		}
+	}
+}
+
+func (s *section) keyPath(k string) string {
+	if s.path == "" {
+		return k
+	}
+	return s.path
+}
+
+func (s *section) raw(key string) (any, bool) {
+	v, ok := s.m[key]
+	if ok {
+		s.used[key] = true
+	}
+	return v, ok
+}
+
+func (s *section) child(key string) any {
+	v, _ := s.raw(key)
+	return v
+}
+
+func (s *section) list(key string) []any {
+	v, ok := s.raw(key)
+	if !ok {
+		return nil
+	}
+	l, ok := v.([]any)
+	if !ok {
+		s.d.fail("%s.%s: expected a list", s.path, key)
+		return nil
+	}
+	return l
+}
+
+func (s *section) scalar(key string) (string, bool) {
+	v, ok := s.raw(key)
+	if !ok {
+		return "", false
+	}
+	str, ok := v.(string)
+	if !ok {
+		s.d.fail("%s.%s: expected a scalar", s.path, key)
+		return "", false
+	}
+	return str, true
+}
+
+func (s *section) str(key, def string) string {
+	if v, ok := s.scalar(key); ok {
+		return v
+	}
+	return def
+}
+
+func (s *section) num(key string, def int) int {
+	n, ok := s.numOpt(key)
+	if !ok {
+		return def
+	}
+	return n
+}
+
+func (s *section) numOpt(key string) (int, bool) {
+	v, ok := s.scalar(key)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		s.d.fail("%s.%s: %q is not an integer", s.path, key, v)
+		return 0, false
+	}
+	return n, true
+}
+
+func (s *section) flt(key string, def float64) float64 {
+	f, ok := s.fltOpt(key)
+	if !ok {
+		return def
+	}
+	return f
+}
+
+func (s *section) fltOpt(key string) (float64, bool) {
+	v, ok := s.scalar(key)
+	if !ok {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		s.d.fail("%s.%s: %q is not a number", s.path, key, v)
+		return 0, false
+	}
+	return f, true
+}
+
+func (s *section) dur(key string, def time.Duration) time.Duration {
+	v, ok := s.scalar(key)
+	if !ok {
+		return def
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		s.d.fail("%s.%s: %q is not a duration", s.path, key, v)
+		return def
+	}
+	return d
+}

@@ -1,0 +1,273 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is a minimal YAML-subset parser — the module takes no
+// external dependencies, and scenario files need only a small, strict
+// slice of YAML:
+//
+//   - block maps (`key: value`, nested by 2+ space indentation)
+//   - block lists (`- item`, including `- key: value` inline-map items)
+//   - one-level flow maps (`{m: 8, n: 64}`) and flow lists (`[a, b]`)
+//   - scalars as strings (the typed decoder in scenario.go converts),
+//     with optional single/double quoting
+//   - `#` comments (full-line or trailing) and blank lines
+//
+// Tabs in indentation, mixed list/map siblings, and multi-line scalars
+// are errors. Parse returns map[string]any | []any | string values.
+func parseYAML(data []byte) (map[string]any, error) {
+	p := &yamlParser{}
+	if err := p.lex(string(data)); err != nil {
+		return nil, err
+	}
+	if len(p.lines) == 0 {
+		return map[string]any{}, nil
+	}
+	if p.lines[0].indent != 0 {
+		return nil, fmt.Errorf("yaml line %d: top level must not be indented", p.lines[0].no)
+	}
+	v, err := p.block(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, fmt.Errorf("yaml line %d: unexpected indentation", p.lines[p.pos].no)
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("yaml: top level must be a map")
+	}
+	return m, nil
+}
+
+type yamlLine struct {
+	no     int // 1-based source line, for errors
+	indent int
+	text   string
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+func (p *yamlParser) lex(src string) error {
+	for i, raw := range strings.Split(src, "\n") {
+		no := i + 1
+		line := stripComment(raw)
+		text := strings.TrimSpace(line)
+		if text == "" {
+			continue
+		}
+		indent := len(line) - len(strings.TrimLeft(line, " "))
+		if strings.HasPrefix(strings.TrimLeft(line, " "), "\t") || strings.Contains(line[:indent+1], "\t") {
+			return fmt.Errorf("yaml line %d: tabs are not allowed in indentation", no)
+		}
+		p.lines = append(p.lines, yamlLine{no: no, indent: indent, text: text})
+	}
+	return nil
+}
+
+// stripComment removes a trailing `#` comment, respecting quotes.
+func stripComment(line string) string {
+	var quote byte
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '#' && (i == 0 || line[i-1] == ' '):
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// block parses the run of lines at exactly `indent`, deciding list vs
+// map from the first line.
+func (p *yamlParser) block(indent int) (any, error) {
+	if strings.HasPrefix(p.lines[p.pos].text, "- ") || p.lines[p.pos].text == "-" {
+		return p.list(indent)
+	}
+	return p.mapping(indent)
+}
+
+func (p *yamlParser) mapping(indent int) (any, error) {
+	m := make(map[string]any)
+	for p.pos < len(p.lines) && p.lines[p.pos].indent == indent {
+		ln := p.lines[p.pos]
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, fmt.Errorf("yaml line %d: list item among map keys", ln.no)
+		}
+		key, rest, ok := splitKey(ln.text)
+		if !ok {
+			return nil, fmt.Errorf("yaml line %d: expected `key: value`", ln.no)
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("yaml line %d: duplicate key %q", ln.no, key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseFlow(rest, ln.no)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// `key:` with a nested block — or an empty value.
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.block(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		} else {
+			m[key] = ""
+		}
+	}
+	return m, nil
+}
+
+func (p *yamlParser) list(indent int) (any, error) {
+	var out []any
+	for p.pos < len(p.lines) && p.lines[p.pos].indent == indent {
+		ln := p.lines[p.pos]
+		if !strings.HasPrefix(ln.text, "- ") && ln.text != "-" {
+			return nil, fmt.Errorf("yaml line %d: map key among list items", ln.no)
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		switch {
+		case rest == "":
+			// `-` alone: the item is the nested block.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("yaml line %d: empty list item", ln.no)
+			}
+			v, err := p.block(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		case isMapEntry(rest):
+			// `- key: value`: the item is a map whose first entry sits
+			// on the dash line; its siblings follow at the dash indent
+			// plus two (the column where `key` starts).
+			p.lines[p.pos] = yamlLine{no: ln.no, indent: indent + 2, text: rest}
+			v, err := p.mapping(indent + 2)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		default:
+			p.pos++
+			v, err := parseFlow(rest, ln.no)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// splitKey splits `key: rest` (rest may be empty). The key must be a
+// bare word — quoted keys are not part of the subset.
+func splitKey(text string) (key, rest string, ok bool) {
+	i := strings.IndexByte(text, ':')
+	if i <= 0 {
+		return "", "", false
+	}
+	key = strings.TrimSpace(text[:i])
+	rest = strings.TrimSpace(text[i+1:])
+	if key == "" || strings.ContainsAny(key, "\"'{}[],") {
+		return "", "", false
+	}
+	return key, rest, true
+}
+
+// isMapEntry reports whether a list-item payload starts a map entry
+// (`key: ...` with a bare-word key) rather than being a scalar.
+func isMapEntry(s string) bool {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 {
+		return false
+	}
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return false // e.g. a time like `12:30` is a scalar
+	}
+	_, _, ok := splitKey(s)
+	return ok
+}
+
+// parseFlow parses an inline value: a one-level flow map, a flow list,
+// or a scalar.
+func parseFlow(s string, no int) (any, error) {
+	switch {
+	case strings.HasPrefix(s, "{"):
+		if !strings.HasSuffix(s, "}") {
+			return nil, fmt.Errorf("yaml line %d: unterminated flow map", no)
+		}
+		m := make(map[string]any)
+		for _, part := range splitFlow(s[1 : len(s)-1]) {
+			if part == "" {
+				continue
+			}
+			key, rest, ok := splitKey(part)
+			if !ok || rest == "" {
+				return nil, fmt.Errorf("yaml line %d: bad flow map entry %q", no, part)
+			}
+			m[key] = unquote(rest)
+		}
+		return m, nil
+	case strings.HasPrefix(s, "["):
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("yaml line %d: unterminated flow list", no)
+		}
+		var out []any
+		for _, part := range splitFlow(s[1 : len(s)-1]) {
+			if part != "" {
+				out = append(out, unquote(part))
+			}
+		}
+		return out, nil
+	default:
+		return unquote(s), nil
+	}
+}
+
+// splitFlow splits flow-collection innards on top-level commas.
+func splitFlow(s string) []string {
+	var parts []string
+	var quote byte
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == ',':
+			parts = append(parts, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	return append(parts, strings.TrimSpace(s[start:]))
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && (s[0] == '"' && s[len(s)-1] == '"' || s[0] == '\'' && s[len(s)-1] == '\'') {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

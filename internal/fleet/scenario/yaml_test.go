@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseYAMLShapes(t *testing.T) {
+	src := `
+# a comment
+name: demo            # trailing comment
+shape: {m: 8, n: 64}
+tags: [a, "b c", d]
+devices:
+  count: 3
+  nested:
+    deep: yes
+load:
+  - {from: 0s, rps: 100}
+  - from: 5s
+    to: 9s
+    rps: 250
+plain:
+  - one
+  - "two # not a comment"
+when: 12:30
+empty:
+`
+	got, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := map[string]any{
+		"name":  "demo",
+		"shape": map[string]any{"m": "8", "n": "64"},
+		"tags":  []any{"a", "b c", "d"},
+		"devices": map[string]any{
+			"count":  "3",
+			"nested": map[string]any{"deep": "yes"},
+		},
+		"load": []any{
+			map[string]any{"from": "0s", "rps": "100"},
+			map[string]any{"from": "5s", "to": "9s", "rps": "250"},
+		},
+		"plain": []any{"one", "two # not a comment"},
+		"when":  "12:30",
+		"empty": "",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parse mismatch:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"tab indent", "a:\n\tb: 1", "tabs"},
+		{"duplicate key", "a: 1\na: 2", "duplicate key"},
+		{"list in map", "a: 1\n- b", "list item"},
+		{"map in list", "x:\n  - a\n  b: 1", "map key"},
+		{"indented top", "  a: 1", "top level"},
+		{"bad flow map", "a: {b}", "flow map"},
+		{"unterminated flow", "a: [1, 2", "unterminated"},
+		{"empty list item", "a:\n  -", "empty list item"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeDefaultsAndTimeline(t *testing.T) {
+	sc, err := Decode([]byte(`
+load:
+  - {rps: 50}
+events:
+  - {at: 2s, device: 1, kind: healed}
+  - {at: 1s, device: 0, kind: xid, xid: 79}
+`))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if sc.Tick != 100*time.Millisecond || sc.Duration != 10*time.Second {
+		t.Fatalf("time defaults: tick %v duration %v", sc.Tick, sc.Duration)
+	}
+	if sc.M != 8 || sc.N != 64 || sc.Devices != 3 || sc.Variants != 4 {
+		t.Fatalf("shape/device defaults: %+v", sc)
+	}
+	// The load phase's To defaults to the scenario duration.
+	if sc.Load[0].To != sc.Duration || sc.Load[0].RPS != 50 {
+		t.Fatalf("load = %+v", sc.Load[0])
+	}
+	// Events come out sorted by At.
+	if sc.Events[0].At != time.Second || sc.Events[0].XID != 79 {
+		t.Fatalf("events not sorted: %+v", sc.Events)
+	}
+	// Correctness is always asserted even with no assert block.
+	if sc.Assert.MinServed != 0 || sc.Assert.rejectedSet {
+		t.Fatalf("assert defaults: %+v", sc.Assert)
+	}
+}
+
+func TestDecodeStrictness(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown top key", "rps: 5\nload:\n  - {rps: 1}", `unknown key "rps"`},
+		{"unknown nested key", "devices:\n  cuont: 3\nload:\n  - {rps: 1}", `unknown key "cuont"`},
+		{"bad kind", "load:\n  - {rps: 1}\nevents:\n  - {at: 1s, device: 0, kind: sharknado}", "sharknado"},
+		{"missing kind", "load:\n  - {rps: 1}\nevents:\n  - {at: 1s, device: 0}", "missing kind"},
+		{"bad int", "variants: soon\nload:\n  - {rps: 1}", "not an integer"},
+		{"bad duration", "tick: fast\nload:\n  - {rps: 1}", "not a duration"},
+		{"no load", "name: x", "no load phases"},
+		{"event device range", "load:\n  - {rps: 1}\nevents:\n  - {at: 1s, device: 9, kind: xid}", "out of range"},
+		{"too many devices", "devices:\n  count: 65\nload:\n  - {rps: 1}", "1..64"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode([]byte(tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadCannedScenarios(t *testing.T) {
+	for _, f := range []string{"testdata/device_death.yaml", "testdata/thermal_autoscale.yaml"} {
+		sc, err := Load(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if sc.Name == "" || len(sc.Load) == 0 {
+			t.Fatalf("%s: incomplete scenario %+v", f, sc)
+		}
+	}
+}

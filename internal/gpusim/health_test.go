@@ -1,0 +1,105 @@
+package gpusim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHealthKindStringRoundTrip(t *testing.T) {
+	for k := HealthXID; k <= HealthHealed; k++ {
+		got, err := ParseHealthKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseHealthKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("round trip %v -> %q -> %v", k, k.String(), got)
+		}
+	}
+	if _, err := ParseHealthKind("nope"); err == nil {
+		t.Fatal("ParseHealthKind accepted an unknown kind")
+	}
+}
+
+func TestHealthSeverityPolicyBuckets(t *testing.T) {
+	want := map[HealthKind]HealthSeverity{
+		HealthXID:            SeverityFatal,
+		HealthECCUncorrected: SeverityFatal,
+		HealthThermal:        SeverityDegraded,
+		HealthECCCorrected:   SeverityInfo,
+		HealthHealed:         SeverityRecovery,
+	}
+	for k, sev := range want {
+		if got := k.Severity(); got != sev {
+			t.Errorf("%v severity = %v, want %v", k, got, sev)
+		}
+	}
+}
+
+func TestHealthFeedOrderAndDrain(t *testing.T) {
+	var f HealthFeed
+	ts := time.Unix(100, 0)
+	for i := 0; i < 5; i++ {
+		f.Inject(HealthEvent{Device: i, Kind: HealthThermal, Time: ts})
+	}
+	if f.Pending() != 5 || f.Injected() != 5 {
+		t.Fatalf("pending %d injected %d, want 5/5", f.Pending(), f.Injected())
+	}
+	evs := f.Drain()
+	for i, ev := range evs {
+		if ev.Device != i {
+			t.Fatalf("event %d out of injection order: %+v", i, ev)
+		}
+		if !ev.Time.Equal(ts) {
+			t.Fatalf("event %d timestamp %v, want the producer's stamp %v", i, ev.Time, ts)
+		}
+	}
+	if f.Pending() != 0 {
+		t.Fatalf("pending after drain = %d", f.Pending())
+	}
+	if again := f.Drain(); again != nil {
+		t.Fatalf("second drain returned %v, want nil", again)
+	}
+}
+
+func TestHealthFeedConcurrent(t *testing.T) {
+	var f HealthFeed
+	var wg sync.WaitGroup
+	const producers, per = 8, 100
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Inject(HealthEvent{Device: g, Kind: HealthECCCorrected})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(f.Drain()); got != producers*per {
+		t.Fatalf("drained %d events, want %d", got, producers*per)
+	}
+	if f.Injected() != producers*per {
+		t.Fatalf("injected counter %d, want %d", f.Injected(), producers*per)
+	}
+}
+
+func TestHealthEventString(t *testing.T) {
+	cases := []struct {
+		ev   HealthEvent
+		want string
+	}{
+		{HealthEvent{Device: 2, Kind: HealthXID, XID: 79, Message: "GPU has fallen off the bus"},
+			"device 2: xid 79 (GPU has fallen off the bus)"},
+		{HealthEvent{Device: 0, Kind: HealthThermal, Temp: 95},
+			"device 0: thermal 95°C"},
+		{HealthEvent{Device: 1, Kind: HealthHealed},
+			"device 1: healed"},
+	}
+	for _, c := range cases {
+		if got := fmt.Sprint(c.ev); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -18,6 +18,7 @@ package pool
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,6 +78,23 @@ func (c Config) maxShapes() int {
 	return c.MaxShapes
 }
 
+// ShapeStats describes one warmed shape station: its congestion and
+// its current service-time estimate. The HTTP front-end surfaces these
+// per shape so operators can see *which* traffic class is queueing,
+// and derives Retry-After hints from ServiceTime.
+type ShapeStats struct {
+	// M, N identify the shape.
+	M, N int
+	// Built is the number of solver instances the station has created;
+	// Leased of those are checked out right now.
+	Built, Leased int
+	// QueueDepth is the number of requests waiting for this shape.
+	QueueDepth int
+	// ServiceTime is the station's EWMA service-time estimate
+	// (0 when no solve or model seed has been observed).
+	ServiceTime time.Duration
+}
+
 // Stats is an instantaneous snapshot of the pool, for health endpoints
 // and tests. Counters are cumulative since construction.
 type Stats struct {
@@ -86,6 +104,8 @@ type Stats struct {
 	InFlight int
 	// QueueDepth is the total number of requests waiting, all shapes.
 	QueueDepth int
+	// PerShape details every warmed station, sorted by (M, N).
+	PerShape []ShapeStats
 
 	// Admitted counts granted leases. RejectedQueueFull and
 	// RejectedDeadline count the two admission-control rejections;
@@ -537,11 +557,26 @@ func (p *Pool[S]) Stats() Stats {
 		stations = append(stations, st)
 	}
 	p.mu.Unlock()
+	s.PerShape = make([]ShapeStats, 0, len(stations))
 	for _, st := range stations {
+		svc, _ := st.svc.value()
 		st.mu.Lock()
 		s.QueueDepth += st.waiters
+		s.PerShape = append(s.PerShape, ShapeStats{
+			M: st.key.M, N: st.key.N,
+			Built: st.built, Leased: st.leased,
+			QueueDepth:  st.waiters,
+			ServiceTime: svc,
+		})
 		st.mu.Unlock()
 	}
+	sort.Slice(s.PerShape, func(i, j int) bool {
+		a, b := s.PerShape[i], s.PerShape[j]
+		if a.M != b.M {
+			return a.M < b.M
+		}
+		return a.N < b.N
+	})
 	return s
 }
 
