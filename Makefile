@@ -1,0 +1,23 @@
+# Developer entry points. CI runs the same commands (.github/workflows/ci.yml).
+
+.PHONY: build test race lint vet selftest
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race gputrid ./internal/...
+
+# Project-invariant analyzers (clock injection, ctx threading, hot-path
+# allocs, lock ranks, typed-error matching). Blocking in CI.
+lint: vet
+	go run ./cmd/tridlint ./...
+
+vet:
+	go vet ./...
+
+selftest:
+	go run -race ./cmd/tridserve -selftest

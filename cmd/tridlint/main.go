@@ -1,0 +1,117 @@
+// Command tridlint runs this repository's project-invariant analyzers
+// over the given package patterns and exits non-zero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/tridlint ./...
+//	go run ./cmd/tridlint -list
+//	go run ./cmd/tridlint -only clockinject,errcompare ./internal/pool
+//
+// The analyzers encode invariants prose review keeps missing: clock
+// injection in the serving control plane (clockinject), context
+// threading through solve paths (ctxsolve), allocation-free hot-path
+// kernels (hotpathalloc), mutex rank ordering (lockorder), and
+// errors.Is/As discipline for typed errors (errcompare). CI runs this
+// as a blocking tier-1 step; see DESIGN.md §11.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gputrid/internal/analysis"
+	"gputrid/internal/analysis/clockinject"
+	"gputrid/internal/analysis/ctxsolve"
+	"gputrid/internal/analysis/errcompare"
+	"gputrid/internal/analysis/hotpathalloc"
+	"gputrid/internal/analysis/lockorder"
+)
+
+// registry is the full analyzer suite, in stable reporting order.
+var registry = []*analysis.Analyzer{
+	clockinject.Analyzer,
+	ctxsolve.Analyzer,
+	errcompare.Analyzer,
+	hotpathalloc.Analyzer,
+	lockorder.Analyzer,
+}
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list available analyzers and exit")
+		only = flag.String("only", "", "comma-separated subset of analyzers to run (default: all)")
+		dir  = flag.String("C", ".", "directory to resolve package patterns in")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: tridlint [-C dir] [-only a,b] [packages...]\n\n"+
+				"Runs the gputrid project-invariant analyzers (default pattern ./...).\n"+
+				"Exits 1 when any finding is reported, 2 on usage or load errors.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range registry {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tridlint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tridlint:", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		findings, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tridlint:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "tridlint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -only flag against the registry.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return registry, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(registry))
+	for _, a := range registry {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

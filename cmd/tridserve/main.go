@@ -54,9 +54,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 )
 
 func main() {
@@ -67,13 +69,16 @@ func main() {
 		shapes   = flag.Int("maxshapes", 8, "max distinct warmed shapes")
 		warm     = flag.String("warm", "", "comma list of M:N shapes to pre-build")
 		selftest = flag.Bool("selftest", false, "run the end-to-end self-check and exit")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "overall selftest deadline (the -race selftest needs ~1m)")
 		fleetN   = flag.Int("fleet", 0, "serve through a fleet of N device failure domains (0 = single pool)")
 		scenFile = flag.String("scenario", "", "replay a YAML fleet scenario and exit 0/1 on its assertions")
 	)
 	flag.Parse()
 
 	if *selftest {
-		if err := runSelfTest(); err != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		if err := runSelfTest(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "tridserve: selftest FAILED: %v\n", err)
 			os.Exit(1)
 		}

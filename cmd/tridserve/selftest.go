@@ -20,8 +20,10 @@ import (
 // reference solve, fail-fast 503s under 4x-capacity offered load,
 // breaker trip to the CPU fallback under injected faults with
 // recovery once they heal, and a graceful drain. CI runs it under
-// -race.
-func runSelfTest() error {
+// -race. ctx bounds the whole run (the -timeout flag): every HTTP
+// request and every wait loop derives from it, so a hung stack fails
+// the selftest instead of wedging it.
+func runSelfTest(ctx context.Context) error {
 	// faultsArmed gates the injector: the selftest flips it to model a
 	// fault burst that later heals, driving the breaker round trip.
 	var faultsArmed atomic.Bool
@@ -49,27 +51,32 @@ func runSelfTest() error {
 	base := "http://" + ln.Addr().String()
 	defer hs.Close()
 
-	if err := checkCorrectness(base); err != nil {
+	if err := checkCorrectness(ctx, base); err != nil {
 		return fmt.Errorf("correctness: %w", err)
 	}
-	if err := checkOverload(base); err != nil {
+	if err := checkOverload(ctx, base); err != nil {
 		return fmt.Errorf("overload: %w", err)
 	}
-	if err := checkBreaker(base, &faultsArmed); err != nil {
+	if err := checkBreaker(ctx, base, &faultsArmed); err != nil {
 		return fmt.Errorf("breaker: %w", err)
 	}
-	if err := checkDrain(base, srv); err != nil {
+	if err := checkDrain(ctx, base, srv); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
 	return nil
 }
 
-func postSolve(base string, req solveRequest) (int, *solveResponse, *errorResponse, error) {
+func postSolve(ctx context.Context, base string, req solveRequest) (int, *solveResponse, *errorResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	resp, err := http.Post(base+"/solve", "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/solve", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hreq)
 	if err != nil {
 		return 0, nil, nil, err
 	}
@@ -98,10 +105,10 @@ func requestFor(b *gputrid.Batch[float64], timeoutMS int) solveRequest {
 
 // checkCorrectness solves batches of several shapes over HTTP and
 // demands bitwise identity with the in-process one-shot solve.
-func checkCorrectness(base string) error {
+func checkCorrectness(ctx context.Context, base string) error {
 	for _, shape := range [][2]int{{4, 128}, {16, 512}, {4, 128}} {
 		b := workload.Batch[float64](workload.DiagDominant, shape[0], shape[1], 7)
-		code, sr, er, err := postSolve(base, requestFor(b, 0))
+		code, sr, er, err := postSolve(ctx, base, requestFor(b, 0))
 		if err != nil {
 			return err
 		}
@@ -111,7 +118,7 @@ func checkCorrectness(base string) error {
 		if sr.Route != "device" {
 			return fmt.Errorf("shape %v: route %q, want device", shape, sr.Route)
 		}
-		ref, err := gputrid.SolveBatch(b)
+		ref, err := gputrid.SolveBatchCtx(ctx, b)
 		if err != nil {
 			return err
 		}
@@ -131,9 +138,9 @@ func checkCorrectness(base string) error {
 // concurrently at one slow shape: every request must finish promptly
 // as either a correct 200 or a typed 503, and at least one overload
 // rejection must occur.
-func checkOverload(base string) error {
+func checkOverload(ctx context.Context, base string) error {
 	b := workload.Batch[float64](workload.DiagDominant, 64, 4096, 11)
-	ref, err := gputrid.SolveBatch(b)
+	ref, err := gputrid.SolveBatchCtx(ctx, b)
 	if err != nil {
 		return err
 	}
@@ -142,22 +149,22 @@ func checkOverload(base string) error {
 	const load = 8
 	codes := make([]int, load)
 	srs := make([]*solveResponse, load)
+	errs := make([]error, load)
 	var wg sync.WaitGroup
 	for i := 0; i < load; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			code, sr, _, err := postSolve(base, req)
-			if err != nil {
-				code = -1
-			}
-			codes[i], srs[i] = code, sr
+			codes[i], srs[i], _, errs[i] = postSolve(ctx, base, req)
 		}(i)
 	}
 	wg.Wait()
 
 	ok, overloaded := 0, 0
 	for i, code := range codes {
+		if errs[i] != nil {
+			return fmt.Errorf("request %d: %w", i, errs[i])
+		}
 		switch code {
 		case http.StatusOK:
 			ok++
@@ -195,7 +202,7 @@ func checkOverload(base string) error {
 // fallback with still-correct results), then disarms it and verifies
 // half-open probes close the breaker and traffic returns to the
 // device path.
-func checkBreaker(base string, armed *atomic.Bool) error {
+func checkBreaker(ctx context.Context, base string, armed *atomic.Bool) error {
 	b := workload.Batch[float64](workload.DiagDominant, 4, 256, 13)
 	want, err := gputrid.SolveCPUPivoting(b)
 	if err != nil {
@@ -206,7 +213,7 @@ func checkBreaker(base string, armed *atomic.Bool) error {
 	armed.Store(true)
 	tripped := false
 	for i := 0; i < 64 && !tripped; i++ {
-		code, sr, _, err := postSolve(base, req)
+		code, sr, _, err := postSolve(ctx, base, req)
 		if err != nil {
 			return err
 		}
@@ -235,7 +242,7 @@ func checkBreaker(base string, armed *atomic.Bool) error {
 	// the very next one is.
 	sawFallback := false
 	for i := 0; i < 16 && !sawFallback; i++ {
-		code, sr, _, err := postSolve(base, req)
+		code, sr, _, err := postSolve(ctx, base, req)
 		if err != nil {
 			return err
 		}
@@ -256,11 +263,12 @@ func checkBreaker(base string, armed *atomic.Bool) error {
 		return fmt.Errorf("no fallback-served solve observed while the breaker was open")
 	}
 
-	// Heal the device; probes must close the breaker again.
+	// Heal the device; probes must close the breaker again. The wait is
+	// bounded by the selftest context (-timeout), not a raw wall-clock
+	// poll, so shortening the deadline genuinely shortens the run.
 	armed.Store(false)
-	deadline := time.Now().Add(10 * time.Second)
 	for {
-		code, sr, _, err := postSolve(base, req)
+		code, sr, _, err := postSolve(ctx, base, req)
 		if err != nil {
 			return err
 		}
@@ -276,24 +284,26 @@ func checkBreaker(base string, armed *atomic.Bool) error {
 		if sr.Route == "device" && health.Status == "ok" {
 			return nil
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("breaker did not recover after faults healed (route %q, health %q)", sr.Route, health.Status)
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("breaker did not recover after faults healed (route %q, health %q): %w",
+				sr.Route, health.Status, ctx.Err())
+		case <-time.After(5 * time.Millisecond):
 		}
-		time.Sleep(5 * time.Millisecond)
 	}
 }
 
 // checkDrain closes the pool gracefully and verifies late requests
 // are rejected as draining.
-func checkDrain(base string, srv *server) error {
+func checkDrain(ctx context.Context, base string, srv *server) error {
 	srv.draining.Store(true)
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	defer cancel()
-	if err := srv.pool.Close(ctx); err != nil {
+	if err := srv.pool.Close(dctx); err != nil {
 		return fmt.Errorf("pool close: %w", err)
 	}
 	b := workload.Batch[float64](workload.DiagDominant, 2, 64, 3)
-	code, _, er, err := postSolve(base, requestFor(b, 0))
+	code, _, er, err := postSolve(ctx, base, requestFor(b, 0))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,178 @@
+// Package analysis is a small, dependency-free static-analysis
+// framework encoding this repository's project invariants: clock
+// injection in the serving control plane, context threading through
+// the solve paths, allocation-free hot-path kernels, lock-acquisition
+// ordering, and errors.Is/As discipline for typed errors.
+//
+// It deliberately mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) so the analyzers could be ported to the
+// upstream multichecker verbatim — but it is built entirely on the
+// standard library (go/ast, go/types, and export data produced by
+// `go list -export`), because this module pins zero third-party
+// dependencies. See DESIGN.md §11.
+//
+// The five analyzers live in subpackages (clockinject, ctxsolve,
+// hotpathalloc, lockorder, errcompare); cmd/tridlint is the driver
+// that runs them over package patterns and exits non-zero on any
+// diagnostic, wired into CI as a tier-1 gate.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (lower-case, no
+	// spaces, e.g. "clockinject").
+	Name string
+	// Doc is the one-paragraph description printed by `tridlint -help`.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer, plus the Report sink for its findings.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax (non-test files only),
+	// with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package; TypesInfo its expression types,
+	// uses, definitions and selections.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report receives one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a resolved diagnostic: the analyzer that produced it and
+// its file position, ready for printing and for test harnesses.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies the analyzers to one loaded package and returns the
+// findings sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report: func(d Diagnostic) {
+				out = append(out, Finding{
+					Analyzer: a.Name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// PathEndsIn reports whether the package import path's final segments
+// equal any of the given suffixes (each "a/b" or bare "b"). Analyzers
+// use it to scope rules to serving-layer packages by name, which keeps
+// their analysistest fixtures self-contained: a fixture package under
+// testdata/src/pool is in scope for the same rules as internal/pool.
+func PathEndsIn(path string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasMarker reports whether any line of the comment group carries the
+// given //tridlint: marker (e.g. "hotpath" matches "//tridlint:hotpath").
+func HasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "//tridlint:" + marker
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkerArg returns the argument of a //tridlint:<marker> <arg> line in
+// the comment group ("" and false when absent).
+func MarkerArg(doc *ast.CommentGroup, marker string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	prefix := "//tridlint:" + marker
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if rest, ok := strings.CutPrefix(text, prefix); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// IsPkgFunc reports whether the expression uses the named function of
+// the named package (e.g. pkg "time", name "Now" matches time.Now both
+// called and referenced as a value).
+func IsPkgFunc(info *types.Info, e ast.Expr, pkgPath, name string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath
+}

@@ -1,0 +1,125 @@
+// Package analysistest runs an analyzer over fixture packages under
+// the calling test's testdata/src directory and checks its diagnostics
+// against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line expecting a diagnostic carries a trailing comment
+//
+//	time.Now() // want `clockinject`
+//
+// where the backquoted (or double-quoted) text is a regular expression
+// that must match the message of a diagnostic reported on that line.
+// Multiple expectations may follow one // want. Lines without a want
+// comment must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"gputrid/internal/analysis"
+)
+
+// wantRe matches one backquoted or double-quoted expectation.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package dir (relative to testdata/src in the
+// test's working directory), applies the analyzer, and reports any
+// mismatch between its diagnostics and the // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	patterns := make([]string, len(fixtures))
+	for i, f := range fixtures {
+		patterns[i] = "./testdata/src/" + f
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	for _, pkg := range pkgs {
+		findings, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		checkPackage(t, pkg, findings)
+	}
+}
+
+// checkPackage matches findings against the package's want comments.
+func checkPackage(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, fd := range findings {
+		if w := match(wants, fd.Pos, fd.Message); w != nil {
+			w.matched = true
+		} else {
+			t.Errorf("unexpected diagnostic: %s", fd)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func match(wants []*expectation, pos token.Position, msg string) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+// Findings is a test helper that loads real repository packages and
+// returns the analyzer's findings, for tests asserting a clean tree.
+func Findings(a *analysis.Analyzer, dir string, patterns ...string) ([]analysis.Finding, error) {
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []analysis.Finding
+	for _, pkg := range pkgs {
+		fs, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", pkg.Path, err)
+		}
+		all = append(all, fs...)
+	}
+	return all, nil
+}

@@ -1,0 +1,112 @@
+// Package clockinject forbids direct wall-clock reads in the
+// clock-injected serving packages.
+//
+// The fleet control plane and the solver pool make every elapsed-time
+// policy decision — LRU eviction, probation expiry, breaker cooldowns,
+// autoscale cooldowns — through an injectable clock, so a scenario
+// driven by a VirtualClock replays the exact same decision sequence on
+// every run (see internal/clock and DESIGN.md §11). One stray
+// time.Now breaks that determinism silently: the run still passes on
+// a fast machine and flakes everywhere else.
+//
+// In scoped packages (internal/pool, internal/fleet,
+// internal/fleet/scenario, internal/gpusim) any use of time.Now,
+// time.Since, time.Until, time.Sleep, time.After, time.AfterFunc,
+// time.Tick, time.NewTimer or time.NewTicker is a diagnostic — whether
+// called or captured as a function value — unless it appears inside a
+// WallClock method or a function annotated //tridlint:wallclock (the
+// one place the production clock is allowed to touch the real one).
+package clockinject
+
+import (
+	"go/ast"
+
+	"gputrid/internal/analysis"
+)
+
+// ScopedPackages are the final path segments of the clock-injected
+// packages; a package is in scope when its import path ends in one of
+// them.
+var ScopedPackages = []string{
+	"internal/pool",
+	"internal/fleet",
+	"internal/fleet/scenario",
+	"internal/gpusim",
+	// Bare names put analysistest fixture packages (testdata/src/pool,
+	// ...) under the same rules as the real packages.
+	"pool", "fleet", "scenario", "gpusim",
+}
+
+// forbidden lists the time package's wall-clock entry points.
+var forbidden = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+// Analyzer is the clockinject analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "clockinject",
+	Doc: "forbid direct time.Now/Sleep/After/... in clock-injected packages " +
+		"(internal/pool, internal/fleet, internal/fleet/scenario, internal/gpusim); " +
+		"read the injected clock instead, so virtual-clock scenarios stay deterministic",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathEndsIn(pass.Pkg.Path(), ScopedPackages...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if allowed(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				e, ok := n.(ast.Expr)
+				if !ok {
+					return true
+				}
+				sel, ok := e.(*ast.SelectorExpr)
+				if !ok || !forbidden[sel.Sel.Name] {
+					return true
+				}
+				if analysis.IsPkgFunc(pass.TypesInfo, sel, "time", sel.Sel.Name) {
+					pass.Reportf(sel.Pos(),
+						"time.%s in clock-injected package %s: use the injected clock "+
+							"(clock.Clock / Config.Clock) so virtual-clock replay stays deterministic",
+						sel.Sel.Name, pass.Pkg.Path())
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// allowed reports whether the function is a sanctioned wall-clock
+// implementation: a method on a type named WallClock, or a function
+// annotated //tridlint:wallclock.
+func allowed(fd *ast.FuncDecl) bool {
+	if analysis.HasMarker(fd.Doc, "wallclock") {
+		return true
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Strip generic receiver type parameters, e.g. WallClock[T].
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == "WallClock"
+}

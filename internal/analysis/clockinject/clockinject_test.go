@@ -1,0 +1,25 @@
+package clockinject_test
+
+import (
+	"testing"
+
+	"gputrid/internal/analysis/analysistest"
+	"gputrid/internal/analysis/clockinject"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, clockinject.Analyzer, "pool", "outofscope")
+}
+
+// TestRepositoryClean pins the invariant on the real tree: the
+// clock-injected packages contain no direct wall-clock reads.
+func TestRepositoryClean(t *testing.T) {
+	findings, err := analysistest.Findings(clockinject.Analyzer, "../../..",
+		"./internal/pool", "./internal/fleet/...", "./internal/gpusim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

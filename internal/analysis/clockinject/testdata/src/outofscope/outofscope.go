@@ -1,0 +1,14 @@
+// Package outofscope is a clockinject fixture: its import path ends
+// in a segment outside the scoped set, so wall-clock reads are fine
+// here (data-plane code measures real durations freely).
+package outofscope
+
+import "time"
+
+func measure(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+func nap() { time.Sleep(time.Millisecond) }

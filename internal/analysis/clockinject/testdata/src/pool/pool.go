@@ -1,0 +1,61 @@
+// Package pool is a clockinject fixture: its import path ends in
+// /pool, so it is in scope for the wall-clock ban.
+package pool
+
+import "time"
+
+// Clock is the injected time source.
+type Clock interface {
+	Now() time.Time
+}
+
+// WallClock is the sanctioned production clock: time.Now inside its
+// methods is allowed.
+type WallClock struct{}
+
+func (WallClock) Now() time.Time { return time.Now() }
+
+//tridlint:wallclock
+func sanctionedHelper() time.Time { return time.Now() }
+
+type station struct {
+	lastUse time.Time
+	clock   Clock
+}
+
+func (s *station) stampBad() {
+	s.lastUse = time.Now() // want `time\.Now in clock-injected package`
+}
+
+func (s *station) stampGood() {
+	s.lastUse = s.clock.Now()
+}
+
+func waitBad(d time.Duration) {
+	time.Sleep(d)   // want `time\.Sleep in clock-injected package`
+	<-time.After(d) // want `time\.After in clock-injected package`
+}
+
+func idleBad(s *station) time.Duration {
+	return time.Since(s.lastUse) // want `time\.Since in clock-injected package`
+}
+
+func valueCaptureBad() func() time.Time {
+	return time.Now // want `time\.Now in clock-injected package`
+}
+
+func tickerBad() *time.Ticker {
+	return time.NewTicker(time.Second) // want `time\.NewTicker in clock-injected package`
+}
+
+// notTimeNow exercises the package check: a local type with the same
+// method names must not be flagged.
+type fakeTime struct{}
+
+func (fakeTime) Now() int   { return 0 }
+func (fakeTime) Sleep() int { return 0 }
+
+func localNamesClean() int {
+	var ft fakeTime
+	return ft.Now() + ft.Sleep()
+}

@@ -1,0 +1,112 @@
+// Package ctxsolve enforces context threading through the solve paths.
+//
+// PR 4 threaded cooperative cancellation through every solve pipeline;
+// the serving layer depends on it: graceful drain force-cancels
+// in-flight solves through their lease contexts, re-route needs the
+// device error promptly, and deadline admission control is meaningless
+// if the solve itself cannot be cut short. Two rules keep that wiring
+// intact:
+//
+//  1. Everywhere: a call to a *Ctx solve variant (SolveBatchCtx,
+//     SolveBatchIntoCtx, SolveGuardedCtx, SolveCtx, SolveIntoCtx) must
+//     not pass context.TODO() — TODO marks unfinished plumbing and
+//     defeats cancellation exactly where it matters.
+//
+//  2. In serving-layer packages (internal/pool, internal/fleet,
+//     internal/fleet/scenario, cmd/tridserve) the ctx-less forms
+//     (SolveBatch, SolveBatchInto, SolveGuarded) are banned outright:
+//     serving code always has a request or lifecycle context to
+//     thread, and a ctx-less solve is undrainable.
+package ctxsolve
+
+import (
+	"go/ast"
+	"strings"
+
+	"gputrid/internal/analysis"
+)
+
+// ServingPackages are the final path segments of the serving-layer
+// packages where ctx-less solve calls are banned.
+var ServingPackages = []string{
+	"internal/pool",
+	"internal/fleet",
+	"internal/fleet/scenario",
+	"cmd/tridserve",
+	// Bare names scope the analysistest fixtures.
+	"pool", "fleet", "scenario", "tridserve",
+}
+
+// ctxless are the solve entry points without a context parameter.
+var ctxless = map[string]bool{
+	"SolveBatch":       true,
+	"SolveBatchInto":   true,
+	"SolveGuarded":     true,
+	"SolveInterleaved": true,
+}
+
+// Analyzer is the ctxsolve analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxsolve",
+	Doc: "solve calls must thread real contexts: no context.TODO() into *Ctx solve " +
+		"variants anywhere, and no ctx-less SolveBatch/SolveBatchInto/SolveGuarded " +
+		"in serving-layer packages (pool, fleet, scenario, tridserve)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	serving := analysis.PathEndsIn(pass.Pkg.Path(), ServingPackages...)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			switch {
+			case strings.HasPrefix(name, "Solve") && strings.HasSuffix(name, "Ctx"):
+				if len(call.Args) > 0 && isContextTODO(pass, call.Args[0]) {
+					pass.Reportf(call.Args[0].Pos(),
+						"context.TODO() passed to %s: thread the caller's context "+
+							"(or context.Background() at a true root) so cancellation and drain reach the solve",
+						name)
+				}
+			case serving && ctxless[name]:
+				pass.Reportf(call.Pos(),
+					"ctx-less %s in serving-layer package %s: use %sCtx so drain, "+
+						"deadlines and re-route can cancel the solve", name, pass.Pkg.Path(), name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeName returns the called function or method name ("" when the
+// callee is not an identifier or selector).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name
+		}
+		if sel, ok := fun.X.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name
+		}
+	}
+	return ""
+}
+
+// isContextTODO reports whether the expression is a direct
+// context.TODO() call.
+func isContextTODO(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return analysis.IsPkgFunc(pass.TypesInfo, call.Fun, "context", "TODO")
+}

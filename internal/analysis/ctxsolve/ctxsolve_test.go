@@ -1,0 +1,24 @@
+package ctxsolve_test
+
+import (
+	"testing"
+
+	"gputrid/internal/analysis/analysistest"
+	"gputrid/internal/analysis/ctxsolve"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, ctxsolve.Analyzer, "fleet", "examplecode")
+}
+
+// TestRepositoryClean pins the invariant on the real serving layer.
+func TestRepositoryClean(t *testing.T) {
+	findings, err := analysistest.Findings(ctxsolve.Analyzer, "../../..",
+		"./internal/pool", "./internal/fleet/...", "./cmd/tridserve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

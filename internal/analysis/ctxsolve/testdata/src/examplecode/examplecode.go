@@ -1,0 +1,17 @@
+// Package examplecode is a ctxsolve fixture outside the serving
+// layer: ctx-less solves are fine (examples, CLIs, references), but
+// context.TODO() into a *Ctx variant is still banned.
+package examplecode
+
+import "context"
+
+type batch struct{}
+
+func SolveBatch(b *batch) error                         { return nil }
+func SolveBatchCtx(ctx context.Context, b *batch) error { return nil }
+
+func demo(b *batch) {
+	_ = SolveBatch(b) // ctx-less is allowed outside the serving layer
+	_ = SolveBatchCtx(context.Background(), b)
+	_ = SolveBatchCtx(context.TODO(), b) // want `context\.TODO\(\) passed to SolveBatchCtx`
+}

@@ -1,0 +1,36 @@
+// Package fleet is a ctxsolve fixture for serving-layer rules: both
+// the context.TODO ban and the ctx-less solve ban apply here.
+package fleet
+
+import "context"
+
+type batch struct{ m, n int }
+
+func SolveBatch(b *batch) error                                            { return nil }
+func SolveBatchCtx(ctx context.Context, b *batch) error                    { return nil }
+func SolveBatchInto(dst []float64, b *batch) error                         { return nil }
+func SolveBatchIntoCtx(ctx context.Context, dst []float64, b *batch) error { return nil }
+
+type solver struct{}
+
+func (solver) SolveGuarded(b *batch) error                         { return nil }
+func (solver) SolveGuardedCtx(ctx context.Context, b *batch) error { return nil }
+
+func serveBad(b *batch) {
+	_ = SolveBatch(b)          // want `ctx-less SolveBatch in serving-layer package`
+	_ = SolveBatchInto(nil, b) // want `ctx-less SolveBatchInto in serving-layer package`
+	var s solver
+	_ = s.SolveGuarded(b) // want `ctx-less SolveGuarded in serving-layer package`
+}
+
+func serveTODO(b *batch) {
+	_ = SolveBatchCtx(context.TODO(), b)          // want `context\.TODO\(\) passed to SolveBatchCtx`
+	_ = SolveBatchIntoCtx(context.TODO(), nil, b) // want `context\.TODO\(\) passed to SolveBatchIntoCtx`
+}
+
+func serveGood(ctx context.Context, b *batch) {
+	_ = SolveBatchCtx(ctx, b)
+	_ = SolveBatchIntoCtx(context.Background(), nil, b)
+	var s solver
+	_ = s.SolveGuardedCtx(ctx, b)
+}

@@ -1,0 +1,160 @@
+// Package errcompare enforces errors.Is/As matching for this repo's
+// typed errors.
+//
+// SolveError (internal/guard), OverloadError (internal/pool) and
+// LaunchError (internal/gpusim) travel through several wrapping layers
+// ("gputrid: ..." fmt.Errorf %w chains, retry wrappers, pool
+// admission) before reaching a caller. Comparing them with == or
+// dispatching on their concrete type with a type switch or type
+// assertion silently stops matching the moment anyone adds a wrapper —
+// exactly the bug class errors.Is/As exists to kill. The analyzer
+// flags:
+//
+//   - == / != where either operand is one of the typed errors (nil
+//     comparisons are fine — that is how presence is tested);
+//   - type assertions err.(*SolveError) and type-switch cases naming
+//     the typed errors when the operand is an error.
+//
+// Methods named Is, As or Unwrap are exempt: they are the sanctioned
+// place where identity comparison implements the errors.Is protocol.
+package errcompare
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gputrid/internal/analysis"
+)
+
+// TypedErrors are the names of the error types that must be matched
+// with errors.Is/As.
+var TypedErrors = map[string]bool{
+	"SolveError":    true,
+	"OverloadError": true,
+	"LaunchError":   true,
+}
+
+// Analyzer is the errcompare analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcompare",
+	Doc: "typed errors (SolveError, OverloadError, LaunchError) must be matched with " +
+		"errors.Is/As — == and type switches break as soon as a wrapper is added",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if exempt(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					checkCompare(pass, n)
+				case *ast.TypeAssertExpr:
+					// n.Type is nil inside a type switch; those are
+					// handled via the CaseClause below.
+					if n.Type != nil {
+						checkAssert(pass, n, n.Type)
+					}
+				case *ast.TypeSwitchStmt:
+					checkTypeSwitch(pass, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// exempt reports whether the function implements the errors.Is
+// protocol, where identity comparison is the point.
+func exempt(fd *ast.FuncDecl) bool {
+	switch fd.Name.Name {
+	case "Is", "As", "Unwrap":
+		return fd.Recv != nil
+	}
+	return false
+}
+
+func checkCompare(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if isNil(pass, b.X) || isNil(pass, b.Y) {
+		return
+	}
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		if name, ok := typedErrorName(pass, side); ok {
+			pass.Reportf(b.Pos(),
+				"%s compared with %s: use errors.Is (sentinels) or errors.As (*%s) so "+
+					"wrapped errors keep matching", name, b.Op, name)
+			return
+		}
+	}
+}
+
+func checkAssert(pass *analysis.Pass, at ast.Node, t ast.Expr) {
+	if name, ok := typedErrorTypeExpr(pass, t); ok {
+		pass.Reportf(at.Pos(),
+			"type assertion on %s: use errors.As so wrapped errors keep matching", name)
+	}
+}
+
+func checkTypeSwitch(pass *analysis.Pass, ts *ast.TypeSwitchStmt) {
+	for _, s := range ts.Body.List {
+		cc, ok := s.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, t := range cc.List {
+			if name, ok := typedErrorTypeExpr(pass, t); ok {
+				pass.Reportf(t.Pos(),
+					"type switch case on %s: use errors.As so wrapped errors keep matching", name)
+			}
+		}
+	}
+}
+
+// typedErrorName reports whether the expression's static type is (a
+// pointer to) one of the typed errors.
+func typedErrorName(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return "", false
+	}
+	return namedTypedError(tv.Type)
+}
+
+// typedErrorTypeExpr is typedErrorName for type expressions (assert /
+// switch case types).
+func typedErrorTypeExpr(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || !tv.IsType() {
+		return "", false
+	}
+	return namedTypedError(tv.Type)
+}
+
+func namedTypedError(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	name := named.Obj().Name()
+	return name, TypedErrors[name]
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Type == types.Typ[types.UntypedNil]
+}

@@ -1,0 +1,24 @@
+package errcompare_test
+
+import (
+	"testing"
+
+	"gputrid/internal/analysis/analysistest"
+	"gputrid/internal/analysis/errcompare"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, errcompare.Analyzer, "guard")
+}
+
+// TestRepositoryClean pins the invariant on the whole module: typed
+// errors are only ever matched through errors.Is/As.
+func TestRepositoryClean(t *testing.T) {
+	findings, err := analysistest.Findings(errcompare.Analyzer, "../../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,91 @@
+// Package guard is an errcompare fixture: typed errors matched the
+// wrong way (==, type switch, type assert) versus the sanctioned
+// errors.Is/As forms.
+package guard
+
+import (
+	"errors"
+	"fmt"
+)
+
+type SolveError struct {
+	Stage string
+}
+
+func (e *SolveError) Error() string { return "solve failed at " + e.Stage }
+
+type OverloadError struct {
+	Queued int
+}
+
+func (e *OverloadError) Error() string { return "overloaded" }
+
+type LaunchError struct {
+	Attempt int
+}
+
+func (e *LaunchError) Error() string { return "launch failed" }
+
+var ErrShutdown = errors.New("guard: shutdown")
+
+// compareBad tests identity on a typed error pointer: breaks the
+// moment a wrapper appears.
+func compareBad(err error, known *SolveError) bool {
+	return err == known // want `SolveError compared with ==`
+}
+
+func compareNeqBad(err error, known *OverloadError) bool {
+	return err != known // want `OverloadError compared with !=`
+}
+
+// assertBad dispatches on the concrete type directly.
+func assertBad(err error) int {
+	if le, ok := err.(*LaunchError); ok { // want `type assertion on LaunchError`
+		return le.Attempt
+	}
+	return 0
+}
+
+// switchBad does the same via a type switch.
+func switchBad(err error) string {
+	switch err.(type) {
+	case *SolveError: // want `type switch case on SolveError`
+		return "solve"
+	case *OverloadError: // want `type switch case on OverloadError`
+		return "overload"
+	default:
+		return "other"
+	}
+}
+
+// nilClean: nil comparisons are the normal presence test.
+func nilClean(e *SolveError) bool {
+	return e != nil && e.Stage != ""
+}
+
+// isAsClean is the sanctioned matching style.
+func isAsClean(err error) (string, bool) {
+	if errors.Is(err, ErrShutdown) {
+		return "shutdown", true
+	}
+	var se *SolveError
+	if errors.As(err, &se) {
+		return se.Stage, true
+	}
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		return fmt.Sprintf("queued=%d", oe.Queued), true
+	}
+	return "", false
+}
+
+// Is implements the errors.Is protocol: identity comparison inside it
+// is the point, not a bug.
+func (e *OverloadError) Is(target error) bool {
+	return target == ErrShutdown
+}
+
+// plainClean: comparisons of other error types are out of scope.
+func plainClean(err error) bool {
+	return err == ErrShutdown
+}

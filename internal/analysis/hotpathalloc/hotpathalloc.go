@@ -1,0 +1,209 @@
+// Package hotpathalloc is the compile-time complement of the runtime
+// AllocsPerRun tier-1 tests: functions annotated //tridlint:hotpath
+// (the *Into solve pipeline, the pThomas and tiled-PCR kernel thread
+// bodies, the blocked transpose) must not contain constructs that
+// heap-allocate.
+//
+// The zero-allocs-per-solve discipline (PR 2, after the interleaved
+// batch layout of Gloster et al., arXiv:1909.04539) is what makes the
+// warmed-solver pool cheap at high request rates; AllocsPerRun only
+// catches a regression on the configurations the benchmarks happen to
+// run, while this gate catches the construct itself on every build.
+//
+// Flagged inside an annotated function:
+//
+//   - make, new, append
+//   - composite literals (except arrays, which stay on the stack when
+//     they do not escape) and &T{...}
+//   - func literals (closure environments allocate)
+//   - go statements (goroutine stacks are not hot-path material)
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - non-constant concrete values converted to interface types at
+//     call arguments, assignments, or returns (boxing allocates)
+//
+// The gate is intentionally stricter than the optimizer: a construct
+// the escape analyzer happens to keep on the stack today is still a
+// diagnostic, because the next refactor can tip it over silently.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gputrid/internal/analysis"
+)
+
+// Analyzer is the hotpathalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: "functions annotated //tridlint:hotpath may not allocate: no make/new/append, " +
+		"composite literals, closures, string building, or interface boxing " +
+		"(compile-time complement of the AllocsPerRun tests)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasMarker(fd.Doc, "hotpath") {
+				continue
+			}
+			check(pass, fd)
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	sig, _ := info.Defs[fd.Name].Type().(*types.Signature)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in hotpath function %s", fd.Name.Name)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "func literal in hotpath function %s: closures allocate", fd.Name.Name)
+			return false // the literal's own body is not this function's hot path
+		case *ast.CompositeLit:
+			if t, ok := info.Types[n]; ok {
+				if _, isArray := t.Type.Underlying().(*types.Array); isArray {
+					return true
+				}
+			}
+			pass.Reportf(n.Pos(), "composite literal in hotpath function %s: allocate in the workspace/arena instead", fd.Name.Name)
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if t, ok := info.Types[n]; ok && isString(t.Type) && t.Value == nil {
+					pass.Reportf(n.Pos(), "string concatenation in hotpath function %s", fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, fd, n)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) != len(n.Rhs) {
+					break
+				}
+				if lt, ok := info.Types[n.Lhs[i]]; ok {
+					reportBoxing(pass, fd, rhs, lt.Type)
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil && sig.Results() != nil && len(n.Results) == sig.Results().Len() {
+				for i, r := range n.Results {
+					reportBoxing(pass, fd, r, sig.Results().At(i).Type())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags allocating builtins, allocating conversions, and
+// interface boxing at call arguments.
+func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	// Builtins: make, new, append.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				pass.Reportf(call.Pos(), "%s in hotpath function %s: pre-allocate in the workspace/arena", b.Name(), fd.Name.Name)
+				return
+			}
+		}
+	}
+
+	// Conversions: T(x) where the callee is a type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		if src, ok := info.Types[call.Args[0]]; ok && src.Value == nil {
+			if allocatingConversion(src.Type, dst) {
+				pass.Reportf(call.Pos(), "allocating conversion %s in hotpath function %s", types.TypeString(dst, nil), fd.Name.Name)
+			}
+			reportBoxingType(pass, fd, call.Args[0].Pos(), src.Type, dst)
+		}
+		return
+	}
+
+	// Interface boxing at ordinary call arguments.
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case i < sig.Params().Len()-1 || (!sig.Variadic() && i < sig.Params().Len()):
+			param = sig.Params().At(i).Type()
+		case sig.Variadic():
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				param = s.Elem()
+			}
+		}
+		if param != nil {
+			reportBoxing(pass, fd, arg, param)
+		}
+	}
+}
+
+// reportBoxing flags a non-constant concrete expression flowing into an
+// interface-typed slot.
+func reportBoxing(pass *analysis.Pass, fd *ast.FuncDecl, e ast.Expr, dst types.Type) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil { // constants box into static data
+		return
+	}
+	reportBoxingType(pass, fd, e.Pos(), tv.Type, dst)
+}
+
+func reportBoxingType(pass *analysis.Pass, fd *ast.FuncDecl, pos token.Pos, src, dst types.Type) {
+	// A type parameter's underlying type is its constraint interface;
+	// passing T to a T-typed slot is not boxing.
+	if _, ok := dst.(*types.TypeParam); ok {
+		return
+	}
+	if !types.IsInterface(dst) || types.IsInterface(src) {
+		return
+	}
+	if src == types.Typ[types.UntypedNil] {
+		return
+	}
+	pass.Reportf(pos, "interface conversion from %s in hotpath function %s: boxing allocates",
+		types.TypeString(src, nil), fd.Name.Name)
+}
+
+// allocatingConversion reports string<->[]byte/[]rune conversions.
+func allocatingConversion(src, dst types.Type) bool {
+	s, d := src.Underlying(), dst.Underlying()
+	return (isString(s) && isByteOrRuneSlice(d)) || (isByteOrRuneSlice(s) && isString(d))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+// callSignature returns the callee's signature, nil for type
+// conversions and unresolvable callees.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	if tv, ok := info.Types[call.Fun]; ok {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"gputrid/internal/analysis/analysistest"
+	"gputrid/internal/analysis/hotpathalloc"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, hotpathalloc.Analyzer, "kernels")
+}
+
+// TestRepositoryClean pins the invariant on the real annotated kernels.
+func TestRepositoryClean(t *testing.T) {
+	findings, err := analysistest.Findings(hotpathalloc.Analyzer, "../../..",
+		"./internal/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,117 @@
+// Package kernels is a hotpathalloc fixture: annotated functions must
+// be allocation-free, unannotated ones may do anything.
+package kernels
+
+import "fmt"
+
+type workspace struct {
+	cp, dp []float64
+}
+
+// thomasClean is the shape of a real kernel: pure index arithmetic
+// over caller-owned slices, stack scalars, constant panics.
+//
+//tridlint:hotpath
+func thomasClean(a, b, c, d, x, cp, dp []float64, n int) {
+	if n <= 0 {
+		panic("kernels: empty system")
+	}
+	cp[0] = c[0] / b[0]
+	dp[0] = d[0] / b[0]
+	for i := 1; i < n; i++ {
+		inv := 1 / (b[i] - cp[i-1]*a[i])
+		cp[i] = c[i] * inv
+		dp[i] = (d[i] - dp[i-1]*a[i]) * inv
+	}
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+}
+
+// genericClean proves type-parameter flow is not mistaken for boxing.
+//
+//tridlint:hotpath
+func genericClean[T ~float32 | ~float64](dst, src []T) {
+	for i := range dst {
+		dst[i] = scale(src[i])
+	}
+}
+
+func scale[T ~float32 | ~float64](v T) T { return 2 * v }
+
+// stackArrayClean: fixed-size array literals stay on the stack.
+//
+//tridlint:hotpath
+func stackArrayClean(x []float64) float64 {
+	w := [4]float64{1, 3, 3, 1}
+	var s float64
+	for i := range x {
+		s += w[i%4] * x[i]
+	}
+	return s
+}
+
+//tridlint:hotpath
+func makeBad(n int) []float64 {
+	return make([]float64, n) // want `make in hotpath function makeBad`
+}
+
+//tridlint:hotpath
+func appendBad(dst []float64, v float64) []float64 {
+	return append(dst, v) // want `append in hotpath function appendBad`
+}
+
+//tridlint:hotpath
+func newBad() *workspace {
+	return new(workspace) // want `new in hotpath function newBad`
+}
+
+//tridlint:hotpath
+func literalBad() *workspace {
+	return &workspace{} // want `composite literal in hotpath function literalBad`
+}
+
+//tridlint:hotpath
+func closureBad(x []float64) func() {
+	return func() { x[0] = 0 } // want `func literal in hotpath function closureBad`
+}
+
+//tridlint:hotpath
+func goBad() {
+	go helper() // want `go statement in hotpath function goBad`
+}
+
+//tridlint:hotpath
+func stringBad(name, suffix string) string {
+	return name + suffix // want `string concatenation in hotpath function stringBad`
+}
+
+//tridlint:hotpath
+func bytesBad(s string) []byte {
+	return []byte(s) // want `allocating conversion \[\]byte in hotpath function bytesBad`
+}
+
+//tridlint:hotpath
+func boxBad(v float64) {
+	sink(v) // want `interface conversion from float64 in hotpath function boxBad`
+}
+
+//tridlint:hotpath
+func boxVariadicBad(v float64) {
+	_ = fmt.Sprint(v) // want `interface conversion from float64 in hotpath function boxVariadicBad`
+}
+
+//tridlint:hotpath
+func boxConstClean() {
+	sink("constant strings box into static data")
+}
+
+// unannotated may allocate freely.
+func unannotated(n int) []float64 {
+	x := make([]float64, n)
+	return append(x, 1)
+}
+
+func helper()    {}
+func sink(v any) {}

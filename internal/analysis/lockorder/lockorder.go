@@ -1,0 +1,323 @@
+// Package lockorder checks the serving stack's lock discipline against
+// annotated mutex ranks.
+//
+// The fleet control plane and the pool form a lock hierarchy: the
+// fleet lock is acquired before any pool lock, the pool lock before
+// any station lock, and no solve (a potentially long, blocking
+// operation that may itself take pool locks on another goroutine) runs
+// while any control-plane lock is held — fleet.Stats deliberately
+// snapshots device backends first and calls their Stats after
+// releasing the fleet lock for exactly this reason.
+//
+// Mutex fields declare their rank with an annotation on the field:
+//
+//	mu sync.Mutex //tridlint:lockrank 20
+//
+// Lower ranks are outer locks. Within one function the analyzer
+// tracks annotated Lock/Unlock pairs in statement order and reports:
+//
+//   - acquiring a rank ≤ an already-held rank (inversion, or
+//     same-rank double-acquire — both deadlock-shaped), and
+//   - calling a Solve* function or method while any annotated lock is
+//     held (lock-held-across-solve).
+//
+// The analysis is intraprocedural and flow-approximate: it cannot see
+// a lock held by a caller, and a branch that unlocks early is merged
+// conservatively. That is the useful half of the invariant — every
+// deadlock this repo has had was visible within one function body.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"gputrid/internal/analysis"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "annotated mutexes (//tridlint:lockrank N) must be acquired in strictly " +
+		"increasing rank order, and no Solve* call may run while one is held",
+	Run: run,
+}
+
+// rankedField identifies an annotated mutex: the struct type that owns
+// it and the field name.
+type rankedField struct {
+	typeName string // named struct type, package-local name
+	field    string
+}
+
+func run(pass *analysis.Pass) error {
+	ranks := collectRanks(pass)
+	if len(ranks) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass, ranks: ranks, held: map[rankedField]int{}}
+			w.stmts(fd.Body.List)
+		}
+	}
+	return nil
+}
+
+// collectRanks scans struct declarations for annotated mutex fields.
+func collectRanks(pass *analysis.Pass) map[rankedField]int {
+	ranks := make(map[rankedField]int)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				arg, ok := markerOn(field)
+				if !ok {
+					continue
+				}
+				rank, err := strconv.Atoi(arg)
+				if err != nil {
+					pass.Reportf(field.Pos(), "bad //tridlint:lockrank argument %q: want an integer", arg)
+					continue
+				}
+				for _, name := range field.Names {
+					ranks[rankedField{ts.Name.Name, name.Name}] = rank
+				}
+			}
+			return true
+		})
+	}
+	return ranks
+}
+
+func markerOn(field *ast.Field) (string, bool) {
+	if arg, ok := analysis.MarkerArg(field.Doc, "lockrank"); ok {
+		return arg, true
+	}
+	return analysis.MarkerArg(field.Comment, "lockrank")
+}
+
+// walker tracks held annotated locks through one function body.
+type walker struct {
+	pass  *analysis.Pass
+	ranks map[rankedField]int
+	held  map[rankedField]int
+}
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end: do not
+		// process the unlock. Other deferred calls are still scanned for
+		// Solve* (they run with whatever is held at return).
+		if fld, op, ok := w.lockCall(s.Call); ok {
+			_ = fld
+			_ = op
+			return
+		}
+		w.expr(s.Call)
+	case *ast.GoStmt:
+		// A spawned goroutine has its own (empty) lock context; its body
+		// is walked separately via the FuncLit case in expr.
+		w.expr(s.Call.Fun)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.stmts(s.Body.List)
+		w.stmt(s.Else)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		w.stmts(s.Body.List)
+		w.stmt(s.Post)
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		w.stmts(s.Body.List)
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		w.stmts(s.Body.List)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		w.stmts(s.Body.List)
+	case *ast.SelectStmt:
+		w.stmts(s.Body.List)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e)
+		}
+		w.stmts(s.Body)
+	case *ast.CommClause:
+		w.stmt(s.Comm)
+		w.stmts(s.Body)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	}
+}
+
+func (w *walker) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Fresh lock context: the literal runs later (goroutine,
+			// callback), not under the current held set.
+			inner := &walker{pass: w.pass, ranks: w.ranks, held: map[rankedField]int{}}
+			inner.stmts(n.Body.List)
+			return false
+		case *ast.CallExpr:
+			w.call(n)
+			for _, a := range n.Args {
+				w.expr(a)
+			}
+			return false
+		}
+		return true
+	})
+}
+
+func (w *walker) call(call *ast.CallExpr) {
+	if fld, op, ok := w.lockCall(call); ok {
+		switch op {
+		case "Lock", "RLock":
+			rank := w.ranks[fld]
+			for held, hrank := range w.held {
+				if rank <= hrank {
+					w.pass.Reportf(call.Pos(),
+						"lock order inversion: acquiring %s.%s (rank %d) while holding %s.%s (rank %d); "+
+							"acquire strictly outer-to-inner", fld.typeName, fld.field, rank,
+						held.typeName, held.field, hrank)
+				}
+			}
+			w.held[fld] = rank
+		case "Unlock", "RUnlock":
+			delete(w.held, fld)
+		}
+		return
+	}
+	if len(w.held) == 0 {
+		return
+	}
+	if name := calleeName(call); strings.HasPrefix(name, "Solve") {
+		for held, hrank := range w.held {
+			w.pass.Reportf(call.Pos(),
+				"%s called while holding %s.%s (rank %d): solves are long and may take "+
+					"other locks — release control-plane locks first (snapshot-then-call, as in fleet.Stats)",
+				name, held.typeName, held.field, hrank)
+			break
+		}
+	}
+}
+
+// lockCall matches x.<field>.Lock/Unlock/RLock/RUnlock() where field is
+// an annotated mutex, returning its identity and the operation.
+func (w *walker) lockCall(call *ast.CallExpr) (rankedField, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return rankedField{}, "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return rankedField{}, "", false
+	}
+	fieldSel, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return rankedField{}, "", false
+	}
+	owner := ownerTypeName(w.pass.TypesInfo, fieldSel)
+	if owner == "" {
+		return rankedField{}, "", false
+	}
+	fld := rankedField{owner, fieldSel.Sel.Name}
+	if _, ok := w.ranks[fld]; !ok {
+		return rankedField{}, "", false
+	}
+	return fld, op, true
+}
+
+// ownerTypeName resolves the package-local named type that owns the
+// selected field ("" when unresolvable or foreign).
+func ownerTypeName(info *types.Info, fieldSel *ast.SelectorExpr) string {
+	tv, ok := info.Types[fieldSel.X]
+	if !ok {
+		return ""
+	}
+	t := tv.Type
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

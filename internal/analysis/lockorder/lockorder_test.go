@@ -1,0 +1,25 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"gputrid/internal/analysis/analysistest"
+	"gputrid/internal/analysis/lockorder"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "serving")
+}
+
+// TestRepositoryClean pins the invariant on the real serving stack,
+// whose mutexes carry //tridlint:lockrank annotations.
+func TestRepositoryClean(t *testing.T) {
+	findings, err := analysistest.Findings(lockorder.Analyzer, "../../..",
+		"./internal/pool", "./internal/fleet/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,107 @@
+// Package serving is a lockorder fixture: a fleet-like outer lock
+// (rank 10), a pool-like middle lock (rank 20), and a station-like
+// inner lock (rank 30).
+package serving
+
+import "sync"
+
+type fleet struct {
+	mu   sync.Mutex //tridlint:lockrank 10
+	pool *pool
+}
+
+type pool struct {
+	mu sync.Mutex //tridlint:lockrank 20
+	st *station
+}
+
+type station struct {
+	mu     sync.Mutex //tridlint:lockrank 30
+	leased int
+}
+
+type batch struct{}
+
+func SolveBatch(b *batch) error { return nil }
+
+// orderedClean acquires outer-to-inner: fine.
+func (f *fleet) orderedClean() {
+	f.mu.Lock()
+	f.pool.mu.Lock()
+	f.pool.st.mu.Lock()
+	f.pool.st.leased++
+	f.pool.st.mu.Unlock()
+	f.pool.mu.Unlock()
+	f.mu.Unlock()
+}
+
+// sequentialClean never overlaps: inner then outer is fine when the
+// inner lock is released first.
+func (p *pool) sequentialClean() {
+	p.st.mu.Lock()
+	p.st.leased--
+	p.st.mu.Unlock()
+	p.mu.Lock()
+	p.mu.Unlock()
+}
+
+// invertedBad acquires the pool lock while holding the station lock.
+func (p *pool) invertedBad() {
+	p.st.mu.Lock()
+	p.mu.Lock() // want `lock order inversion: acquiring pool\.mu \(rank 20\) while holding station\.mu \(rank 30\)`
+	p.mu.Unlock()
+	p.st.mu.Unlock()
+}
+
+// doubleBad re-acquires the same rank: deadlock-shaped.
+func (f *fleet) doubleBad(other *fleet) {
+	f.mu.Lock()
+	other.mu.Lock() // want `lock order inversion: acquiring fleet\.mu \(rank 10\) while holding fleet\.mu \(rank 10\)`
+	other.mu.Unlock()
+	f.mu.Unlock()
+}
+
+// solveUnderLockBad runs a solve while holding the fleet lock.
+func (f *fleet) solveUnderLockBad(b *batch) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return SolveBatch(b) // want `SolveBatch called while holding fleet\.mu`
+}
+
+// snapshotThenCallClean is the sanctioned pattern: capture under the
+// lock, release, then solve.
+func (f *fleet) snapshotThenCallClean(b *batch) error {
+	f.mu.Lock()
+	p := f.pool
+	f.mu.Unlock()
+	_ = p
+	return SolveBatch(b)
+}
+
+// goroutineClean: a spawned goroutine starts with no locks held, so
+// its solve is fine even when launched under the fleet lock.
+func (f *fleet) goroutineClean(b *batch) {
+	f.mu.Lock()
+	go func() {
+		_ = SolveBatch(b)
+	}()
+	f.mu.Unlock()
+}
+
+// deferHoldBad: defer keeps the lock held across the solve below it.
+func (p *pool) deferHoldBad(b *batch) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return SolveBatch(b) // want `SolveBatch called while holding pool\.mu`
+}
+
+// unrankedClean: plain mutexes without the annotation are ignored.
+type plain struct {
+	mu sync.Mutex
+}
+
+func (p *plain) anythingGoes(b *batch) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return SolveBatch(b)
+}

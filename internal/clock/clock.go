@@ -1,0 +1,59 @@
+// Package clock is the shared time source for the serving stack.
+//
+// Every control-plane decision that involves elapsed time — pool idle
+// eviction, breaker cooldowns, fleet probation expiry, autoscale
+// cooldowns — reads an injected Clock, never time.Now directly, so a
+// scenario driven by a VirtualClock replays the exact same decision
+// sequence on every run. The clockinject analyzer (internal/analysis)
+// enforces this mechanically across internal/pool, internal/fleet and
+// internal/gpusim; WallClock below is the one sanctioned place those
+// packages' time comes from in production.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the serving control plane.
+type Clock interface {
+	Now() time.Time
+}
+
+// WallClock is the production clock.
+type WallClock struct{}
+
+// Now returns the current wall time.
+//
+//tridlint:wallclock
+func (WallClock) Now() time.Time { return time.Now() }
+
+// VirtualClock is a manually advanced clock for deterministic
+// scenarios and tests: time moves only when the driver says so.
+// The zero value starts at the zero time; all methods are safe for
+// concurrent use.
+type VirtualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewVirtualClock starts a virtual clock at the given instant.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{t: start}
+}
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *VirtualClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	t := c.t
+	c.mu.Unlock()
+	return t
+}

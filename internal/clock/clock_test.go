@@ -1,0 +1,86 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestVirtualClockStep: time moves only when Advance says so, by
+// exactly the asked-for step, and Advance returns the instant it
+// produced.
+func TestVirtualClockStep(t *testing.T) {
+	start := time.Unix(1000, 0).UTC()
+	c := NewVirtualClock(start)
+	if got := c.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want the start instant %v", got, start)
+	}
+	if got := c.Now(); !got.Equal(start) {
+		t.Fatalf("reading the clock moved it: %v", got)
+	}
+	for i, step := range []time.Duration{time.Second, time.Millisecond, 3 * time.Hour} {
+		before := c.Now()
+		ret := c.Advance(step)
+		if want := before.Add(step); !ret.Equal(want) {
+			t.Fatalf("step %d: Advance returned %v, want %v", i, ret, want)
+		}
+		if got := c.Now(); !got.Equal(ret) {
+			t.Fatalf("step %d: Now() = %v after Advance returned %v", i, got, ret)
+		}
+	}
+}
+
+// TestVirtualClockZeroValue: the zero VirtualClock starts at the zero
+// time and still advances.
+func TestVirtualClockZeroValue(t *testing.T) {
+	var c VirtualClock
+	if got := c.Now(); !got.IsZero() {
+		t.Fatalf("zero clock Now() = %v, want the zero time", got)
+	}
+	c.Advance(time.Minute)
+	if got := c.Now(); !got.Equal(time.Time{}.Add(time.Minute)) {
+		t.Fatalf("zero clock after Advance = %v", got)
+	}
+}
+
+// TestVirtualClockOrdering: observations never run backwards, and
+// concurrent advances accumulate exactly — the property the fleet's
+// deterministic replay rests on.
+func TestVirtualClockOrdering(t *testing.T) {
+	c := NewVirtualClock(time.Unix(0, 0).UTC())
+	const (
+		goroutines = 8
+		stepsEach  = 200
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := c.Now()
+			for i := 0; i < stepsEach; i++ {
+				got := c.Advance(time.Millisecond)
+				if got.Before(prev) {
+					t.Errorf("clock ran backwards: %v after %v", got, prev)
+					return
+				}
+				prev = got
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Unix(0, 0).UTC().Add(goroutines * stepsEach * time.Millisecond)
+	if got := c.Now(); !got.Equal(want) {
+		t.Fatalf("final instant = %v, want every advance counted: %v", got, want)
+	}
+}
+
+// TestVirtualClockSatisfiesClock pins the interface contract both
+// implementations share.
+func TestVirtualClockSatisfiesClock(t *testing.T) {
+	var _ Clock = &VirtualClock{}
+	var _ Clock = WallClock{}
+	if (WallClock{}).Now().IsZero() {
+		t.Fatal("WallClock returned the zero time")
+	}
+}

@@ -1,8 +1,9 @@
 package fleet
 
 import (
-	"sync"
 	"time"
+
+	"gputrid/internal/clock"
 )
 
 // Clock abstracts time for the fleet control loop. Every policy
@@ -13,42 +14,20 @@ import (
 // governs the *data plane* — solve durations, drain force-cancel
 // budgets — which affects only how fast a run finishes, not which
 // control decisions it makes.)
-type Clock interface {
-	Now() time.Time
-}
+//
+// The implementations live in the shared internal/clock package so the
+// pool layer can take the same injected time source; these aliases
+// keep the fleet-level API unchanged.
+type Clock = clock.Clock
 
 // WallClock is the production clock.
-type WallClock struct{}
-
-// Now returns the current wall time.
-func (WallClock) Now() time.Time { return time.Now() }
+type WallClock = clock.WallClock
 
 // VirtualClock is a manually advanced clock for deterministic
 // scenarios and tests: time moves only when the driver says so.
-// The zero value starts at the zero time; all methods are safe for
-// concurrent use.
-type VirtualClock struct {
-	mu sync.Mutex
-	t  time.Time
-}
+type VirtualClock = clock.VirtualClock
 
 // NewVirtualClock starts a virtual clock at the given instant.
 func NewVirtualClock(start time.Time) *VirtualClock {
-	return &VirtualClock{t: start}
-}
-
-// Now returns the current virtual time.
-func (c *VirtualClock) Now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.t
-}
-
-// Advance moves the clock forward by d and returns the new time.
-func (c *VirtualClock) Advance(d time.Duration) time.Time {
-	c.mu.Lock()
-	c.t = c.t.Add(d)
-	t := c.t
-	c.mu.Unlock()
-	return t
+	return clock.NewVirtualClock(start)
 }

@@ -188,7 +188,7 @@ type Fleet struct {
 	factory BackendFactory
 	feed    *gpusim.HealthFeed
 
-	mu        sync.Mutex
+	mu        sync.Mutex //tridlint:lockrank 10
 	devices   []*device
 	closed    bool
 	lastScale time.Time

@@ -113,7 +113,7 @@ func Run(sc *Scenario, logf func(format string, args ...any)) (*Report, error) {
 	cpuRef := make([][]float64, sc.Variants)
 	for v := 0; v < sc.Variants; v++ {
 		b := workload.Batch[float64](workload.DiagDominant, sc.M, sc.N, sc.Seed+uint64(v)*7919+1)
-		res, err := gputrid.SolveBatch(b)
+		res, err := gputrid.SolveBatchCtx(context.Background(), b)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: device reference %d: %w", sc.Name, v, err)
 		}
@@ -132,7 +132,10 @@ func Run(sc *Scenario, logf func(format string, args ...any)) (*Report, error) {
 	vc := fleet.NewVirtualClock(time.Unix(0, 0).UTC())
 	var gates gateSet
 	factory := func(id int) (fleet.Backend, error) {
-		pc := gputrid.PoolConfig{Capacity: sc.Capacity, QueueLimit: sc.Queue}
+		// The pools share the run's virtual clock, so control-plane
+		// time (idle-eviction stamps, deadline feasibility) replays
+		// identically too.
+		pc := gputrid.PoolConfig{Capacity: sc.Capacity, QueueLimit: sc.Queue, Clock: vc}
 		if sc.FaultRate > 0 {
 			pc.SolverOptions = []gputrid.Option{gputrid.WithFaultInjection(&gputrid.FaultInjector{
 				Seed: sc.Seed ^ uint64(id+1)*0x9E3779B97F4A7C15,

@@ -12,6 +12,8 @@ const transposeTile = 32
 // transposeBlocked writes the transpose of src (rows×cols, row-major)
 // into dst (cols×rows, row-major) tile by tile. dst and src must not
 // overlap.
+//
+//tridlint:hotpath
 func transposeBlocked[T num.Real](dst, src []T, rows, cols int) {
 	if len(src) != rows*cols || len(dst) != rows*cols {
 		panic("matrix: transpose length mismatch")
@@ -57,6 +59,8 @@ func transposeNaive[T num.Real](dst, src []T, rows, cols int) {
 
 // ToInterleavedInto converts the contiguous batch to the interleaved
 // layout in caller-owned storage. dst must have the batch's shape.
+//
+//tridlint:hotpath
 func (b *Batch[T]) ToInterleavedInto(dst *Interleaved[T]) {
 	if dst.M != b.M || dst.N != b.N {
 		panic("matrix: ToInterleavedInto shape mismatch")
@@ -69,6 +73,8 @@ func (b *Batch[T]) ToInterleavedInto(dst *Interleaved[T]) {
 
 // ToBatchInto converts the interleaved batch to the contiguous layout
 // in caller-owned storage. dst must have the batch's shape.
+//
+//tridlint:hotpath
 func (v *Interleaved[T]) ToBatchInto(dst *Batch[T]) {
 	if dst.M != v.M || dst.N != v.N {
 		panic("matrix: ToBatchInto shape mismatch")
@@ -82,11 +88,15 @@ func (v *Interleaved[T]) ToBatchInto(dst *Batch[T]) {
 // DeinterleaveVectorInto converts a solution vector in interleaved
 // order (row j of system i at j*M+i) into contiguous order (system i
 // occupying [i*N,(i+1)*N)) in caller-owned storage.
+//
+//tridlint:hotpath
 func DeinterleaveVectorInto[T num.Real](dst, x []T, m, n int) {
 	transposeBlocked(dst, x, n, m)
 }
 
 // InterleaveVectorInto is the inverse of DeinterleaveVectorInto.
+//
+//tridlint:hotpath
 func InterleaveVectorInto[T num.Real](dst, x []T, m, n int) {
 	transposeBlocked(dst, x, m, n)
 }

@@ -59,8 +59,9 @@ type BreakerPolicy struct {
 	// Disabled wires the breaker permanently closed (every request
 	// takes the device path). For ablation and tests.
 	Disabled bool
-	// Clock overrides the breaker's time source; nil means time.Now.
-	// Tests inject a fake clock to drive the cooldown deterministically.
+	// Clock overrides the breaker's time source; nil means the pool's
+	// clock (Config.Clock, wall time by default). Tests inject a fake
+	// clock to drive the cooldown deterministically.
 	Clock func() time.Time
 }
 
@@ -120,7 +121,7 @@ type breaker struct {
 	pol BreakerPolicy
 	now func() time.Time
 
-	mu       sync.Mutex
+	mu       sync.Mutex //tridlint:lockrank 40
 	state    BreakerState
 	window   []bool // true = degraded
 	idx      int    // next write position
@@ -132,10 +133,13 @@ type breaker struct {
 	trips    int
 }
 
-func newBreaker(pol BreakerPolicy) *breaker {
+// newBreaker builds the breaker; defNow is the pool's injected clock,
+// used when the policy does not override it. (This package never reads
+// time.Now directly — the clockinject analyzer enforces it.)
+func newBreaker(pol BreakerPolicy, defNow func() time.Time) *breaker {
 	now := pol.Clock
 	if now == nil {
-		now = time.Now
+		now = defNow
 	}
 	return &breaker{pol: pol, now: now, window: make([]bool, pol.window())}
 }

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gputrid/internal/clock"
 	"gputrid/internal/core"
 )
 
@@ -51,6 +52,18 @@ type Config struct {
 	// EWMAAlpha is the service-time smoothing factor in (0, 1];
 	// 0 means 0.2.
 	EWMAAlpha float64
+	// Clock is the pool's time source for idle-eviction stamps,
+	// deadline-feasibility checks and (unless overridden per policy)
+	// the breaker cooldown; nil means wall time. Scenario runs inject
+	// the fleet's virtual clock so eviction order replays exactly.
+	Clock clock.Clock
+}
+
+func (c Config) clock() clock.Clock {
+	if c.Clock == nil {
+		return clock.WallClock{}
+	}
+	return c.Clock
 }
 
 func (c Config) capacity() int {
@@ -131,9 +144,10 @@ type Pool[S any] struct {
 	// when unknown); observed times take over from the first solve.
 	modeled func(S) time.Duration
 
+	clk clock.Clock
 	brk *breaker
 
-	mu            sync.Mutex
+	mu            sync.Mutex //tridlint:lockrank 20
 	stations      map[Key]*station[S]
 	leases        map[*Lease[S]]struct{}
 	inflight      int
@@ -157,11 +171,11 @@ type station[S any] struct {
 	free chan S
 	svc  *ewma
 
-	mu      sync.Mutex
-	built   int  // solvers created (≤ capacity)
-	leased  int  // solvers currently checked out
-	waiters int  // requests blocked waiting for a solver
-	closing bool // evicted or in pool teardown; acquisitions bounce
+	mu      sync.Mutex //tridlint:lockrank 30
+	built   int        // solvers created (≤ capacity)
+	leased  int        // solvers currently checked out
+	waiters int        // requests blocked waiting for a solver
+	closing bool       // evicted or in pool teardown; acquisitions bounce
 	lastUse time.Time
 }
 
@@ -176,12 +190,14 @@ func New[S any](cfg Config, build func(m, n int) (S, error), close func(S) error
 	if close == nil {
 		close = func(S) error { return nil }
 	}
+	clk := cfg.clock()
 	return &Pool[S]{
 		cfg:      cfg,
 		build:    build,
 		close:    close,
 		modeled:  modeled,
-		brk:      newBreaker(cfg.Breaker),
+		clk:      clk,
+		brk:      newBreaker(cfg.Breaker, clk.Now),
 		stations: make(map[Key]*station[S]),
 		leases:   make(map[*Lease[S]]struct{}),
 		drainCh:  make(chan struct{}),
@@ -295,7 +311,7 @@ func (p *Pool[S]) acquireAt(ctx context.Context, st *station[S], m, n int) (l *L
 			pos := st.waiters + 1
 			cap := p.cfg.capacity()
 			estWait := svc * time.Duration((pos+cap-1)/cap)
-			if time.Until(dl) < estWait+svc {
+			if dl.Sub(p.clk.Now()) < estWait+svc {
 				depth := st.waiters
 				st.mu.Unlock()
 				p.rejDeadline.Add(1)
@@ -353,7 +369,7 @@ func (p *Pool[S]) grant(ctx context.Context, st *station[S], s S) (*Lease[S], bo
 	p.mu.Unlock()
 
 	st.mu.Lock()
-	st.lastUse = time.Now()
+	st.lastUse = p.clk.Now()
 	st.mu.Unlock()
 	p.admitted.Add(1)
 	return l, false, nil
@@ -409,7 +425,7 @@ func (p *Pool[S]) lookup(m, n int) (*station[S], error) {
 		free: make(chan S, p.cfg.capacity()),
 		svc:  newEWMA(p.cfg.EWMAAlpha),
 	}
-	st.lastUse = time.Now()
+	st.lastUse = p.clk.Now()
 	p.stations[key] = st
 	p.mu.Unlock()
 	if victim != nil {

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"gputrid/internal/clock"
 	"gputrid/internal/core"
 )
 
@@ -204,7 +205,7 @@ func TestBreakerStateMachine(t *testing.T) {
 		Window: 4, TripRatio: 0.5, MinSamples: 2,
 		Cooldown: 100 * time.Millisecond, ProbeSuccesses: 2, Clock: clock,
 	}
-	b := newBreaker(pol)
+	b := newBreaker(pol, time.Now)
 
 	// Healthy traffic keeps it closed.
 	for i := 0; i < 6; i++ {
@@ -278,7 +279,7 @@ func TestBreakerAbandonedProbe(t *testing.T) {
 		Window: 4, MinSamples: 2, Cooldown: time.Millisecond,
 		ProbeSuccesses: 1, Clock: func() time.Time { return now },
 	}
-	b := newBreaker(pol)
+	b := newBreaker(pol, time.Now)
 	b.record(false, true)
 	b.record(false, true)
 	now = now.Add(2 * time.Millisecond)
@@ -391,6 +392,55 @@ func TestShapeEviction(t *testing.T) {
 		t.Fatalf("reacquire evicted shape: %v", err)
 	}
 	l.Release(0)
+}
+
+// TestIdleEvictionVirtualClock pins LRU eviction to injected time: the
+// lastUse stamps come from Config.Clock, so which shape is evicted is a
+// pure function of the virtual schedule, replaying identically on
+// every run — the property the scenario runner relies on when it hands
+// every pool the fleet's virtual clock.
+func TestIdleEvictionVirtualClock(t *testing.T) {
+	shapeSet := func(p *Pool[*fakeSolver]) map[Key]bool {
+		set := make(map[Key]bool)
+		for _, s := range p.Stats().PerShape {
+			set[Key{s.M, s.N}] = true
+		}
+		return set
+	}
+	touch := func(t *testing.T, p *Pool[*fakeSolver], k Key) {
+		t.Helper()
+		l, err := p.Acquire(context.Background(), k.M, k.N)
+		if err != nil {
+			t.Fatalf("acquire %v: %v", k, err)
+		}
+		l.Release(0)
+	}
+
+	a, b, c := Key{2, 8}, Key{2, 16}, Key{2, 32}
+	for run := 0; run < 3; run++ {
+		vc := clock.NewVirtualClock(time.Unix(0, 0).UTC())
+		f := &fakeFactory{}
+		p := newTestPool(Config{Capacity: 1, MaxShapes: 2, Clock: vc}, f, 0)
+
+		touch(t, p, a) // a @ t=0
+		vc.Advance(time.Second)
+		touch(t, p, b) // b @ t=1
+		vc.Advance(time.Second)
+		touch(t, p, a) // a refreshed @ t=2: b is now the LRU shape
+		vc.Advance(time.Second)
+		touch(t, p, c) // c @ t=3 overflows MaxShapes: b must go
+
+		got := shapeSet(p)
+		if len(got) != 2 || !got[a] || !got[c] || got[b] {
+			t.Fatalf("run %d: warmed shapes after eviction = %v, want {%v %v}", run, got, a, c)
+		}
+		if _, closed := f.counts(); closed != 1 {
+			t.Fatalf("run %d: closed = %d, want exactly the evicted shape's solver", run, closed)
+		}
+		if err := p.Close(context.Background()); err != nil {
+			t.Fatalf("run %d: close: %v", run, err)
+		}
+	}
 }
 
 // TestEWMAObservation: observed service times replace the modeled seed

@@ -176,6 +176,8 @@ func KernelStridedInto[T num.Real](dev *gpusim.Device, a, b, c, d []T, m, n, k i
 // batch: row l lives at l*m + sys. It is the per-thread body of
 // KernelInterleaved, exported so pipelines can embed it in their own
 // pre-built kernel closures.
+//
+//tridlint:hotpath
 func ThreadInterleaved[T num.Real](t *gpusim.Thread, g *Bufs[T], sys, m, n int) {
 	// Local array handles and batched step accounting, as in
 	// ThreadStrided.
@@ -212,6 +214,8 @@ func ThreadInterleaved[T num.Real](t *gpusim.Thread, g *Bufs[T], sys, m, n int) 
 // ThreadStrided runs Thomas over rows base+r, base+r+p, ...
 // base+r+(L-1)p. It is the per-thread body of KernelStrided, exported
 // so pipelines can embed it in their own pre-built kernel closures.
+//
+//tridlint:hotpath
 func ThreadStrided[T num.Real](t *gpusim.Thread, g *Bufs[T], base, r, p, n int) {
 	L := (n - r + p - 1) / p
 	if L <= 0 {
@@ -293,6 +297,8 @@ func SolveStridedRefInto[T num.Real](a, b, c, d []T, m, n, k int, x []T, ws *Wor
 // thomasStrided solves the system whose row l lives at flat index
 // start + l*stride, writing x at the same indices. cp/dp are scratch of
 // at least rows elements.
+//
+//tridlint:hotpath
 func thomasStrided[T num.Real](a, b, c, d, x, cp, dp []T, start, stride, rows int) {
 	if rows <= 0 {
 		return

@@ -7,9 +7,15 @@ import (
 	"maps"
 	"time"
 
+	"gputrid/internal/clock"
 	"gputrid/internal/cpu"
 	"gputrid/internal/pool"
 )
+
+// Clock is the serving stack's injectable control-plane time source
+// (wall time in production, a virtual clock in deterministic scenario
+// replays). See PoolConfig.Clock.
+type Clock = clock.Clock
 
 // Typed serving-layer errors, matchable with errors.Is through the
 // "gputrid:"-prefixed wrappers Pool returns.
@@ -79,6 +85,11 @@ type PoolConfig struct {
 	// EWMAAlpha is the service-time smoothing factor in (0, 1];
 	// 0 means 0.2.
 	EWMAAlpha float64
+	// Clock is the pool's control-plane time source (idle-eviction
+	// stamps, deadline feasibility, breaker cooldown); nil means wall
+	// time. Scenario runs inject the fleet's virtual clock so LRU
+	// eviction replays deterministically.
+	Clock Clock
 	// SolverOptions are applied to every Solver the pool builds
 	// (WithDevice, WithK, WithWorkers, WithFaultInjection, ...).
 	SolverOptions []Option
@@ -158,6 +169,7 @@ func NewPool[T Real](cfg PoolConfig) *Pool[T] {
 			MaxShapes:  cfg.MaxShapes,
 			Breaker:    cfg.Breaker,
 			EWMAAlpha:  cfg.EWMAAlpha,
+			Clock:      cfg.Clock,
 		},
 		func(m, n int) (*Solver[T], error) {
 			s, err := NewSolver[T](m, n, cfg.SolverOptions...)
