@@ -1,0 +1,303 @@
+package gputrid
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"gputrid/internal/clock"
+	"gputrid/internal/workload"
+)
+
+// batcherWaitUntil polls cond with a wall-clock timeout, sequencing
+// tests against the batcher's flusher before advancing a virtual
+// clock.
+func batcherWaitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// TestBatcherBitwiseHammer races 64 goroutines of small mixed-size
+// requests through the coalescing front-end and requires every
+// solution to be bitwise identical to the same batch solved alone on
+// the per-request k = 0 path — the coalesced-equals-serial guarantee
+// the batching tier is built on.
+func TestBatcherBitwiseHammer(t *testing.T) {
+	p := NewPool[float64](PoolConfig{Capacity: 2})
+	defer p.Close(context.Background())
+	b, err := NewBatcher(p, BatcherConfig{MaxBatch: 16, MaxWait: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const n = 32
+	var wg sync.WaitGroup
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 6; iter++ {
+				m := 1 + (g+iter)%3
+				batch := workload.Batch[float64](workload.DiagDominant, m, n, uint64(g*100+iter))
+				ref, err := SolveBatch(batch, WithK(0))
+				if err != nil {
+					t.Errorf("g%d iter%d reference: %v", g, iter, err)
+					return
+				}
+				var x []float64
+				var res CoalescedResult
+				for {
+					x, res, err = b.Solve(context.Background(), batch)
+					if !errors.Is(err, ErrBatcherSaturated) {
+						break
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+				if err != nil {
+					t.Errorf("g%d iter%d batched: %v", g, iter, err)
+					return
+				}
+				if res.Systems != m || res.FlushSize < m {
+					t.Errorf("g%d iter%d: implausible coalescing report %+v", g, iter, res)
+					return
+				}
+				for i := range x {
+					if x[i] != ref.X[i] {
+						t.Errorf("g%d iter%d: coalesced result differs from serial at %d: %v vs %v",
+							g, iter, i, x[i], ref.X[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.AdmittedSystems == 0 || st.Flushes() == 0 {
+		t.Fatalf("hammer produced no batching activity: %+v", st)
+	}
+	if st.MaxFlushSystems < 2 {
+		t.Fatalf("MaxFlushSystems = %d: the hammer never actually coalesced", st.MaxFlushSystems)
+	}
+}
+
+// TestBatcherFaultIsolation coalesces three requests into one flight:
+// a healthy one, one whose system p-Thomas cannot solve but host
+// pivoting can (rescued), and one truly singular (unsolvable). Each
+// gets exactly its own verdict — the corrupt systems degrade or fail
+// only the requests that submitted them.
+func TestBatcherFaultIsolation(t *testing.T) {
+	p := NewPool[float64](PoolConfig{})
+	defer p.Close(context.Background())
+	vc := clock.NewVirtualClock(time.Unix(0, 0))
+	b, err := NewBatcher(p, BatcherConfig{MaxBatch: 8, MaxWait: time.Hour, Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const n = 2
+	healthy := workload.Batch[float64](workload.DiagDominant, 1, n, 7)
+	ref, err := SolveBatch(healthy, WithK(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Permutation matrix [[0,1],[1,0]]: nonsingular, but the
+	// pivot-free p-Thomas divides by the zero diagonal — only the
+	// host rescue can solve it. x = (rhs[1], rhs[0]).
+	rescuable := &Batch[float64]{
+		M: 1, N: n,
+		Lower: []float64{0, 1}, Diag: []float64{0, 0},
+		Upper: []float64{1, 0}, RHS: []float64{3, 5},
+	}
+	// The zero matrix: singular, beyond any rescue.
+	unsolvable := &Batch[float64]{
+		M: 1, N: n,
+		Lower: make([]float64, n), Diag: make([]float64, n),
+		Upper: make([]float64, n), RHS: []float64{1, 1},
+	}
+
+	var wg sync.WaitGroup
+	type out struct {
+		x   []float64
+		res CoalescedResult
+		err error
+	}
+	outs := make([]out, 3)
+	for i, batch := range []*Batch[float64]{healthy, rescuable, unsolvable} {
+		wg.Add(1)
+		go func(i int, batch *Batch[float64]) {
+			defer wg.Done()
+			o := &outs[i]
+			o.x, o.res, o.err = b.Solve(context.Background(), batch)
+		}(i, batch)
+	}
+	batcherWaitUntil(t, "three requests parked", func() bool {
+		return b.Stats().PendingSystems == 3
+	})
+	vc.Advance(time.Hour)
+	wg.Wait()
+
+	if outs[0].err != nil {
+		t.Fatalf("healthy request failed alongside corrupt neighbors: %v", outs[0].err)
+	}
+	if outs[0].res.FlushSize != 3 {
+		t.Fatalf("FlushSize = %d, want 3 (one coalesced flight)", outs[0].res.FlushSize)
+	}
+	for i := range outs[0].x {
+		if outs[0].x[i] != ref.X[i] {
+			t.Fatalf("healthy result corrupted at %d: %v vs %v", i, outs[0].x[i], ref.X[i])
+		}
+	}
+	if outs[1].err != nil {
+		t.Fatalf("rescuable request failed: %v", outs[1].err)
+	}
+	if outs[1].res.Rescued != 1 {
+		t.Fatalf("rescuable request reports %d rescues, want 1", outs[1].res.Rescued)
+	}
+	if outs[1].x[0] != 5 || outs[1].x[1] != 3 {
+		t.Fatalf("rescued solution = %v, want [5 3]", outs[1].x)
+	}
+	if outs[2].err == nil {
+		t.Fatal("singular request succeeded")
+	}
+	if outs[0].res.Rescued != 0 {
+		t.Fatalf("healthy request reports %d rescues", outs[0].res.Rescued)
+	}
+}
+
+// TestBatcherBypassesOversized pins the routing rule: a request
+// larger than MaxBatch goes straight to the pool's direct path
+// instead of failing admission.
+func TestBatcherBypassesOversized(t *testing.T) {
+	p := NewPool[float64](PoolConfig{})
+	defer p.Close(context.Background())
+	b, err := NewBatcher(p, BatcherConfig{MaxBatch: 4, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	batch := workload.Batch[float64](workload.DiagDominant, 9, 64, 3)
+	ref, err := SolveBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, res, err := b.Solve(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Systems != 9 || res.FlushSize != 9 {
+		t.Fatalf("bypass report = %+v, want 9/9", res)
+	}
+	for i := range x {
+		if x[i] != ref.X[i] {
+			t.Fatalf("bypass result differs at %d", i)
+		}
+	}
+	if st := b.Stats(); st.Admitted != 0 {
+		t.Fatalf("oversized request was coalesced: %+v", st)
+	}
+}
+
+// TestSolverInterleavedSkipsTranspose is the public stats assertion
+// behind the batching bench: the interleaved-native entry at k = 0
+// performs the solve without any of the five blocked transposes
+// (4 coefficient planes in, 1 solution plane out) the contiguous
+// entry pays, and the contiguous API keeps working alongside.
+func TestSolverInterleavedSkipsTranspose(t *testing.T) {
+	m, n := 16, 64
+	s, err := NewSolver[float64](m, n, WithK(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	b := workload.Batch[float64](workload.DiagDominant, m, n, 11)
+	v := b.ToInterleaved()
+	xi := make([]float64, m*n)
+	for iter := 0; iter < 3; iter++ {
+		if err := s.SolveInterleavedInto(xi, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ls := s.LayoutStats()
+	if ls.InterleavedSolves != 3 || ls.TransposesSkipped != 15 || ls.InterleavedShim != 0 {
+		t.Fatalf("LayoutStats = %+v, want 3 native solves skipping 15 transposes", ls)
+	}
+	// The contiguous entry still works on the same solver and adds no
+	// skipped-transpose credit.
+	dst := make([]float64, m*n)
+	if err := s.SolveBatchInto(dst, b); err != nil {
+		t.Fatal(err)
+	}
+	if ls := s.LayoutStats(); ls.TransposesSkipped != 15 {
+		t.Fatalf("contiguous solve changed TransposesSkipped to %d", ls.TransposesSkipped)
+	}
+}
+
+// TestBatcherFallbackRoute forces the breaker open and checks the
+// coalesced path degrades to per-system host solves with verdicts
+// instead of failing the flight.
+func TestBatcherFallbackRoute(t *testing.T) {
+	p := NewPool[float64](PoolConfig{
+		// A hair-trigger breaker: one degraded solve trips it.
+		Breaker: BreakerPolicy{Window: 4, MinSamples: 1, TripRatio: 0.01, Cooldown: time.Hour},
+		SolverOptions: []Option{
+			WithFaultInjection(&FaultInjector{
+				Seed: 3, Rate: 1, Repeat: 1000,
+				Kinds: []DeviceFaultKind{FaultAbort},
+			}),
+			WithRetry(RetryPolicy{MaxRetries: 1, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond}),
+		},
+	})
+	defer p.Close(context.Background())
+
+	// Trip the breaker on the direct path.
+	batch := workload.Batch[float64](workload.DiagDominant, 4, 32, 5)
+	if _, err := p.Solve(context.Background(), batch); err != nil {
+		t.Fatalf("tripping solve: %v", err)
+	}
+	if p.Breaker().State != BreakerOpen {
+		t.Fatalf("breaker = %v, want open", p.Breaker().State)
+	}
+
+	vc := clock.NewVirtualClock(time.Unix(0, 0))
+	b, err := NewBatcher(p, BatcherConfig{MaxBatch: 8, MaxWait: time.Hour, Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	req := workload.Batch[float64](workload.DiagDominant, 2, 32, 6)
+	var (
+		wg   sync.WaitGroup
+		x    []float64
+		serr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		x, _, serr = b.Solve(context.Background(), req)
+	}()
+	batcherWaitUntil(t, "request parked", func() bool { return b.Stats().PendingSystems == 2 })
+	vc.Advance(time.Hour)
+	wg.Wait()
+	if serr != nil {
+		t.Fatalf("breaker-open coalesced solve: %v", serr)
+	}
+	// Host pivoting answers differ in rounding from p-Thomas, so
+	// verify by residual, not bitwise.
+	if err := verifyBatchInto(req, x, make([]float64, req.M)); err != nil {
+		t.Fatalf("fallback solution fails verification: %v", err)
+	}
+	if st := p.Stats(); st.FallbackSolves == 0 {
+		t.Fatal("no fallback solves recorded")
+	}
+}

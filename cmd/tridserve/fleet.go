@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"gputrid"
+	"gputrid/internal/batcher"
 	"gputrid/internal/fleet"
 	"gputrid/internal/fleet/scenario"
 	"gputrid/internal/gpusim"
@@ -32,6 +33,9 @@ type fleetServer struct {
 	fl         *fleet.Fleet
 	draining   atomic.Bool
 	maxTimeout time.Duration
+	// batcher, when non-nil, coalesces small concurrent requests into
+	// megabatches routed through Fleet.SolveMegabatch (-batch).
+	batcher *batcher.Batcher[float64]
 }
 
 // fleetSolveResponse extends the pool-mode response with where the
@@ -99,6 +103,33 @@ func (s *fleetServer) handleSolve(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	if s.batcher != nil && req.M <= s.batcher.MaxBatch() {
+		x := make([]float64, size)
+		cres, err := s.batcher.Solve(ctx, &batcher.Request[float64]{
+			M: req.M, N: req.N,
+			Lower: req.Lower, Diag: req.Diag, Upper: req.Upper, RHS: req.RHS,
+			X: x,
+		})
+		if err != nil {
+			s.writeSolveError(w, err)
+			return
+		}
+		// A coalesced flight may ride any device (and re-route as a
+		// unit), so no single device id is reported.
+		writeJSON(w, http.StatusOK, fleetSolveResponse{
+			solveResponse: solveResponse{
+				X:         x,
+				Route:     "coalesced",
+				WaitNS:    int64(cres.Wait),
+				FlushSize: cres.FlushSize,
+				Rescued:   cres.Rescued,
+			},
+			Device:   -1,
+			Attempts: 1,
+		})
+		return
+	}
+
 	res, err := s.fl.Solve(ctx, b)
 	if err != nil {
 		s.writeSolveError(w, err)
@@ -121,13 +152,14 @@ func (s *fleetServer) handleSolve(w http.ResponseWriter, r *http.Request) {
 // servable device" is a 503 too — the fleet may heal or scale up.
 func (s *fleetServer) writeSolveError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, gputrid.ErrOverloaded):
+	case errors.Is(err, gputrid.ErrOverloaded), errors.Is(err, gputrid.ErrBatcherSaturated):
 		writeError(w, http.StatusServiceUnavailable, "overloaded", err.Error(),
 			retryAfterMS(err, nil))
 	case errors.Is(err, fleet.ErrNoDevices):
 		writeError(w, http.StatusServiceUnavailable, "no-device", err.Error(),
 			int64(fleetTickInterval/time.Millisecond))
-	case errors.Is(err, fleet.ErrFleetClosed), errors.Is(err, gputrid.ErrPoolClosed):
+	case errors.Is(err, fleet.ErrFleetClosed), errors.Is(err, gputrid.ErrPoolClosed),
+		errors.Is(err, gputrid.ErrBatcherClosed):
 		writeError(w, http.StatusServiceUnavailable, "draining", err.Error(), 0)
 	case errors.Is(err, gputrid.ErrCancelled):
 		writeError(w, http.StatusGatewayTimeout, "cancelled", err.Error(), 0)
@@ -175,7 +207,7 @@ func (s *fleetServer) handleFleet(w http.ResponseWriter, r *http.Request) {
 			"breaker":       d.Breaker.String(),
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"devices": devices,
 		"census": map[string]any{
 			"active":        st.Active,
@@ -198,7 +230,11 @@ func (s *fleetServer) handleFleet(w http.ResponseWriter, r *http.Request) {
 		"forced_drains":  st.ForcedDrains,
 		"build_failures": st.BuildFailures,
 		"events":         st.Events,
-	})
+	}
+	if s.batcher != nil {
+		body["batcher"] = batcherStatsBody(s.batcher.Stats())
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *fleetServer) handleInject(w http.ResponseWriter, r *http.Request) {
@@ -228,7 +264,7 @@ func (s *fleetServer) handleInject(w http.ResponseWriter, r *http.Request) {
 // serveFleet runs the multi-device serving mode: a fleet of `devices`
 // failure domains behind the HTTP front-end, with a wall-clock ticker
 // driving the control loop. SIGINT/SIGTERM drains the whole fleet.
-func serveFleet(addr string, devices, capacity, queue, maxShapes int, warm string) error {
+func serveFleet(addr string, devices, capacity, queue, maxShapes int, warm string, batchN int, batchWait time.Duration) error {
 	shapes, err := parseWarmShapes(warm)
 	if err != nil {
 		return err
@@ -246,6 +282,18 @@ func serveFleet(addr string, devices, capacity, queue, maxShapes int, warm strin
 		return err
 	}
 	srv := &fleetServer{fl: fl, maxTimeout: time.Minute}
+	if batchN > 0 {
+		bt, err := batcher.New(batcher.Config[float64]{
+			MaxBatch: batchN,
+			MaxWait:  batchWait,
+			Solve:    fl.SolveMegabatch,
+		})
+		if err != nil {
+			_ = fl.Close(context.Background())
+			return err
+		}
+		srv.batcher = bt
+	}
 
 	stopTicks := make(chan struct{})
 	go func() {
@@ -263,6 +311,9 @@ func serveFleet(addr string, devices, capacity, queue, maxShapes int, warm strin
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		if srv.batcher != nil {
+			srv.batcher.Close()
+		}
 		_ = fl.Close(context.Background())
 		return err
 	}
@@ -277,6 +328,9 @@ func serveFleet(addr string, devices, capacity, queue, maxShapes int, warm strin
 	select {
 	case err := <-errCh:
 		close(stopTicks)
+		if srv.batcher != nil {
+			srv.batcher.Close()
+		}
 		_ = fl.Close(context.Background())
 		return err
 	case <-sig:
@@ -288,6 +342,11 @@ func serveFleet(addr string, devices, capacity, queue, maxShapes int, warm strin
 	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	_ = hs.Shutdown(shCtx)
+	if srv.batcher != nil {
+		// Flush and complete parked coalesced flights before the fleet
+		// beneath them drains.
+		srv.batcher.Close()
+	}
 	if err := fl.Close(shCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "tridserve: fleet drain: %v\n", err)
 	}

@@ -12,6 +12,8 @@
 //	tridserve -selftest                # no listener: end-to-end self-check
 //	tridserve -fleet 3                 # 3-device fleet behind one front-end
 //	tridserve -scenario death.yaml     # replay a fleet scenario, exit 0/1
+//	tridserve -batch 64                # coalesce small requests into
+//	                                   # 64-system megabatches
 //
 // Endpoints:
 //
@@ -41,6 +43,17 @@
 //	                    "thermal", "ecc-corrected", "ecc-uncorrected",
 //	                    "healed"); applied by the next tick
 //
+// With -batch N (both modes) concurrent small /solve requests of the
+// same row count are coalesced into interleaved megabatches of up to
+// N systems and solved through one pooled megabatch solver lease,
+// flushing on a size watermark or a deadline informed by the pool's
+// service-time estimate (-batchwait bounds the wait). Responses carry
+// "flush_size" and "rescued"; per-system guard failures in a shared
+// megabatch fail only the requests that submitted them, and a full
+// coalescing queue sheds with 503 like any other overload. /stats
+// (and /fleet) then include a "batcher" section with queue depths and
+// flush-cause counters.
+//
 // With -scenario FILE the process runs no listener at all: it replays
 // the YAML fleet scenario (load phases, injected health events,
 // assertions) deterministically on a virtual clock and exits 0 when
@@ -63,15 +76,17 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8437", "listen address")
-		capacity = flag.Int("capacity", 2, "warmed solvers per shape")
-		queue    = flag.Int("queue", 0, "admission queue per shape (0 = 4x capacity)")
-		shapes   = flag.Int("maxshapes", 8, "max distinct warmed shapes")
-		warm     = flag.String("warm", "", "comma list of M:N shapes to pre-build")
-		selftest = flag.Bool("selftest", false, "run the end-to-end self-check and exit")
-		timeout  = flag.Duration("timeout", 5*time.Minute, "overall selftest deadline (the -race selftest needs ~1m)")
-		fleetN   = flag.Int("fleet", 0, "serve through a fleet of N device failure domains (0 = single pool)")
-		scenFile = flag.String("scenario", "", "replay a YAML fleet scenario and exit 0/1 on its assertions")
+		addr      = flag.String("addr", ":8437", "listen address")
+		capacity  = flag.Int("capacity", 2, "warmed solvers per shape")
+		queue     = flag.Int("queue", 0, "admission queue per shape (0 = 4x capacity)")
+		shapes    = flag.Int("maxshapes", 8, "max distinct warmed shapes")
+		warm      = flag.String("warm", "", "comma list of M:N shapes to pre-build")
+		selftest  = flag.Bool("selftest", false, "run the end-to-end self-check and exit")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "overall selftest deadline (the -race selftest needs ~1m)")
+		fleetN    = flag.Int("fleet", 0, "serve through a fleet of N device failure domains (0 = single pool)")
+		scenFile  = flag.String("scenario", "", "replay a YAML fleet scenario and exit 0/1 on its assertions")
+		batchN    = flag.Int("batch", 0, "coalesce concurrent small requests into megabatches of up to N systems (0 = off)")
+		batchWait = flag.Duration("batchwait", 2*time.Millisecond, "max time a coalesced request waits for company")
 	)
 	flag.Parse()
 
@@ -95,14 +110,14 @@ func main() {
 	}
 
 	if *fleetN > 0 {
-		if err := serveFleet(*addr, *fleetN, *capacity, *queue, *shapes, *warm); err != nil {
+		if err := serveFleet(*addr, *fleetN, *capacity, *queue, *shapes, *warm, *batchN, *batchWait); err != nil {
 			fmt.Fprintf(os.Stderr, "tridserve: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if err := serve(*addr, *capacity, *queue, *shapes, *warm); err != nil {
+	if err := serve(*addr, *capacity, *queue, *shapes, *warm, *batchN, *batchWait); err != nil {
 		fmt.Fprintf(os.Stderr, "tridserve: %v\n", err)
 		os.Exit(1)
 	}

@@ -33,12 +33,17 @@ type solveRequest struct {
 }
 
 // solveResponse is the success body: the solution plus how the pool
-// served the request.
+// served the request. FlushSize and Rescued appear only on coalesced
+// responses (-batch): the total system count of the megabatch this
+// request rode in, and how many of its own systems needed the host
+// rescue path.
 type solveResponse struct {
-	X      []float64 `json:"x"`
-	Route  string    `json:"route"`
-	WaitNS int64     `json:"wait_ns"`
-	WallNS int64     `json:"wall_ns"`
+	X         []float64 `json:"x"`
+	Route     string    `json:"route"`
+	WaitNS    int64     `json:"wait_ns"`
+	WallNS    int64     `json:"wall_ns"`
+	FlushSize int       `json:"flush_size,omitempty"`
+	Rescued   int       `json:"rescued,omitempty"`
 }
 
 // errorResponse is every non-200 body.
@@ -56,6 +61,9 @@ type server struct {
 	draining atomic.Bool
 	// maxTimeout caps client-requested per-solve timeouts.
 	maxTimeout time.Duration
+	// batcher, when non-nil, coalesces small concurrent requests into
+	// megabatches (-batch).
+	batcher *gputrid.Batcher[float64]
 }
 
 func newServer(cfg gputrid.PoolConfig) *server {
@@ -106,6 +114,22 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	if s.batcher != nil {
+		x, cres, err := s.batcher.Solve(ctx, b)
+		if err != nil {
+			s.writeSolveError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, solveResponse{
+			X:         x,
+			Route:     "coalesced",
+			WaitNS:    int64(cres.Wait),
+			FlushSize: cres.FlushSize,
+			Rescued:   cres.Rescued,
+		})
+		return
+	}
+
 	res, err := s.pool.Solve(ctx, b)
 	if err != nil {
 		s.writeSolveError(w, err)
@@ -151,10 +175,10 @@ func retryAfterMS(err error, est func(m, n int) (time.Duration, bool)) int64 {
 // writeSolveError maps the pool's typed errors onto HTTP status codes.
 func (s *server) writeSolveError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, gputrid.ErrOverloaded):
+	case errors.Is(err, gputrid.ErrOverloaded), errors.Is(err, gputrid.ErrBatcherSaturated):
 		writeError(w, http.StatusServiceUnavailable, "overloaded", err.Error(),
 			retryAfterMS(err, s.pool.ServiceTime))
-	case errors.Is(err, gputrid.ErrPoolClosed):
+	case errors.Is(err, gputrid.ErrPoolClosed), errors.Is(err, gputrid.ErrBatcherClosed):
 		writeError(w, http.StatusServiceUnavailable, "draining", err.Error(), 0)
 	case errors.Is(err, gputrid.ErrCancelled):
 		writeError(w, http.StatusGatewayTimeout, "cancelled", err.Error(), 0)
@@ -199,7 +223,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"service_time_ns": int64(sh.ServiceTime),
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"shapes":              st.Shapes,
 		"per_shape":           perShape,
 		"in_flight":           st.InFlight,
@@ -219,7 +243,40 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"trips":           st.Breaker.Trips,
 			"probe_streak":    st.Breaker.ProbeStreak,
 		},
-	})
+	}
+	if s.batcher != nil {
+		body["batcher"] = batcherStatsBody(s.batcher.Stats())
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// batcherStatsBody renders the coalescing front-end's counters for
+// /stats and /fleet.
+func batcherStatsBody(st gputrid.BatcherStats) map[string]any {
+	queues := make([]map[string]any, 0, len(st.Queues))
+	for _, q := range st.Queues {
+		queues = append(queues, map[string]any{
+			"n":       q.N,
+			"pending": q.Pending,
+			"flights": q.Flights,
+		})
+	}
+	return map[string]any{
+		"admitted":          st.Admitted,
+		"admitted_systems":  st.AdmittedSystems,
+		"pending_systems":   st.PendingSystems,
+		"flushes_watermark": st.FlushesWatermark,
+		"flushes_deadline":  st.FlushesDeadline,
+		"flushes_close":     st.FlushesClose,
+		"flushed_systems":   st.FlushedSystems,
+		"padded_systems":    st.PaddedSystems,
+		"max_flush_systems": st.MaxFlushSystems,
+		"saturated":         st.Saturated,
+		"cancelled_waits":   st.CancelledWaits,
+		"failed_flushes":    st.FailedFlushes,
+		"shapes":            st.Shapes,
+		"queues":            queues,
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, body any) {
@@ -261,7 +318,7 @@ func parseWarmShapes(spec string) ([][2]int, error) {
 // the listener stops accepting, in-flight requests finish, and the
 // pool is closed gracefully (force-cancelling stragglers after a
 // bounded drain window).
-func serve(addr string, capacity, queue, maxShapes int, warm string) error {
+func serve(addr string, capacity, queue, maxShapes int, warm string, batchN int, batchWait time.Duration) error {
 	shapes, err := parseWarmShapes(warm)
 	if err != nil {
 		return err
@@ -271,6 +328,16 @@ func serve(addr string, capacity, queue, maxShapes int, warm string) error {
 		QueueLimit: queue,
 		MaxShapes:  maxShapes,
 	})
+	if batchN > 0 {
+		bt, err := gputrid.NewBatcher(srv.pool, gputrid.BatcherConfig{
+			MaxBatch: batchN,
+			MaxWait:  batchWait,
+		})
+		if err != nil {
+			return err
+		}
+		srv.batcher = bt
+	}
 	for _, mn := range shapes {
 		if err := srv.pool.Warm(mn[0], mn[1]); err != nil {
 			return fmt.Errorf("warming %dx%d: %w", mn[0], mn[1], err)
@@ -299,6 +366,11 @@ func serve(addr string, capacity, queue, maxShapes int, warm string) error {
 	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	_ = hs.Shutdown(shCtx)
+	if srv.batcher != nil {
+		// Flush and complete parked coalesced requests before the pool
+		// beneath them drains.
+		srv.batcher.Close()
+	}
 	if err := srv.pool.Close(shCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "tridserve: pool drain: %v\n", err)
 	}

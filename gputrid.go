@@ -63,6 +63,11 @@ type Device = gpusim.Device
 // Stats are the architectural events recorded during a solve.
 type Stats = gpusim.Stats
 
+// LayoutStats counts interleaved-native vs shimmed solver entries and
+// the blocked transposes the native path skipped (see
+// Solver.LayoutStats).
+type LayoutStats = core.LayoutStats
+
 // NewSystem allocates an n-row system with zero coefficients.
 func NewSystem[T Real](n int) *System[T] { return matrix.NewSystem[T](n) }
 
@@ -316,10 +321,23 @@ func verifyBatch[T Real](b *Batch[T], x []T) error {
 // verification path, which allocates only when building the failure
 // message.
 func verifyBatchInto[T Real](b *Batch[T], x []T, rs []float64) error {
-	tol := matrix.ResidualTolerance[T](b.N)
 	matrix.ResidualsPerSystemInto(rs, b, x)
+	return residualFailure(rs, b.M, matrix.ResidualTolerance[T](b.N))
+}
+
+// verifyInterleavedInto is verifyBatchInto for interleaved data: rs
+// must have length M and scratch at least 3M (the interleaved scan's
+// per-system partials).
+func verifyInterleavedInto[T Real](v *Interleaved[T], xi []T, rs, scratch []float64) error {
+	matrix.ResidualsPerSystemInterleavedInto(rs, scratch, v, xi, v.M)
+	return residualFailure(rs, v.M, matrix.ResidualTolerance[T](v.N))
+}
+
+// residualFailure turns a per-system residual scan into nil or an
+// error naming the offending systems.
+func residualFailure(rs []float64, m int, tol float64) error {
 	var bad []int
-	for i, r := range rs {
+	for i, r := range rs[:m] {
 		if !(r <= tol) {
 			bad = append(bad, i)
 		}
@@ -329,7 +347,7 @@ func verifyBatchInto[T Real](b *Batch[T], x []T, rs []float64) error {
 	}
 	const maxListed = 8
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "gputrid: verification failed: %d of %d systems exceed tolerance %.1e:", len(bad), b.M, tol)
+	fmt.Fprintf(&sb, "gputrid: verification failed: %d of %d systems exceed tolerance %.1e:", len(bad), m, tol)
 	for j, i := range bad {
 		if j == maxListed {
 			fmt.Fprintf(&sb, " ... and %d more", len(bad)-maxListed)
@@ -351,15 +369,68 @@ func Solve[T Real](s *System[T], opts ...Option) (*Result[T], error) {
 }
 
 // SolveInterleaved solves a batch stored in the interleaved layout,
-// returning the solutions interleaved the same way (X[j*M+i]).
+// returning the solutions interleaved the same way (X[j*M+i]). It
+// runs the interleaved-native pipeline entry: on the k = 0 path the
+// kernels consume the planes directly — no layout conversion at all —
+// and results are bitwise identical to converting and calling
+// SolveBatch on the same data.
 func SolveInterleaved[T Real](v *Interleaved[T], opts ...Option) (*Result[T], error) {
-	b := v.ToBatch()
-	res, err := SolveBatch(b, opts...)
-	if err != nil {
-		return nil, err
+	c := buildConfig(opts)
+	if err := validateInterleaved(v); err != nil {
+		return nil, fmt.Errorf("gputrid: invalid batch: %w", err)
 	}
-	res.X = matrix.InterleaveVector(res.X, v.M, v.N)
-	return res, nil
+	p, err := core.NewPipeline[T](c.coreConfig(), v.M, v.N)
+	if err != nil {
+		return nil, fmt.Errorf("gputrid: %w", err)
+	}
+	defer p.Close()
+	xi := make([]T, v.M*v.N)
+	start := time.Now()
+	if err := p.SolveInterleavedInto(xi, v); err != nil {
+		return nil, fmt.Errorf("gputrid: %w", err)
+	}
+	wall := time.Since(start)
+	if c.verify {
+		rs := make([]float64, 4*v.M)
+		if err := verifyInterleavedInto(v, xi, rs[:v.M], rs[v.M:]); err != nil {
+			return nil, err
+		}
+	}
+	rep := p.Report()
+	return &Result[T]{
+		X:               xi,
+		K:               rep.K,
+		BlocksPerSystem: rep.BlocksPerSystem,
+		Fused:           rep.Fused,
+		Stats:           rep.Stats,
+		ModeledTime:     secondsToDuration(modeled[T](c.device, rep)),
+		WallTime:        wall,
+		Faults:          faultsOf(rep),
+	}, nil
+}
+
+// validateInterleaved rejects non-finite coefficients in an
+// interleaved batch, naming the offending system and row like
+// Batch.Validate does for the contiguous layout.
+func validateInterleaved[T Real](v *Interleaved[T]) error {
+	if v.M <= 0 || v.N <= 0 {
+		return fmt.Errorf("batch shape %dx%d is empty", v.M, v.N)
+	}
+	planes := []struct {
+		name string
+		s    []T
+	}{{"lower", v.Lower}, {"diag", v.Diag}, {"upper", v.Upper}, {"rhs", v.RHS}}
+	for _, pl := range planes {
+		if len(pl.s) != v.M*v.N {
+			return fmt.Errorf("%s plane has %d elements, want M*N=%d", pl.name, len(pl.s), v.M*v.N)
+		}
+		for idx, val := range pl.s {
+			if !num.IsFinite(val) {
+				return fmt.Errorf("system %d row %d: non-finite %s entry %v", idx%v.M, idx/v.M, pl.name, val)
+			}
+		}
+	}
+	return nil
 }
 
 // SolveCPU solves the batch on the host with the sequential Thomas

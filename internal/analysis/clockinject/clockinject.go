@@ -32,9 +32,10 @@ var ScopedPackages = []string{
 	"internal/fleet",
 	"internal/fleet/scenario",
 	"internal/gpusim",
+	"internal/batcher",
 	// Bare names put analysistest fixture packages (testdata/src/pool,
 	// ...) under the same rules as the real packages.
-	"pool", "fleet", "scenario", "gpusim",
+	"pool", "fleet", "scenario", "gpusim", "batcher",
 }
 
 // forbidden lists the time package's wall-clock entry points.

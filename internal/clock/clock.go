@@ -5,9 +5,9 @@
 // cooldowns — reads an injected Clock, never time.Now directly, so a
 // scenario driven by a VirtualClock replays the exact same decision
 // sequence on every run. The clockinject analyzer (internal/analysis)
-// enforces this mechanically across internal/pool, internal/fleet and
-// internal/gpusim; WallClock below is the one sanctioned place those
-// packages' time comes from in production.
+// enforces this mechanically across internal/pool, internal/fleet,
+// internal/gpusim and internal/batcher; WallClock below is the one
+// sanctioned place those packages' time comes from in production.
 package clock
 
 import (
@@ -20,6 +20,33 @@ type Clock interface {
 	Now() time.Time
 }
 
+// Timer is a resettable one-shot timer bound to a Clock. Semantics
+// follow time.Timer loosely, with one deliberate loosening: after a
+// Reset, a consumer may still observe one spurious firing scheduled by
+// an earlier arming. Consumers must therefore treat a firing as a hint
+// and re-check their own deadlines — which is exactly what the
+// batcher's flusher loop does.
+type Timer interface {
+	// C is the firing channel. At most one firing is buffered.
+	C() <-chan time.Time
+	// Stop disarms the timer; it reports whether the timer was armed.
+	// A firing already delivered to C stays there.
+	Stop() bool
+	// Reset re-arms the timer to fire d from the clock's now. A
+	// non-positive d fires immediately.
+	Reset(d time.Duration)
+}
+
+// TimerClock is a Clock that can also mint Timers — the interface the
+// batcher's deadline-flush machinery requires. WallClock timers are
+// real time.Timers; VirtualClock timers fire inside Advance.
+type TimerClock interface {
+	Clock
+	// NewTimer returns an armed timer firing d from now (immediately
+	// when d <= 0).
+	NewTimer(d time.Duration) Timer
+}
+
 // WallClock is the production clock.
 type WallClock struct{}
 
@@ -28,13 +55,36 @@ type WallClock struct{}
 //tridlint:wallclock
 func (WallClock) Now() time.Time { return time.Now() }
 
+// NewTimer returns a Timer over a real time.Timer.
+//
+//tridlint:wallclock
+func (WallClock) NewTimer(d time.Duration) Timer {
+	return &wallTimer{t: time.NewTimer(d)}
+}
+
+// wallTimer adapts time.Timer to the Timer interface. Go ≥ 1.23 timer
+// semantics (Reset drains a stale pending firing) give it the
+// documented at-most-one-spurious-firing behavior for free.
+type wallTimer struct{ t *time.Timer }
+
+func (w *wallTimer) C() <-chan time.Time   { return w.t.C }
+func (w *wallTimer) Stop() bool            { return w.t.Stop() }
+func (w *wallTimer) Reset(d time.Duration) { w.t.Reset(d) }
+
 // VirtualClock is a manually advanced clock for deterministic
 // scenarios and tests: time moves only when the driver says so.
 // The zero value starts at the zero time; all methods are safe for
 // concurrent use.
+//
+// Timers minted by NewTimer fire during the Advance (or Reset) that
+// first reaches their deadline: the firing is delivered into the
+// timer's buffered channel before Advance returns, so a test that
+// advances past a deadline can immediately wait for the consumer's
+// observable reaction without any wall-clock sleep.
 type VirtualClock struct {
-	mu sync.Mutex
-	t  time.Time
+	mu     sync.Mutex
+	t      time.Time
+	timers map[*virtualTimer]struct{}
 }
 
 // NewVirtualClock starts a virtual clock at the given instant.
@@ -49,11 +99,86 @@ func (c *VirtualClock) Now() time.Time {
 	return c.t
 }
 
-// Advance moves the clock forward by d and returns the new time.
+// Advance moves the clock forward by d, fires every timer whose
+// deadline is reached, and returns the new time.
 func (c *VirtualClock) Advance(d time.Duration) time.Time {
 	c.mu.Lock()
 	c.t = c.t.Add(d)
 	t := c.t
+	for vt := range c.timers {
+		vt.fireIfDueLocked(t)
+	}
 	c.mu.Unlock()
 	return t
+}
+
+// NewTimer returns a virtual timer firing when the clock is advanced
+// d past now (immediately when d <= 0). The timer stays registered
+// with the clock for the clock's lifetime — VirtualClocks are
+// test/scenario objects, so the bookkeeping is deliberately simple.
+func (c *VirtualClock) NewTimer(d time.Duration) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	vt := &virtualTimer{clk: c, ch: make(chan time.Time, 1)}
+	if c.timers == nil {
+		c.timers = make(map[*virtualTimer]struct{})
+	}
+	c.timers[vt] = struct{}{}
+	vt.armLocked(c.t, d)
+	return vt
+}
+
+// virtualTimer is one registration in a VirtualClock. Its fields are
+// guarded by the clock's mutex.
+type virtualTimer struct {
+	clk   *VirtualClock
+	ch    chan time.Time
+	when  time.Time
+	armed bool
+}
+
+func (vt *virtualTimer) C() <-chan time.Time { return vt.ch }
+
+func (vt *virtualTimer) Stop() bool {
+	vt.clk.mu.Lock()
+	defer vt.clk.mu.Unlock()
+	was := vt.armed
+	vt.armed = false
+	return was
+}
+
+func (vt *virtualTimer) Reset(d time.Duration) {
+	vt.clk.mu.Lock()
+	defer vt.clk.mu.Unlock()
+	// Drain a stale pending firing, mirroring Go ≥ 1.23 time.Timer
+	// semantics, so a Reset-then-wait observes only the new deadline.
+	select {
+	case <-vt.ch:
+	default:
+	}
+	vt.armLocked(vt.clk.t, d)
+}
+
+// armLocked schedules the timer d from now, firing immediately when
+// d <= 0 (the clock cannot move again before the caller returns, so
+// "immediately" means a buffered firing the consumer sees next poll).
+func (vt *virtualTimer) armLocked(now time.Time, d time.Duration) {
+	vt.when = now.Add(d)
+	vt.armed = true
+	vt.fireIfDueLocked(now)
+}
+
+// fireIfDueLocked delivers the firing when the deadline has been
+// reached. The channel has capacity one; if an undrained firing is
+// already buffered, the new one is dropped — the consumer will observe
+// a firing either way.
+func (vt *virtualTimer) fireIfDueLocked(now time.Time) {
+	if !vt.armed || now.Before(vt.when) {
+		return
+	}
+	vt.armed = false
+	select {
+	case vt.ch <- now:
+	default:
+	}
 }

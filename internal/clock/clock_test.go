@@ -84,3 +84,129 @@ func TestVirtualClockSatisfiesClock(t *testing.T) {
 		t.Fatal("WallClock returned the zero time")
 	}
 }
+
+// drained reports whether the timer's channel is currently empty.
+func drained(tm Timer) bool {
+	select {
+	case <-tm.C():
+		return false
+	default:
+		return true
+	}
+}
+
+// TestVirtualTimerFiresOnAdvance: a timer fires during the Advance
+// that reaches its deadline, not before, and fires only once.
+func TestVirtualTimerFiresOnAdvance(t *testing.T) {
+	c := NewVirtualClock(time.Unix(0, 0).UTC())
+	tm := c.NewTimer(10 * time.Millisecond)
+	c.Advance(9 * time.Millisecond)
+	if !drained(tm) {
+		t.Fatal("timer fired before its deadline")
+	}
+	c.Advance(time.Millisecond)
+	select {
+	case got := <-tm.C():
+		if want := time.Unix(0, 0).UTC().Add(10 * time.Millisecond); !got.Equal(want) {
+			t.Fatalf("firing carried %v, want %v", got, want)
+		}
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+	c.Advance(time.Hour)
+	if !drained(tm) {
+		t.Fatal("one-shot timer fired twice")
+	}
+}
+
+// TestVirtualTimerImmediate: a non-positive duration fires without any
+// Advance at all — the batcher relies on this for already-due flushes.
+func TestVirtualTimerImmediate(t *testing.T) {
+	c := NewVirtualClock(time.Unix(0, 0).UTC())
+	for _, d := range []time.Duration{0, -time.Second} {
+		if drained(c.NewTimer(d)) {
+			t.Fatalf("NewTimer(%v) did not fire immediately", d)
+		}
+	}
+}
+
+// TestVirtualTimerStop: Stop disarms and reports prior armed state; a
+// stopped timer never fires.
+func TestVirtualTimerStop(t *testing.T) {
+	c := NewVirtualClock(time.Unix(0, 0).UTC())
+	tm := c.NewTimer(time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop on an armed timer reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported the timer still armed")
+	}
+	c.Advance(time.Minute)
+	if !drained(tm) {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+// TestVirtualTimerReset: Reset re-arms to a new deadline and drains a
+// stale buffered firing, so a Reset-then-wait observes only the new
+// deadline (Go >= 1.23 time.Timer semantics).
+func TestVirtualTimerReset(t *testing.T) {
+	c := NewVirtualClock(time.Unix(0, 0).UTC())
+	tm := c.NewTimer(time.Millisecond)
+	c.Advance(time.Millisecond) // fires; firing left buffered
+	tm.Reset(5 * time.Millisecond)
+	if !drained(tm) {
+		t.Fatal("Reset left a stale firing buffered")
+	}
+	c.Advance(4 * time.Millisecond)
+	if !drained(tm) {
+		t.Fatal("reset timer fired before its new deadline")
+	}
+	c.Advance(time.Millisecond)
+	if drained(tm) {
+		t.Fatal("reset timer did not fire at its new deadline")
+	}
+}
+
+// TestVirtualTimerResetImmediate: Reset with a non-positive duration
+// fires without an Advance, same as NewTimer.
+func TestVirtualTimerResetImmediate(t *testing.T) {
+	c := NewVirtualClock(time.Unix(0, 0).UTC())
+	tm := c.NewTimer(time.Hour)
+	tm.Reset(0)
+	if drained(tm) {
+		t.Fatal("Reset(0) did not fire immediately")
+	}
+}
+
+// TestVirtualTimerMany: several timers on one clock each fire at their
+// own deadline during a single large Advance.
+func TestVirtualTimerMany(t *testing.T) {
+	c := NewVirtualClock(time.Unix(0, 0).UTC())
+	short := c.NewTimer(time.Millisecond)
+	long := c.NewTimer(time.Second)
+	c.Advance(time.Millisecond)
+	if drained(short) {
+		t.Fatal("short timer missed its deadline")
+	}
+	if !drained(long) {
+		t.Fatal("long timer fired early")
+	}
+	c.Advance(time.Second)
+	if drained(long) {
+		t.Fatal("long timer missed its deadline")
+	}
+}
+
+// TestWallTimerSatisfiesTimerClock pins that both clocks can mint
+// timers and that a wall timer with zero duration delivers promptly.
+func TestWallTimerSatisfiesTimerClock(t *testing.T) {
+	var _ TimerClock = WallClock{}
+	var _ TimerClock = &VirtualClock{}
+	tm := WallClock{}.NewTimer(0)
+	select {
+	case <-tm.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("wall timer with zero duration never fired")
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"time"
+
+	"gputrid/internal/cpu"
+	"gputrid/internal/matrix"
+	"gputrid/internal/pthomas"
+)
+
+// This file is the interleaved-native pipeline entry: batches that are
+// already in the interleaved layout (row j of system i at j*M+i — the
+// layout the k = 0 p-Thomas kernel consumes and the batching
+// front-end's megabatches are born in, per Gloster et al.
+// arXiv:1909.04539) solve without the 32×32 blocked transpose that the
+// contiguous entry pays on every k = 0 solve. The kernel's per-system
+// arithmetic is identical either way, so results are bitwise equal to
+// the contiguous path on the same data.
+
+// LayoutStats counts how solves entered the pipeline, the observable
+// evidence that the interleaved-native path really skips the
+// transpose. Snapshot via Pipeline.LayoutStats; safe to read
+// concurrently with solves.
+type LayoutStats struct {
+	// InterleavedSolves counts solves entered through the
+	// interleaved-native API (native and shimmed).
+	InterleavedSolves uint64
+	// TransposesSkipped counts 32×32 blocked plane transposes the
+	// native path avoided: 5 per native k = 0 solve (4 coefficient
+	// planes in, 1 solution vector out).
+	TransposesSkipped uint64
+	// InterleavedShim counts interleaved solves that had to convert
+	// layouts anyway because the configuration cannot consume them
+	// natively (k >= 1 hybrid, fused/multiplexed fallback).
+	InterleavedShim uint64
+}
+
+// LayoutStats returns the pipeline's layout entry counters.
+func (p *Pipeline[T]) LayoutStats() LayoutStats {
+	return LayoutStats{
+		InterleavedSolves: p.ilSolves.Load(),
+		TransposesSkipped: p.ilSkipped.Load(),
+		InterleavedShim:   p.ilShim.Load(),
+	}
+}
+
+// SolveInterleavedInto solves an interleaved batch, writing the
+// interleaved solution into xi (entry of system i at row j at j*M+i).
+// See SolveInterleavedIntoCtx.
+func (p *Pipeline[T]) SolveInterleavedInto(xi []T, v *matrix.Interleaved[T]) error {
+	return p.SolveInterleavedIntoCtx(context.Background(), xi, v)
+}
+
+// SolveInterleavedIntoCtx is the interleaved-native form of
+// SolveIntoCtx: v's planes and xi must be M·N interleaved, and xi must
+// not alias v's slices. On the k = 0 path the kernel reads v and
+// writes xi directly — no transpose runs at all, and after the first
+// call the solve performs no heap allocations. Cancellation and fault
+// recovery behave as in SolveIntoCtx with one difference: because the
+// kernel writes xi in place, a cancelled k = 0 solve may leave xi
+// partially written (the contiguous path's dst stays untouched). The
+// error contract is unchanged — treat xi as garbage unless the solve
+// returned nil.
+//
+// Configurations that cannot consume the layout (k >= 1 hybrid,
+// fused/multiplexed fallback) convert through a lazily allocated
+// contiguous scratch and solve as usual, so the entry point works for
+// every configuration; LayoutStats tells the two paths apart.
+func (p *Pipeline[T]) SolveInterleavedIntoCtx(ctx context.Context, xi []T, v *matrix.Interleaved[T]) error {
+	if v.M != p.m || v.N != p.n {
+		return fmt.Errorf("%w: interleaved batch is %dx%d, pipeline wants %dx%d", ErrShapeMismatch, v.M, v.N, p.m, p.n)
+	}
+	if len(xi) != p.m*p.n {
+		return fmt.Errorf("%w: xi has %d elements, pipeline wants %d", ErrShapeMismatch, len(xi), p.m*p.n)
+	}
+	if len(v.Lower) != p.m*p.n || len(v.Diag) != p.m*p.n ||
+		len(v.Upper) != p.m*p.n || len(v.RHS) != p.m*p.n {
+		return fmt.Errorf("%w: interleaved plane lengths do not match M*N=%d", ErrShapeMismatch, p.m*p.n)
+	}
+	if !p.inUse.CompareAndSwap(false, true) {
+		return ErrPipelineBusy
+	}
+	defer p.inUse.Store(false)
+	if p.closed {
+		return ErrPipelineClosed
+	}
+	start := time.Now()
+	defer func() { p.lastWall = time.Since(start) }()
+
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return cancelled(err)
+		}
+	}
+	p.ilSolves.Add(1)
+
+	if p.k != 0 || p.fallback {
+		return p.solveInterleavedShim(ctx, xi, v)
+	}
+	p.ilSkipped.Add(5)
+
+	ft := ctx != nil || p.dev.Faults != nil
+	if ft {
+		p.ctx = ctx
+		p.frep.reset()
+		p.degradeAll = false
+		for _, w := range p.workers {
+			w.err = nil
+			w.wf = workerFaults{}
+		}
+		defer func() { p.ctx = nil }()
+	}
+
+	// Point the kernels at the caller's planes for this solve; the
+	// binding is restored before returning so the contiguous entry
+	// keeps its arena-backed buffers. NewBufs/NewGlobal are value
+	// constructors — the rebind allocates nothing.
+	cp, dp := p.ws.Ensure(p.m * p.n)
+	p.bufs = pthomas.NewBufs(v.Lower, v.Diag, v.Upper, v.RHS, cp, dp, xi)
+	defer p.rebindK0()
+
+	var err error
+	if !p.recorded {
+		w := p.workers[0]
+		rerr := p.recordLaunch(&p.kern[0], "pThomas", 0, p.bs, p.grid, w.kernK0)
+		switch {
+		case rerr == nil:
+			p.finishRecording(1)
+		case errors.Is(rerr, ErrFaulted) && !p.cfg.Retry.NoDegrade:
+			p.degradeAll = true
+		default:
+			err = rerr
+		}
+	} else {
+		err = p.replay()
+	}
+	if ft {
+		p.mergeFaults()
+		if err == nil && len(p.frep.Degraded) > 0 {
+			err = p.degradedResolveInterleaved(xi, v)
+		}
+	}
+	return err
+}
+
+// rebindK0 restores the k = 0 kernel buffers to the pipeline's own
+// arena after an interleaved-native solve borrowed them.
+func (p *Pipeline[T]) rebindK0() {
+	cp, dp := p.ws.Ensure(p.m * p.n)
+	p.bufs = pthomas.NewBufs(p.vbuf.Lower, p.vbuf.Diag, p.vbuf.Upper, p.vbuf.RHS, cp, dp, p.xi)
+}
+
+// solveInterleavedShim serves interleaved input to configurations that
+// want contiguous batches: convert into the (lazily allocated)
+// contiguous scratch, run the ordinary solve body, interleave the
+// solution back out. It holds the busy flag the caller already took.
+func (p *Pipeline[T]) solveInterleavedShim(ctx context.Context, xi []T, v *matrix.Interleaved[T]) error {
+	p.ilShim.Add(1)
+	if p.iscratchB == nil {
+		p.iscratchB = matrix.NewBatch[T](p.m, p.n)
+		p.iscratchX = make([]T, p.m*p.n)
+	}
+	v.ToBatchInto(p.iscratchB)
+	b, dst := p.iscratchB, p.iscratchX
+
+	if p.fallback {
+		if err := p.solveFallback(dst, b); err != nil {
+			return err
+		}
+		matrix.InterleaveVectorInto(xi, dst, p.m, p.n)
+		return nil
+	}
+
+	ft := ctx != nil || p.dev.Faults != nil
+	if ft {
+		p.ctx = ctx
+		p.frep.reset()
+		p.degradeAll = false
+		for _, w := range p.workers {
+			w.err = nil
+			w.wf = workerFaults{}
+		}
+		defer func() { p.ctx = nil }()
+	}
+	err := p.solveHybrid(dst, b)
+	if ft {
+		p.mergeFaults()
+		if err == nil && len(p.frep.Degraded) > 0 {
+			err = p.degradedResolve(dst, b)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	matrix.InterleaveVectorInto(xi, dst, p.m, p.n)
+	return nil
+}
+
+// degradedResolveInterleaved is degradedResolve for the native path:
+// every degraded system is extracted from the interleaved planes,
+// re-solved on the host through the pivoting GTSV path, and written
+// back into xi with the interleaved stride. It allocates per degraded
+// system — an acceptable cost on a path that only runs after the retry
+// budget is spent.
+func (p *Pipeline[T]) degradedResolveInterleaved(xi []T, v *matrix.Interleaved[T]) error {
+	if p.gtsvWS == nil {
+		p.gtsvWS = cpu.NewGTSVWorkspace[T](p.n)
+	}
+	x := make([]T, p.n)
+	var errs []error
+	for _, i := range p.frep.Degraded {
+		sys := v.ExtractSystem(i)
+		if err := cpu.SolveGTSVInto(sys, x, p.gtsvWS); err != nil {
+			clear(x)
+			errs = append(errs, fmt.Errorf("%w: degraded re-solve of system %d: %v", ErrFaulted, i, err))
+		}
+		for j := 0; j < p.n; j++ {
+			xi[j*p.m+i] = x[j]
+		}
+	}
+	return errors.Join(errs...)
+}

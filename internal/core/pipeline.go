@@ -115,6 +115,15 @@ type Pipeline[T num.Real] struct {
 	// of each solve; reads are ordered by the solve's completion.
 	lastWall time.Duration
 
+	// Interleaved-native entry state (interleaved.go): conversion
+	// scratch for configurations that cannot consume the layout
+	// directly, plus layout counters readable concurrently with solves.
+	iscratchB *matrix.Batch[T]
+	iscratchX []T
+	ilSolves  atomic.Uint64
+	ilSkipped atomic.Uint64
+	ilShim    atomic.Uint64
+
 	workers []*pipeWorker[T]
 	inUse   atomic.Bool
 	closed  bool

@@ -15,6 +15,11 @@ import (
 type Backend interface {
 	// Solve serves one batch on this device.
 	Solve(ctx context.Context, b *gputrid.Batch[float64]) (*gputrid.PoolResult[float64], error)
+	// SolveMegabatch serves one coalesced megabatch on this device
+	// through its pool's dedicated megabatch station; per-system
+	// outcomes land in mb.Verdicts, a non-nil error fails the whole
+	// flight (and re-routes it).
+	SolveMegabatch(ctx context.Context, mb *gputrid.Megabatch[float64]) error
 	// Warm pre-builds the device's solver complement for a shape.
 	Warm(m, n int) error
 	// Stats snapshots the device pool's congestion and breaker.
@@ -133,7 +138,10 @@ type device struct {
 type DeviceStats struct {
 	ID    int
 	State DeviceState
-	// InFlight is the number of fleet requests currently on the device.
+	// InFlight is the device's routed load in systems: direct requests
+	// weigh 1, a coalesced megabatch weighs its system count — so a
+	// device holding one 48-system flight reads as busier than one
+	// holding three singleton requests.
 	InFlight int64
 	// Served and Failed count completed fleet requests by outcome.
 	Served, Failed uint64

@@ -89,8 +89,9 @@ type Config struct {
 	DisableFaultECC bool
 
 	// ScaleUpAt and ScaleDownAt are the autoscaler's load-per-slot
-	// watermarks: load is max(requests routed, peak concurrency) since
-	// the last Tick, slots is the Active+Probation solver capacity.
+	// watermarks: load is max(systems routed, peak weighted
+	// concurrency) since the last Tick, slots is the Active+Probation
+	// solver capacity.
 	// 0 means 1.5 up, 0.25 down; see scaler.go.
 	ScaleUpAt, ScaleDownAt float64
 	// ScaleCooldown is the minimum time between scaling actions;
@@ -163,8 +164,10 @@ type Stats struct {
 	Devices []DeviceStats
 	// State census.
 	Active, Probation, Deprioritized, Cordoned, Dead, Standby int
-	// InFlight is the number of fleet requests currently being served;
-	// QueueDepth aggregates the live device pools' wait queues.
+	// InFlight is the weighted work currently being served, in
+	// systems: direct requests weigh 1, coalesced megabatches weigh
+	// their system count. QueueDepth aggregates the live device pools'
+	// wait queues.
 	InFlight   int64
 	QueueDepth int
 	// Served counts successful solves; Rejected counts requests that
@@ -290,7 +293,7 @@ func (f *Fleet) Solve(ctx context.Context, b *gputrid.Batch[float64]) (*Result, 
 	var tried uint64 // bitmask over device ids (Devices ≤ 64 enforced by pick)
 	var lastErr error
 	for attempt := 1; attempt <= f.cfg.rerouteAttempts(); attempt++ {
-		d, be, err := f.pick(&tried)
+		d, be, err := f.pick(&tried, 1)
 		if err != nil {
 			if lastErr != nil {
 				// Every servable device was tried and failed; surface
@@ -338,6 +341,55 @@ func (f *Fleet) Solve(ctx context.Context, b *gputrid.Batch[float64]) (*Result, 
 	}
 	f.rejected.Add(1)
 	return nil, lastErr
+}
+
+// SolveMegabatch routes one coalesced megabatch to the least-loaded
+// servable device with the same re-route protocol as Solve. The
+// flight weighs its system count in the router's load accounting —
+// in-flight totals and the autoscaler's signals count systems, not
+// requests, so a device holding a 48-system flight is not mistaken
+// for an idle one. Device-local failures re-route the whole flight
+// (per-system guard trouble never fails a flight; it lands in
+// mb.Verdicts, which a failed attempt leaves untouched). Unlike
+// Solve, no corrected-ECC health event is synthesized: the megabatch
+// path surfaces no per-solve fault report.
+func (f *Fleet) SolveMegabatch(ctx context.Context, mb *gputrid.Megabatch[float64]) error {
+	if mb.Count == 0 {
+		return nil
+	}
+	weight := int64(mb.Count)
+	var tried uint64
+	var lastErr error
+	for attempt := 1; attempt <= f.cfg.rerouteAttempts(); attempt++ {
+		d, be, err := f.pick(&tried, weight)
+		if err != nil {
+			if lastErr != nil {
+				break
+			}
+			if errors.Is(err, ErrNoDevices) {
+				f.noDevice.Add(1)
+			}
+			return err
+		}
+
+		err = be.SolveMegabatch(ctx, mb)
+		f.inflightTotal.Add(-weight)
+		d.inflight.Add(-weight)
+
+		if err == nil {
+			d.served.Add(1)
+			f.served.Add(1)
+			return nil
+		}
+		d.failed.Add(1)
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+		f.rerouted.Add(1)
+	}
+	f.rejected.Add(1)
+	return lastErr
 }
 
 // Tick runs one control-loop step against the fleet clock: it applies

@@ -8,8 +8,10 @@ import (
 	"time"
 
 	"gputrid"
+	"gputrid/internal/batcher"
 	"gputrid/internal/fleet"
 	"gputrid/internal/gpusim"
+	"gputrid/internal/matrix"
 )
 
 // fakeBackend is a deterministic stand-in for one device's pool.
@@ -25,6 +27,9 @@ type fakeBackend struct {
 	// holdClose, when non-nil, blocks Close until the channel closes or
 	// the drain context expires (modeling a long graceful drain).
 	holdClose chan struct{}
+	// holdMega, when non-nil, parks SolveMegabatch until the channel
+	// closes, so tests can observe weighted in-flight accounting.
+	holdMega chan struct{}
 }
 
 func (b *fakeBackend) Solve(ctx context.Context, _ *gputrid.Batch[float64]) (*gputrid.PoolResult[float64], error) {
@@ -44,6 +49,36 @@ func (b *fakeBackend) Solve(ctx context.Context, _ *gputrid.Batch[float64]) (*gp
 		Result: &gputrid.Result[float64]{X: []float64{float64(b.id)}, Faults: faults},
 		Route:  gputrid.RouteDevice,
 	}, nil
+}
+
+func (b *fakeBackend) SolveMegabatch(ctx context.Context, mb *gputrid.Megabatch[float64]) error {
+	b.mu.Lock()
+	closed, err, hold := b.closed, b.solveErr, b.holdMega
+	if !closed && err == nil {
+		b.solves++
+	}
+	b.mu.Unlock()
+	if hold != nil {
+		select {
+		case <-hold:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if closed {
+		return gputrid.ErrPoolClosed
+	}
+	if err != nil {
+		return err
+	}
+	// Stamp every system's solution with the device id so tests can
+	// tell which device served the flight.
+	for i := 0; i < mb.Count; i++ {
+		for j := 0; j < mb.V.N; j++ {
+			mb.Xi[j*mb.V.M+i] = float64(b.id)
+		}
+	}
+	return nil
 }
 
 func (b *fakeBackend) Warm(m, n int) error { return nil }
@@ -522,5 +557,106 @@ func TestFleetClose(t *testing.T) {
 	}
 	if err := f.Close(context.Background()); err != nil {
 		t.Fatalf("second close: %v", err)
+	}
+}
+
+// mkMega builds a minimal megabatch of count systems (the fake
+// backends never read the coefficients).
+func mkMega(count, n int) *gputrid.Megabatch[float64] {
+	return &gputrid.Megabatch[float64]{
+		V:        matrix.NewInterleaved[float64](count, n),
+		Count:    count,
+		Xi:       make([]float64, count*n),
+		Verdicts: make([]batcher.Verdict, count),
+	}
+}
+
+// TestSolveMegabatchWeightedRouting pins the batching tier's fleet
+// contract: a coalesced flight counts its systems — not one request —
+// in the fleet's in-flight accounting, and a device-local failure
+// re-routes the whole flight to another device.
+func TestSolveMegabatchWeightedRouting(t *testing.T) {
+	vc := fleet.NewVirtualClock(time.Unix(0, 0))
+	ff := &fakeFactory{}
+	f := newTestFleet(t, fleet.Config{Devices: 2}, ff, vc)
+	ctx := context.Background()
+
+	// Park a 5-system flight on whichever device takes it; while held,
+	// the fleet must report 5 systems in flight, not 1 request.
+	hold := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		ff.backend(i).mu.Lock()
+		ff.backend(i).holdMega = hold
+		ff.backend(i).mu.Unlock()
+	}
+	mb := mkMega(5, 4)
+	done := make(chan error, 1)
+	go func() { done <- f.SolveMegabatch(ctx, mb) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Stats().InFlight != 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("InFlight = %d, want 5 (systems, not requests)", f.Stats().InFlight)
+		}
+	}
+	close(hold)
+	if err := <-done; err != nil {
+		t.Fatalf("held flight: %v", err)
+	}
+	st := f.Stats()
+	if st.InFlight != 0 || st.Served != 1 {
+		t.Fatalf("after flight: InFlight=%d Served=%d, want 0/1", st.InFlight, st.Served)
+	}
+	// The fake stamps solutions with its device id; all systems of one
+	// flight must come from one device.
+	for i, x := range mb.Xi {
+		if x != mb.Xi[0] {
+			t.Fatalf("Xi[%d] = %v: flight split across devices", i, x)
+		}
+	}
+	served := int(mb.Xi[0])
+
+	// Kill the serving device's backend and pin weighted load on the
+	// healthy one, so the next flight is deterministically offered to
+	// the failed device first and must re-route in one call.
+	healthy := 1 - served
+	ff.backend(served).mu.Lock()
+	ff.backend(served).solveErr = gputrid.ErrFaulted
+	ff.backend(served).holdMega = nil
+	ff.backend(served).mu.Unlock()
+	hold2 := make(chan struct{})
+	ff.backend(healthy).mu.Lock()
+	ff.backend(healthy).holdMega = hold2
+	ff.backend(healthy).mu.Unlock()
+
+	pin := mkMega(4, 4)
+	pinDone := make(chan error, 1)
+	go func() { pinDone <- f.SolveMegabatch(ctx, pin) }()
+	deadline = time.Now().Add(5 * time.Second)
+	for f.Stats().InFlight != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("InFlight = %d, want pinned 4", f.Stats().InFlight)
+		}
+	}
+
+	mb2 := mkMega(3, 4)
+	done2 := make(chan error, 1)
+	go func() { done2 <- f.SolveMegabatch(ctx, mb2) }()
+	for f.Stats().InFlight != 7 {
+		if time.Now().After(deadline) {
+			t.Fatalf("InFlight = %d, want 7 after re-route", f.Stats().InFlight)
+		}
+	}
+	close(hold2)
+	if err := <-pinDone; err != nil {
+		t.Fatalf("pin flight: %v", err)
+	}
+	if err := <-done2; err != nil {
+		t.Fatalf("re-routed flight: %v", err)
+	}
+	if got := int(mb2.Xi[0]); got == served {
+		t.Fatalf("flight served by failed device %d", got)
+	}
+	if st := f.Stats(); st.Rerouted == 0 {
+		t.Fatal("no re-route recorded")
 	}
 }

@@ -11,9 +11,12 @@ import "gputrid"
 //  2. breaker — within a tier, devices whose circuit breaker is closed
 //     (device path healthy) beat devices serving off their CPU
 //     fallback;
-//  3. load — fewest fleet requests in flight (which counts both
-//     pool-queued and solving requests, since the fleet's in-flight
-//     span covers the pool admission wait);
+//  3. load — least weighted work in flight. The unit is *systems*,
+//     not requests: a direct request weighs 1, a coalesced megabatch
+//     weighs its system count (weight), so the router does not treat
+//     a device holding a 48-system flight as idle. The count covers
+//     both pool-queued and solving work, since the fleet's in-flight
+//     span covers the pool admission wait;
 //  4. rotation — full ties break round-robin: each pick starts its
 //     scan one device further along, so a serial request stream (loads
 //     all zero by the time the next request arrives) still spreads
@@ -22,15 +25,15 @@ import "gputrid"
 // It also feeds the autoscaler's load signals: requests routed this
 // interval, and the peak concurrent in-flight count.
 //
-// The chosen device's in-flight count is incremented *here, under the
-// fleet lock* — not by the caller afterwards — so a burst of
-// concurrent picks each sees the loads its predecessors created and
-// the burst spreads across equally-loaded devices instead of piling
-// onto the lowest id. The caller owns the matching decrement once the
-// solve finishes. The backend is returned as a value captured under
-// the lock: a concurrent cordon nils d.backend, so the caller must
-// never re-read it.
-func (f *Fleet) pick(tried *uint64) (*device, Backend, error) {
+// The chosen device's in-flight count is incremented by weight *here,
+// under the fleet lock* — not by the caller afterwards — so a burst
+// of concurrent picks each sees the loads its predecessors created
+// and the burst spreads across equally-loaded devices instead of
+// piling onto the lowest id. The caller owns the matching decrement
+// (of the same weight) once the solve finishes. The backend is
+// returned as a value captured under the lock: a concurrent cordon
+// nils d.backend, so the caller must never re-read it.
+func (f *Fleet) pick(tried *uint64, weight int64) (*device, Backend, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
@@ -61,9 +64,9 @@ func (f *Fleet) pick(tried *uint64) (*device, Backend, error) {
 	}
 	*tried |= 1 << uint(best.id)
 
-	best.inflight.Add(1)
-	f.offeredInterval++
-	if cur := f.inflightTotal.Add(1); cur > f.peakInterval {
+	best.inflight.Add(weight)
+	f.offeredInterval += int(weight)
+	if cur := f.inflightTotal.Add(weight); cur > f.peakInterval {
 		f.peakInterval = cur
 	}
 	return best, best.backend, nil

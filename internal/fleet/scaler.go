@@ -3,8 +3,9 @@ package fleet
 import "time"
 
 // Autoscaling. The scaler watches two interval load signals the router
-// records between Ticks — how many requests were routed (offered) and
-// the peak concurrent in-flight count — and compares the larger of the
+// records between Ticks — how much work was routed (offered, in
+// systems: direct requests weigh 1, megabatches their system count)
+// and the peak concurrent in-flight count — and compares the larger of the
 // two against the fleet's serving slots: the summed pool Capacity of
 // every Active and Probation device (Deprioritized devices still serve
 // but are not counted as capacity, which biases the fleet toward

@@ -68,6 +68,20 @@ func (g *gatedBackend) Solve(ctx context.Context, b *gputrid.Batch[float64]) (*g
 	return g.inner.Solve(ctx, b)
 }
 
+func (g *gatedBackend) SolveMegabatch(ctx context.Context, mb *gputrid.Megabatch[float64]) error {
+	g.mu.Lock()
+	gate := g.gate
+	g.mu.Unlock()
+	if gate != nil {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return g.inner.SolveMegabatch(ctx, mb)
+}
+
 func (g *gatedBackend) Warm(m, n int) error { return g.inner.Warm(m, n) }
 
 func (g *gatedBackend) Stats() gputrid.PoolStats { return g.inner.Stats() }

@@ -83,7 +83,10 @@ func TestInterleavePlacement(t *testing.T) {
 // behaviour dominate. The blocked kernel is the one the interleave
 // paths use; naive is kept solely as this comparison baseline.
 func BenchmarkInterleave(bb *testing.B) {
-	for _, sh := range []struct{ m, n int }{{512, 512}, {512, 2048}} {
+	// Square-ish shapes plus the tall/thin extremes the batching
+	// front-end produces: megabatches are many systems of modest N
+	// (M >> N) while huge single systems are the opposite (N >> M).
+	for _, sh := range []struct{ m, n int }{{512, 512}, {512, 2048}, {4096, 64}, {64, 4096}} {
 		src := make([]float64, sh.m*sh.n)
 		dst := make([]float64, sh.m*sh.n)
 		fillSeq(src)
@@ -97,6 +100,30 @@ func BenchmarkInterleave(bb *testing.B) {
 			b.SetBytes(int64(len(src) * 8))
 			for i := 0; i < b.N; i++ {
 				transposeNaive(dst, src, sh.m, sh.n)
+			}
+		})
+	}
+}
+
+// BenchmarkInterleaveRoundTrip times the full batch layout round trip
+// (ToInterleavedInto then ToBatchInto — 4 planes each way) on the
+// same square and tall/thin shapes, pinning the cost the interleaved-
+// native solve path removes from the per-solve hot loop.
+func BenchmarkInterleaveRoundTrip(bb *testing.B) {
+	for _, sh := range []struct{ m, n int }{{512, 512}, {4096, 64}, {64, 4096}} {
+		b := NewBatch[float64](sh.m, sh.n)
+		fillSeq(b.Lower)
+		fillSeq(b.Diag)
+		fillSeq(b.Upper)
+		fillSeq(b.RHS)
+		v := NewInterleaved[float64](sh.m, sh.n)
+		rt := NewBatch[float64](sh.m, sh.n)
+		bb.Run(fmt.Sprintf("%dx%d", sh.m, sh.n), func(b2 *testing.B) {
+			b2.SetBytes(int64(sh.m * sh.n * 8 * 4 * 2))
+			b2.ReportAllocs()
+			for i := 0; i < b2.N; i++ {
+				b.ToInterleavedInto(v)
+				v.ToBatchInto(rt)
 			}
 		})
 	}

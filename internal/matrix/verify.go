@@ -154,3 +154,92 @@ func MaxRelDiff[T num.Real](a, b []T) T {
 	}
 	return m
 }
+
+// ResidualsPerSystemInterleavedInto is ResidualsPerSystemInto for an
+// interleaved batch with an interleaved candidate solution x (entry of
+// system i at row j lives at j*M+i): dst[i] receives the Residual of
+// system i for the first count systems. It traverses row-major — one
+// pass over the strided planes — but accumulates each system's
+// max/sum reductions in exactly the order Residual does row by row, so
+// the results are bitwise identical to deinterleaving and calling
+// ResidualsPerSystemInto. That identity is what lets the batching
+// front-end guard a coalesced megabatch without converting layouts.
+//
+// scratch must hold at least 3*count float64s; it carries the per-
+// system xmax/dmax/|A|_inf partials across rows and its contents on
+// entry are ignored.
+//
+//tridlint:hotpath
+func ResidualsPerSystemInterleavedInto[T num.Real](dst, scratch []float64, v *Interleaved[T], x []T, count int) {
+	if count < 0 || count > v.M {
+		panic("matrix: ResidualsPerSystemInterleavedInto count out of range")
+	}
+	if len(x) < v.M*v.N {
+		panic("matrix: ResidualsPerSystemInterleavedInto solution length mismatch")
+	}
+	if len(dst) < count || len(scratch) < 3*count {
+		panic("matrix: ResidualsPerSystemInterleavedInto buffer too short")
+	}
+	xmax := scratch[:count]
+	dmax := scratch[count : 2*count]
+	anorm := scratch[2*count : 3*count]
+	for i := 0; i < count; i++ {
+		dst[i], xmax[i], dmax[i], anorm[i] = 0, 0, 0, 0
+	}
+	m, n := v.M, v.N
+	for j := 0; j < n; j++ {
+		base := j * m
+		for i := 0; i < count; i++ {
+			// xmax < 0 marks a system already classified non-finite:
+			// Residual early-returns +Inf there, so stop accumulating.
+			if xmax[i] < 0 {
+				continue
+			}
+			idx := base + i
+			xi := x[idx]
+			val := v.Diag[idx] * xi
+			if j > 0 {
+				val += v.Lower[idx] * x[idx-m]
+			}
+			if j < n-1 {
+				val += v.Upper[idx] * x[idx+m]
+			}
+			if !num.IsFinite(xi) || !num.IsFinite(val) {
+				dst[i] = math.Inf(1)
+				xmax[i] = -1
+				continue
+			}
+			r := float64(val) - float64(v.RHS[idx])
+			if r < 0 {
+				r = -r
+			}
+			if r > dst[i] {
+				dst[i] = r
+			}
+			if xa := float64(num.Abs(xi)); xa > xmax[i] {
+				xmax[i] = xa
+			}
+			if da := float64(num.Abs(v.RHS[idx])); da > dmax[i] {
+				dmax[i] = da
+			}
+			// ||A||_inf accumulates in T exactly as System.InfNorm does;
+			// the float64 slot round-trips T values losslessly.
+			row := num.Abs(v.Diag[idx])
+			if j > 0 {
+				row += num.Abs(v.Lower[idx])
+			}
+			if j < n-1 {
+				row += num.Abs(v.Upper[idx])
+			}
+			anorm[i] = float64(num.Max(T(anorm[i]), row))
+		}
+	}
+	for i := 0; i < count; i++ {
+		if xmax[i] < 0 {
+			continue // dst[i] is already +Inf
+		}
+		if den := anorm[i]*xmax[i] + dmax[i]; den != 0 {
+			dst[i] /= den
+		}
+	}
+}

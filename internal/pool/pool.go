@@ -30,6 +30,17 @@ import (
 // Key identifies a batch shape: M systems of N rows.
 type Key struct{ M, N int }
 
+// skey identifies a station: a shape plus whether it serves megabatch
+// solvers. Megabatch stations hold solvers built by the MegaBuild hook
+// (interleaved-native, batching-front-end tuned) and are warmed,
+// leased, evicted and drained by exactly the same machinery as regular
+// stations — they are just distinct keys in the same map, so a shape
+// can have both kinds warmed at once.
+type skey struct {
+	Key
+	Mega bool
+}
+
 // Config sizes the pool. The zero value is a small production default:
 // 2 solvers and a queue of 8 per shape, at most 8 warmed shapes, the
 // default breaker.
@@ -96,8 +107,10 @@ func (c Config) maxShapes() int {
 // per shape so operators can see *which* traffic class is queueing,
 // and derives Retry-After hints from ServiceTime.
 type ShapeStats struct {
-	// M, N identify the shape.
+	// M, N identify the shape; Mega marks the shape's megabatch
+	// station (solvers built by the MegaBuild hook).
 	M, N int
+	Mega bool
 	// Built is the number of solver instances the station has created;
 	// Leased of those are checked out right now.
 	Built, Leased int
@@ -139,7 +152,10 @@ type Stats struct {
 type Pool[S any] struct {
 	cfg   Config
 	build func(m, n int) (S, error)
-	close func(S) error
+	// megaBuild, when set via MegaBuild, constructs the solvers of
+	// megabatch stations; nil falls back to build.
+	megaBuild func(m, n int) (S, error)
+	close     func(S) error
 	// modeled seeds a fresh solver's service-time estimate (return 0
 	// when unknown); observed times take over from the first solve.
 	modeled func(S) time.Duration
@@ -148,7 +164,7 @@ type Pool[S any] struct {
 	brk *breaker
 
 	mu            sync.Mutex //tridlint:lockrank 20
-	stations      map[Key]*station[S]
+	stations      map[skey]*station[S]
 	leases        map[*Lease[S]]struct{}
 	inflight      int
 	closed        bool
@@ -167,7 +183,7 @@ type Pool[S any] struct {
 // accounting, so eviction can atomically verify that every built
 // solver is present before tearing the station down.
 type station[S any] struct {
-	key  Key
+	key  skey
 	free chan S
 	svc  *ewma
 
@@ -198,7 +214,7 @@ func New[S any](cfg Config, build func(m, n int) (S, error), close func(S) error
 		modeled:  modeled,
 		clk:      clk,
 		brk:      newBreaker(cfg.Breaker, clk.Now),
-		stations: make(map[Key]*station[S]),
+		stations: make(map[skey]*station[S]),
 		leases:   make(map[*Lease[S]]struct{}),
 		drainCh:  make(chan struct{}),
 		drained:  make(chan struct{}),
@@ -241,12 +257,26 @@ func (e *cancelledError) Unwrap() error        { return e.cause }
 // observed service time, with ErrClosed when the pool is draining, and
 // with an error matching core.ErrCancelled when ctx ends while queued.
 func (p *Pool[S]) Acquire(ctx context.Context, m, n int) (*Lease[S], error) {
+	return p.acquire(ctx, skey{Key{m, n}, false})
+}
+
+// AcquireMega is Acquire against the shape's megabatch station, whose
+// solvers come from the MegaBuild hook. The stations are independent:
+// megabatch traffic never competes with direct traffic for solver
+// instances, and each keeps its own service-time estimate (megabatch
+// solves are much larger, so mixing the EWMAs would wreck both
+// admission controllers).
+func (p *Pool[S]) AcquireMega(ctx context.Context, m, n int) (*Lease[S], error) {
+	return p.acquire(ctx, skey{Key{m, n}, true})
+}
+
+func (p *Pool[S]) acquire(ctx context.Context, k skey) (*Lease[S], error) {
 	for {
-		st, err := p.lookup(m, n)
+		st, err := p.lookup(k)
 		if err != nil {
 			return nil, err
 		}
-		l, retry, err := p.acquireAt(ctx, st, m, n)
+		l, retry, err := p.acquireAt(ctx, st)
 		if retry {
 			continue // station was evicted between lookup and checkout
 		}
@@ -257,7 +287,8 @@ func (p *Pool[S]) Acquire(ctx context.Context, m, n int) (*Lease[S], error) {
 // acquireAt runs one admission attempt against a station. retry=true
 // reports that the station is being torn down under a live pool and
 // the caller should look it up again.
-func (p *Pool[S]) acquireAt(ctx context.Context, st *station[S], m, n int) (l *Lease[S], retry bool, err error) {
+func (p *Pool[S]) acquireAt(ctx context.Context, st *station[S]) (l *Lease[S], retry bool, err error) {
+	m, n := st.key.M, st.key.N
 	st.mu.Lock()
 	if st.closing {
 		st.mu.Unlock()
@@ -277,7 +308,7 @@ func (p *Pool[S]) acquireAt(ctx context.Context, st *station[S], m, n int) (l *L
 	if st.built < p.cfg.capacity() {
 		st.built++
 		st.mu.Unlock()
-		s, err := p.build(m, n)
+		s, err := p.builderFor(st.key)(m, n)
 		if err != nil {
 			st.mu.Lock()
 			st.built--
@@ -398,14 +429,31 @@ func (l *Lease[S]) Release(svc time.Duration) {
 	p.mu.Unlock()
 }
 
+// MegaBuild installs the constructor for megabatch-station solvers
+// (AcquireMega/WarmMega). Call it once during setup, before any
+// megabatch traffic; nil (the default) makes megabatch stations fall
+// back to the regular build hook. It exists as a setter rather than a
+// Config field so the generic pool's construction signature — which
+// fakes in tests instantiate — stays unchanged.
+func (p *Pool[S]) MegaBuild(build func(m, n int) (S, error)) {
+	p.megaBuild = build
+}
+
+// builderFor picks the station's constructor hook.
+func (p *Pool[S]) builderFor(k skey) func(m, n int) (S, error) {
+	if k.Mega && p.megaBuild != nil {
+		return p.megaBuild
+	}
+	return p.build
+}
+
 // lookup returns (building if needed) the station for a shape,
 // evicting the least-recently-used idle station when the shape set
 // outgrows Config.MaxShapes.
-func (p *Pool[S]) lookup(m, n int) (*station[S], error) {
-	if m <= 0 || n <= 0 {
-		return nil, fmt.Errorf("pool: invalid shape %dx%d", m, n)
+func (p *Pool[S]) lookup(key skey) (*station[S], error) {
+	if key.M <= 0 || key.N <= 0 {
+		return nil, fmt.Errorf("pool: invalid shape %dx%d", key.M, key.N)
 	}
-	key := Key{m, n}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -486,8 +534,17 @@ func (p *Pool[S]) drainStation(st *station[S]) {
 // Warm eagerly builds the shape's full solver complement so the first
 // requests are not serialized behind construction and recording.
 func (p *Pool[S]) Warm(m, n int) error {
+	return p.warm(skey{Key{m, n}, false})
+}
+
+// WarmMega is Warm for the shape's megabatch station.
+func (p *Pool[S]) WarmMega(m, n int) error {
+	return p.warm(skey{Key{m, n}, true})
+}
+
+func (p *Pool[S]) warm(k skey) error {
 	for {
-		st, err := p.lookup(m, n)
+		st, err := p.lookup(k)
 		if err != nil {
 			return err
 		}
@@ -502,7 +559,7 @@ func (p *Pool[S]) Warm(m, n int) error {
 		}
 		st.built++
 		st.mu.Unlock()
-		s, err := p.build(m, n)
+		s, err := p.builderFor(k)(k.M, k.N)
 		if err != nil {
 			st.mu.Lock()
 			st.built--
@@ -543,8 +600,18 @@ func (p *Pool[S]) Breaker() BreakerSnapshot { return p.brk.snapshot() }
 // ServiceTime returns the current service-time estimate for a shape
 // (false when the shape has never been seen).
 func (p *Pool[S]) ServiceTime(m, n int) (time.Duration, bool) {
+	return p.serviceTime(skey{Key{m, n}, false})
+}
+
+// ServiceTimeMega returns the megabatch station's estimate — the
+// batcher's flush scheduler reads it to bound deadline slack.
+func (p *Pool[S]) ServiceTimeMega(m, n int) (time.Duration, bool) {
+	return p.serviceTime(skey{Key{m, n}, true})
+}
+
+func (p *Pool[S]) serviceTime(k skey) (time.Duration, bool) {
 	p.mu.Lock()
-	st, ok := p.stations[Key{m, n}]
+	st, ok := p.stations[k]
 	p.mu.Unlock()
 	if !ok {
 		return 0, false
@@ -579,7 +646,7 @@ func (p *Pool[S]) Stats() Stats {
 		st.mu.Lock()
 		s.QueueDepth += st.waiters
 		s.PerShape = append(s.PerShape, ShapeStats{
-			M: st.key.M, N: st.key.N,
+			M: st.key.M, N: st.key.N, Mega: st.key.Mega,
 			Built: st.built, Leased: st.leased,
 			QueueDepth:  st.waiters,
 			ServiceTime: svc,
@@ -591,7 +658,10 @@ func (p *Pool[S]) Stats() Stats {
 		if a.M != b.M {
 			return a.M < b.M
 		}
-		return a.N < b.N
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		return !a.Mega && b.Mega
 	})
 	return s
 }
@@ -636,7 +706,7 @@ func (p *Pool[S]) Close(ctx context.Context) error {
 	for _, st := range p.stations {
 		stations = append(stations, st)
 	}
-	p.stations = make(map[Key]*station[S])
+	p.stations = make(map[skey]*station[S])
 	p.mu.Unlock()
 	for _, st := range stations {
 		p.drainStation(st)

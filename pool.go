@@ -93,6 +93,14 @@ type PoolConfig struct {
 	// SolverOptions are applied to every Solver the pool builds
 	// (WithDevice, WithK, WithWorkers, WithFaultInjection, ...).
 	SolverOptions []Option
+	// MegabatchOptions are appended to SolverOptions for the solvers
+	// of the pool's dedicated megabatch stations (the ones the
+	// batching front-end leases). Nil means WithK(0): pure interleaved
+	// p-Thomas, whose per-system arithmetic is independent of the
+	// batch — the basis of the coalesced-equals-serial bitwise
+	// guarantee — and which consumes the megabatch's interleaved
+	// layout natively, skipping the blocked transpose.
+	MegabatchOptions []Option
 }
 
 // Route says which execution path served a pool solve.
@@ -181,6 +189,13 @@ func NewPool[T Real](cfg PoolConfig) *Pool[T] {
 		func(s *Solver[T]) error { return s.Close() },
 		func(s *Solver[T]) time.Duration { return s.ModeledTime() },
 	)
+	megaOpts := append(append([]Option{}, cfg.SolverOptions...), cfg.MegabatchOptions...)
+	if cfg.MegabatchOptions == nil {
+		megaOpts = append(megaOpts, WithK(0))
+	}
+	inner.MegaBuild(func(m, n int) (*Solver[T], error) {
+		return NewSolver[T](m, n, megaOpts...)
+	})
 	return &Pool[T]{cfg: cfg, inner: inner}
 }
 

@@ -49,8 +49,10 @@ type Solver[T Real] struct {
 	m, n int
 	pipe *core.Pipeline[T]
 	// resid is the verification scratch, allocated only under
-	// WithVerification so the plain path stays allocation-free.
-	resid []float64
+	// WithVerification so the plain path stays allocation-free; iresid
+	// is the interleaved scan's extra partials, built on first use.
+	resid  []float64
+	iresid []float64
 	// runner is the guarded pipeline, built on first SolveGuarded.
 	runner *guard.Runner[T]
 	gres   GuardedResult[T]
@@ -115,6 +117,49 @@ func (s *Solver[T]) SolveBatchIntoCtx(ctx context.Context, dst []T, b *Batch[T])
 	}
 	return nil
 }
+
+// SolveInterleavedInto solves a batch already in the interleaved
+// layout (row j of system i at j*M+i), writing the solution into xi
+// interleaved the same way. On the k = 0 path the kernels consume the
+// caller's planes directly — the 32×32 blocked transpose the
+// contiguous entry pays never runs — and after the first solve the
+// call performs no heap allocations. Results are bitwise identical to
+// SolveBatchInto on the same data in the contiguous layout; the
+// batching front-end builds its megabatches in this layout so
+// appending a request is a strided copy and the solve is
+// conversion-free end to end. LayoutStats reports the skipped
+// transposes.
+//
+// xi must not alias v's slices. Configurations that cannot consume
+// the layout natively (k >= 1, fused/multiplexed) convert through an
+// internal scratch — correct, but no faster than SolveBatchInto.
+func (s *Solver[T]) SolveInterleavedInto(xi []T, v *Interleaved[T]) error {
+	return s.SolveInterleavedIntoCtx(context.Background(), xi, v)
+}
+
+// SolveInterleavedIntoCtx is SolveInterleavedInto with cooperative
+// cancellation and transient-fault recovery (see SolveBatchIntoCtx).
+// One divergence from the contiguous entry: the k = 0 kernels write
+// xi in place, so a cancelled solve may leave xi partially written —
+// treat xi as garbage unless the call returned nil.
+func (s *Solver[T]) SolveInterleavedIntoCtx(ctx context.Context, xi []T, v *Interleaved[T]) error {
+	if err := s.pipe.SolveInterleavedIntoCtx(ctx, xi, v); err != nil {
+		return fmt.Errorf("gputrid: %w", err)
+	}
+	if s.resid != nil {
+		if s.iresid == nil {
+			s.iresid = make([]float64, 3*s.m)
+		}
+		return verifyInterleavedInto(v, xi, s.resid, s.iresid)
+	}
+	return nil
+}
+
+// LayoutStats reports how solves entered the Solver — contiguous vs
+// interleaved-native — and how many blocked transposes the native
+// path skipped. It is the observable evidence behind the batching
+// bench numbers; safe to call concurrently with solves.
+func (s *Solver[T]) LayoutStats() LayoutStats { return s.pipe.LayoutStats() }
 
 // FaultReport describes the fault-recovery activity of the Solver's
 // most recent solve: nil when nothing fired (fault-free solves, and
