@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -36,6 +37,11 @@ type fleetServer struct {
 	// batcher, when non-nil, coalesces small concurrent requests into
 	// megabatches routed through Fleet.SolveMegabatch (-batch).
 	batcher *batcher.Batcher[float64]
+	// distMinN, when positive, routes requests with n >= distMinN to
+	// the distributed multi-device solve instead of a single device's
+	// pool (-distmin): the system is slab-partitioned across every
+	// servable device and survives device death mid-solve.
+	distMinN int
 }
 
 // fleetSolveResponse extends the pool-mode response with where the
@@ -46,6 +52,13 @@ type fleetSolveResponse struct {
 	// is how many devices were tried (>1 means a re-route saved it).
 	Device   int `json:"device"`
 	Attempts int `json:"attempts"`
+	// Distributed-route extras (route "distributed" only): the devices
+	// the solve started on, any declared dead mid-solve, and how many
+	// slabs migrated to survivors. Device is -1 — no single device
+	// served the request.
+	DistDevices    []int `json:"dist_devices,omitempty"`
+	DistDeaths     []int `json:"dist_deaths,omitempty"`
+	DistMigrations int   `json:"dist_migrations,omitempty"`
 }
 
 // injectRequest is the body of POST /fleet/inject: one synthetic
@@ -101,6 +114,27 @@ func (s *fleetServer) handleSolve(w http.ResponseWriter, r *http.Request) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
+	}
+
+	if s.distMinN > 0 && req.N >= s.distMinN {
+		res, err := s.fl.SolveDistributed(ctx, b)
+		if err != nil {
+			s.writeSolveError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, fleetSolveResponse{
+			solveResponse: solveResponse{
+				X:      res.X,
+				Route:  "distributed",
+				WallNS: int64(res.Report.ModeledPipelined),
+			},
+			Device:         -1,
+			Attempts:       1,
+			DistDevices:    res.Live,
+			DistDeaths:     res.Report.Deaths,
+			DistMigrations: res.Report.Migrations,
+		})
+		return
 	}
 
 	if s.batcher != nil && req.M <= s.batcher.MaxBatch() {
@@ -182,10 +216,13 @@ func (s *fleetServer) handleHealth(w http.ResponseWriter, r *http.Request) {
 	case s.draining.Load():
 		body["status"] = "draining"
 		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.FormatInt((defaultRetryAfterMS+999)/1000, 10))
 	case servable == 0:
-		// Everything cordoned/dead: unhealthy until a heal or scale-up.
+		// Everything cordoned/dead: unhealthy until a heal or scale-up
+		// — which the next control-loop ticks decide, hence the hint.
 		body["status"] = "no-device"
 		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	case st.Active == 0:
 		body["status"] = "degraded"
 	}
@@ -230,6 +267,12 @@ func (s *fleetServer) handleFleet(w http.ResponseWriter, r *http.Request) {
 		"forced_drains":  st.ForcedDrains,
 		"build_failures": st.BuildFailures,
 		"events":         st.Events,
+		"distributed": map[string]any{
+			"solves":     st.DistSolves,
+			"deaths":     st.DistDeaths,
+			"migrations": st.DistMigrations,
+			"degraded":   st.DistDegraded,
+		},
 	}
 	if s.batcher != nil {
 		body["batcher"] = batcherStatsBody(s.batcher.Stats())
@@ -264,7 +307,7 @@ func (s *fleetServer) handleInject(w http.ResponseWriter, r *http.Request) {
 // serveFleet runs the multi-device serving mode: a fleet of `devices`
 // failure domains behind the HTTP front-end, with a wall-clock ticker
 // driving the control loop. SIGINT/SIGTERM drains the whole fleet.
-func serveFleet(addr string, devices, capacity, queue, maxShapes int, warm string, batchN int, batchWait time.Duration) error {
+func serveFleet(addr string, devices, capacity, queue, maxShapes int, warm string, batchN int, batchWait time.Duration, distMin int) error {
 	shapes, err := parseWarmShapes(warm)
 	if err != nil {
 		return err
@@ -281,7 +324,7 @@ func serveFleet(addr string, devices, capacity, queue, maxShapes int, warm strin
 	if err != nil {
 		return err
 	}
-	srv := &fleetServer{fl: fl, maxTimeout: time.Minute}
+	srv := &fleetServer{fl: fl, maxTimeout: time.Minute, distMinN: distMin}
 	if batchN > 0 {
 		bt, err := batcher.New(batcher.Config[float64]{
 			MaxBatch: batchN,

@@ -14,14 +14,19 @@
 //	tridserve -scenario death.yaml     # replay a fleet scenario, exit 0/1
 //	tridserve -batch 64                # coalesce small requests into
 //	                                   # 64-system megabatches
+//	tridserve -fleet 3 -distmin 4096   # huge-N requests solved across
+//	                                   # all devices (survives device
+//	                                   # death mid-solve)
 //
 // Endpoints:
 //
 //	POST /solve    {"m","n","lower","diag","upper","rhs","timeout_ms"}
 //	               -> 200 {"x","route","wait_ns","wall_ns"}
-//	               -> 400 invalid input, 503 overloaded/draining (with a
-//	                  Retry-After derived from the pool's service-time
-//	                  estimate), 504 deadline/cancelled, 500 faulted
+//	               -> 400 invalid input, 503 overloaded/draining/no
+//	                  device (every 503 carries a Retry-After — from the
+//	                  pool's service-time estimate where one exists, a
+//	                  conservative default otherwise), 504 deadline/
+//	                  cancelled, 500 faulted
 //	GET  /healthz  200 while serving (breaker state in the body; a
 //	               tripped breaker is "degraded" but still healthy —
 //	               the fallback serves), 503 once draining
@@ -42,6 +47,16 @@
 //	                    inject a synthetic health event ("xid",
 //	                    "thermal", "ecc-corrected", "ecc-uncorrected",
 //	                    "healed"); applied by the next tick
+//
+// With -fleet N -distmin K, /solve requests whose row count n is at
+// least K are solved *across* the fleet instead of on one device: the
+// system is slab-partitioned over every servable device's share of the
+// simulated interconnect, a reduced interface system couples the slabs,
+// and a device dying mid-solve surfaces a health event (cordoning it at
+// the next tick) while its slab migrates to a survivor — the response
+// is bitwise identical either way. Distributed responses carry route
+// "distributed" with "dist_devices", "dist_deaths" and
+// "dist_migrations".
 //
 // With -batch N (both modes) concurrent small /solve requests of the
 // same row count are coalesced into interleaved megabatches of up to
@@ -87,6 +102,7 @@ func main() {
 		scenFile  = flag.String("scenario", "", "replay a YAML fleet scenario and exit 0/1 on its assertions")
 		batchN    = flag.Int("batch", 0, "coalesce concurrent small requests into megabatches of up to N systems (0 = off)")
 		batchWait = flag.Duration("batchwait", 2*time.Millisecond, "max time a coalesced request waits for company")
+		distMin   = flag.Int("distmin", 0, "fleet mode: solve requests with n >= this across all devices (0 = off)")
 	)
 	flag.Parse()
 
@@ -110,7 +126,7 @@ func main() {
 	}
 
 	if *fleetN > 0 {
-		if err := serveFleet(*addr, *fleetN, *capacity, *queue, *shapes, *warm, *batchN, *batchWait); err != nil {
+		if err := serveFleet(*addr, *fleetN, *capacity, *queue, *shapes, *warm, *batchN, *batchWait, *distMin); err != nil {
 			fmt.Fprintf(os.Stderr, "tridserve: %v\n", err)
 			os.Exit(1)
 		}

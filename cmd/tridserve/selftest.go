@@ -12,6 +12,9 @@ import (
 	"time"
 
 	"gputrid"
+	"gputrid/internal/core"
+	"gputrid/internal/fleet"
+	"gputrid/internal/gpusim"
 	"gputrid/internal/workload"
 )
 
@@ -62,6 +65,105 @@ func runSelfTest(ctx context.Context) error {
 	}
 	if err := checkDrain(ctx, base, srv); err != nil {
 		return fmt.Errorf("drain: %w", err)
+	}
+	if err := checkDistributed(ctx); err != nil {
+		return fmt.Errorf("distributed: %w", err)
+	}
+	return nil
+}
+
+// checkDistributed runs the fleet mode's -distmin path end to end over
+// HTTP: a huge-N request routes across every device of the simulated
+// fabric, one device is armed to die on its first kernel launch of the
+// solve, and the response must still arrive — bitwise identical to the
+// fault-free distributed reference — with the death reported in the
+// response and the device cordoned by the next control-loop tick.
+func checkDistributed(ctx context.Context) error {
+	const devices, victim = 3, 2
+	const m, n = 2, 2049
+	topo, err := gpusim.UniformTopology(devices, gpusim.NVLinkMesh(), gpusim.GTX480())
+	if err != nil {
+		return err
+	}
+	topo.Device(victim).Faults = &gpusim.Injector{
+		Schedule: []gpusim.ScheduledFault{{Kind: gpusim.FaultAbort, Repeat: 1 << 30}},
+	}
+	fl, err := fleet.New(fleet.Config{Devices: devices, DistTopology: topo})
+	if err != nil {
+		return err
+	}
+	defer fl.Close(context.Background())
+	srv := &fleetServer{fl: fl, maxTimeout: time.Minute, distMinN: 1024}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.routes()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	b := workload.Batch[float64](workload.DiagDominant, m, n, 99)
+	body, err := json.Marshal(requestFor(b, 0))
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/solve", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("huge-N solve: status %d, want 200", resp.StatusCode)
+	}
+	var fr fleetSolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		return err
+	}
+	if fr.Route != "distributed" {
+		return fmt.Errorf("route %q, want distributed", fr.Route)
+	}
+	if len(fr.DistDeaths) != 1 || fr.DistDeaths[0] != victim {
+		return fmt.Errorf("dist_deaths %v, want [%d]", fr.DistDeaths, victim)
+	}
+	if fr.DistMigrations == 0 {
+		return fmt.Errorf("device death cost no migration")
+	}
+
+	// Fault-free reference on a clean topology: the recovered solve
+	// must reproduce these exact bits.
+	clean, err := gpusim.UniformTopology(devices, gpusim.NVLinkMesh(), gpusim.GTX480())
+	if err != nil {
+		return err
+	}
+	refSolver, err := core.NewDistSolver[float64](core.DistConfig{Topology: clean, Slabs: devices}, m, n)
+	if err != nil {
+		return err
+	}
+	defer refSolver.Close()
+	ref := make([]float64, m*n)
+	if _, err := refSolver.SolveInto(ctx, ref, b); err != nil {
+		return err
+	}
+	for i := range ref {
+		if fr.X[i] != ref[i] {
+			return fmt.Errorf("element %d differs bitwise from fault-free reference", i)
+		}
+	}
+
+	// The death surfaced into the health feed mid-solve; the next tick
+	// cordons the victim.
+	fl.Tick()
+	fl.Quiesce()
+	st := fl.Stats()
+	if st.Cordons != 1 || st.Devices[victim].State != fleet.StateDead {
+		return fmt.Errorf("victim not cordoned: cordons %d, state %v", st.Cordons, st.Devices[victim].State)
 	}
 	return nil
 }

@@ -200,6 +200,7 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	case s.draining.Load():
 		body["status"] = "draining"
 		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.FormatInt((defaultRetryAfterMS+999)/1000, 10))
 	case brk.State != gputrid.BreakerClosed:
 		// Degraded but healthy: the CPU fallback serves while the
 		// breaker is open, so the instance must keep receiving traffic.
@@ -285,7 +286,18 @@ func writeJSON(w http.ResponseWriter, code int, body any) {
 	_ = json.NewEncoder(w).Encode(body)
 }
 
+// defaultRetryAfterMS is the Retry-After hint for 503s with no better
+// congestion estimate — draining drains in seconds, a dead fleet heals
+// or scales on the next ticks — so clients always get a concrete wait
+// instead of having to invent their own backoff.
+const defaultRetryAfterMS = 1000
+
 func writeError(w http.ResponseWriter, code int, kind, msg string, retryAfterMS int64) {
+	// Every 503 advises a wait: a 503 always means "try again later",
+	// and a hint-less one pushes the backoff guesswork onto clients.
+	if code == http.StatusServiceUnavailable && retryAfterMS <= 0 {
+		retryAfterMS = defaultRetryAfterMS
+	}
 	if retryAfterMS > 0 {
 		secs := (retryAfterMS + 999) / 1000
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))

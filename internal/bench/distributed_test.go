@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"gputrid"
+	"gputrid/internal/core"
+	"gputrid/internal/gpusim"
+	"gputrid/internal/workload"
+)
+
+// The distributed scaling shape: one huge-N batch, far beyond what a
+// single device's hybrid pipeline would be asked to serve, split into
+// one slab per simulated device.
+const (
+	distBenchM = 4
+	distBenchN = 1<<16 + 1
+)
+
+// BenchmarkDistributed measures the multi-device distributed solve
+// across device counts on the simulated NVLink-mesh fabric. ns/op is
+// the host-side simulation cost (environment-relative); the figures
+// of merit are the deterministic modeled metrics: the pipelined and
+// serial device-side makespans of the final assignment (their ratio
+// is the transfer/compute overlap win, their trend across device
+// counts is the scaling figure recorded in BENCH_distributed.json and
+// EXPERIMENTS.md) and the interconnect traffic per solve.
+func BenchmarkDistributed(b *testing.B) {
+	batch := workload.Batch[float64](workload.DiagDominant, distBenchM, distBenchN, 11)
+	for _, devs := range []int{1, 2, 4, 8} {
+		// slabs == devices is the fleet default; slabs == 4*devices
+		// oversubscribes each device so its copy/compute engines
+		// overlap across slabs (pipelined < serial).
+		for _, slabs := range []int{devs, 4 * devs} {
+			b.Run(fmt.Sprintf("devices=%d/slabs=%d", devs, slabs), func(b *testing.B) {
+				benchDistributed(b, batch, devs, slabs)
+			})
+		}
+	}
+}
+
+func benchDistributed(b *testing.B, batch *gputrid.Batch[float64], devs, slabs int) {
+	topo, err := gpusim.UniformTopology(devs, gpusim.NVLinkMesh(), gpusim.GTX480())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := core.NewDistSolver[float64](core.DistConfig{Topology: topo, Slabs: slabs}, distBenchM, distBenchN)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	dst := make([]float64, distBenchM*distBenchN)
+	var rep *core.DistReport
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err = s.SolveInto(context.Background(), dst, batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.ModeledPipelined.Seconds()*1e3, "modeled-ms")
+	b.ReportMetric(rep.ModeledSerial.Seconds()*1e3, "modeled-serial-ms")
+	b.ReportMetric(float64(rep.Comm.TotalBytes())/float64(b.N)/1e6, "comm-MB/op")
+}

@@ -1,0 +1,813 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gputrid/internal/cpu"
+	"gputrid/internal/gpusim"
+	"gputrid/internal/matrix"
+	"gputrid/internal/num"
+)
+
+// Typed failures of the distributed solve path.
+var (
+	// ErrNoLiveDevices reports a distributed solve requested with an
+	// empty live-device set.
+	ErrNoLiveDevices = errors.New("core: distributed solve has no live devices")
+	// ErrDistBusy is returned when SolveOn is called while another
+	// distributed solve is in flight on the same solver.
+	ErrDistBusy = errors.New("core: distributed solver is already executing a solve")
+	// ErrDistClosed is returned by SolveOn after Close.
+	ErrDistClosed = errors.New("core: distributed solver is closed")
+)
+
+// DistConfig configures a DistSolver.
+type DistConfig struct {
+	// Topology is the simulated multi-device fabric; required.
+	Topology *gpusim.Topology
+	// Slabs is the partition width D. It fixes the arithmetic: the
+	// partition is a function of (N, Slabs) only, never of which
+	// devices are live, so a solve on fewer (or migrated) devices is
+	// bitwise identical to the fault-free full-fleet run. 0 means one
+	// slab per topology device.
+	Slabs int
+	// Slab templates the per-slab local solver (see Config). Device is
+	// ignored — each slab runs on its assigned topology device — and K
+	// is pinned per slab length from Topology.Device(0), so identical
+	// devices execute identical launch geometry regardless of
+	// assignment.
+	Slab Config
+	// Retry bounds per-slab recovery: a slab whose device dies is
+	// migrated to a survivor up to RetryPolicy.MaxRetries times, with
+	// the policy's seeded-jitter backoff between attempts, then
+	// degraded to the host pivoting GTSV path — or failed with
+	// ErrFaulted under NoDegrade. The zero value is the production
+	// default.
+	Retry RetryPolicy
+	// Health, when non-nil, receives a HealthXID event the moment a
+	// device is declared dead mid-solve — before the slab is migrated —
+	// so a fleet control plane can cordon the device while this solve
+	// is still completing. Must be safe for concurrent use.
+	Health func(gpusim.HealthEvent)
+	// HealthDevice maps a topology device index to the Device field of
+	// emitted health events (a fleet's device id); nil means identity.
+	HealthDevice func(topoIdx int) int
+}
+
+// DistReport describes one distributed solve.
+type DistReport struct {
+	// Slabs is the partition width D.
+	Slabs int
+	// Devices is the final topology device of each slab; -1 marks a
+	// slab degraded to the host path.
+	Devices []int
+	// Deaths lists (ascending) the topology devices declared dead
+	// during the solve.
+	Deaths []int
+	// Migrations counts slabs whose in-progress work was lost to a
+	// device death and re-run on a survivor.
+	Migrations int
+	// Retries counts slab re-executions beyond each slab's first
+	// attempt (migrations plus degraded slabs' lost attempts).
+	Retries int
+	// Degraded lists (ascending) the slabs re-solved on the host
+	// because no retry budget or no survivor remained.
+	Degraded []int
+	// Comm is the interconnect traffic this solve charged.
+	Comm gpusim.CommStats
+	// ModeledSerial and ModeledPipelined are the modeled device-side
+	// makespans of the final (post-recovery) assignment: serial runs
+	// each slab's upload→compute→download back to back; pipelined
+	// overlaps transfers with interior elimination on each device's
+	// copy/compute engines. Both take the max over devices, which run
+	// concurrently.
+	ModeledSerial    time.Duration
+	ModeledPipelined time.Duration
+}
+
+// distSlab is the per-slab solve state.
+type distSlab struct {
+	idx      int
+	dev      int // current topology device; -1 = degraded to host
+	homeDev  int // device holding the slab's u,v,w planes after phase A
+	attempts int
+	redone   bool // lost work at least once (counts as migration)
+	timing   gpusim.SlabTiming
+}
+
+type pipeKey struct {
+	dev, length int
+}
+
+// DistSolver solves batches of M tridiagonal systems of N rows across
+// the devices of a simulated topology, surviving device death
+// mid-solve.
+//
+// The algorithm is separator-based domain decomposition (the SPIKE /
+// Wang family the multi-GPU tridiagonal literature builds on): the N
+// rows split into D slabs with one separator row between adjacent
+// slabs. Each slab solves three local systems through the paper's
+// hybrid pipeline — u = T⁻¹ d, plus the responses v, w to its left and
+// right separator couplings — producing six interface scalars per
+// (system, slab). Substituting those into the separator rows yields a
+// genuinely tridiagonal reduced system of order D-1 per batch system,
+// solved on the host with the pivoting GTSV. Back-substitution
+// x = u + v·x_left + w·x_right then completes each slab on its device.
+//
+// Robustness: each slab is a checkpointed failure domain. Its inputs
+// live on the host and are never mutated, so when a device dies
+// (aborts, hangs, or corrupts a launch), only that slab's in-flight
+// work is lost: the death surfaces immediately through DistConfig.
+// Health, the device is excluded from the solve, and the slab re-runs
+// on a survivor — bitwise identical, because the partition and launch
+// geometry never depended on the assignment. With no survivors (or an
+// exhausted retry budget) the slab degrades to the host pivoting GTSV
+// unless RetryPolicy.NoDegrade demands ErrFaulted.
+//
+// A solver is single-flight, like Pipeline: concurrent SolveOn calls
+// return ErrDistBusy.
+type DistSolver[T num.Real] struct {
+	cfg  DistConfig
+	topo *gpusim.Topology
+	m, n int
+	part Partition
+
+	// Per-slab host arenas. slabIn holds the 3M local systems of each
+	// slab's reduce (plane-major: u systems 0..M-1, v, then w); slabX
+	// their solutions; slabOut the back-substituted slab rows; sepL and
+	// sepR the per-system separator values feeding the backsub.
+	slabIn  []*matrix.Batch[T]
+	slabX   [][]T
+	slabOut [][]T
+	sepL    [][]T
+	sepR    [][]T
+
+	// Reduced interface system, system-major: system i's D-1 rows at
+	// [i*(D-1), (i+1)*(D-1)).
+	redA, redB, redC, redD, redX []T
+
+	gtsvRed  *cpu.GTSVWorkspace[T] // order D-1 reduced solves
+	gtsvSlab *cpu.GTSVWorkspace[T] // degraded host slab solves
+
+	// kByLen pins the PCR step count per slab length (resolved once
+	// against device 0) so every device launches identical geometry.
+	kByLen map[int]int
+
+	// pipes caches the per-(device, slab length) local-reduce
+	// pipelines; populated lazily under mu as assignments happen.
+	mu    sync.Mutex
+	pipes map[pipeKey]*Pipeline[T]
+
+	inUse  atomic.Bool
+	closed bool
+}
+
+// NewDistSolver builds a distributed solver for batches of m systems
+// of n rows over cfg.Topology.
+func NewDistSolver[T num.Real](cfg DistConfig, m, n int) (*DistSolver[T], error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("core: DistConfig.Topology is required")
+	}
+	if m <= 0 || n <= 0 {
+		return nil, fmt.Errorf("core: invalid distributed shape %dx%d", m, n)
+	}
+	slabs := cfg.Slabs
+	if slabs == 0 {
+		slabs = cfg.Topology.NumDevices()
+	}
+	part, err := NewPartition(n, slabs)
+	if err != nil {
+		return nil, err
+	}
+	s := &DistSolver[T]{
+		cfg:    cfg,
+		topo:   cfg.Topology,
+		m:      m,
+		n:      n,
+		part:   part,
+		pipes:  make(map[pipeKey]*Pipeline[T]),
+		kByLen: make(map[int]int),
+	}
+	d := part.NumSlabs()
+	s.slabIn = make([]*matrix.Batch[T], d)
+	s.slabX = make([][]T, d)
+	s.slabOut = make([][]T, d)
+	s.sepL = make([][]T, d)
+	s.sepR = make([][]T, d)
+	for p, sl := range part.Slabs {
+		L := sl.Len()
+		s.slabIn[p] = matrix.NewBatch[T](3*m, L)
+		s.slabX[p] = make([]T, 3*m*L)
+		s.slabOut[p] = make([]T, m*L)
+		s.sepL[p] = make([]T, m)
+		s.sepR[p] = make([]T, m)
+		if _, ok := s.kByLen[L]; !ok {
+			kcfg := s.slabConfig(L)
+			kcfg.Device = s.topo.Device(0)
+			s.kByLen[L] = kcfg.resolveK(3*m, L)
+		}
+	}
+	if d > 1 {
+		s.redA = make([]T, m*(d-1))
+		s.redB = make([]T, m*(d-1))
+		s.redC = make([]T, m*(d-1))
+		s.redD = make([]T, m*(d-1))
+		s.redX = make([]T, m*(d-1))
+		s.gtsvRed = cpu.NewGTSVWorkspace[T](d - 1)
+	}
+	return s, nil
+}
+
+// slabConfig is the local-reduce pipeline configuration for one slab
+// length: the caller's template, with fail-fast recovery (the
+// distributed layer owns retries: a faulted launch means the device is
+// dead, not that the slab should retry in place).
+func (s *DistSolver[T]) slabConfig(length int) Config {
+	cfg := s.cfg.Slab
+	cfg.Retry = RetryPolicy{MaxRetries: -1, NoDegrade: true}
+	if k, ok := s.kByLen[length]; ok {
+		cfg.K = k
+	}
+	return cfg
+}
+
+// pipeline returns (building if needed) the local-reduce pipeline for
+// slabs of the given length on topology device dev.
+func (s *DistSolver[T]) pipeline(dev, length int) (*Pipeline[T], error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := pipeKey{dev, length}
+	if p, ok := s.pipes[key]; ok {
+		return p, nil
+	}
+	cfg := s.slabConfig(length)
+	cfg.Device = s.topo.Device(dev)
+	p, err := NewPipeline[T](cfg, 3*s.m, length)
+	if err != nil {
+		return nil, err
+	}
+	s.pipes[key] = p
+	return p, nil
+}
+
+// Shape returns the fixed batch shape (M systems, N rows).
+func (s *DistSolver[T]) Shape() (m, n int) { return s.m, s.n }
+
+// Partition returns the solver's fixed row partition.
+func (s *DistSolver[T]) Partition() Partition { return s.part }
+
+// Close releases the solver's pipelines. Close against an in-flight
+// solve returns ErrDistBusy; repeat calls return nil.
+func (s *DistSolver[T]) Close() error {
+	if !s.inUse.CompareAndSwap(false, true) {
+		return ErrDistBusy
+	}
+	defer s.inUse.Store(false)
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.pipes {
+		_ = p.Close()
+	}
+	return nil
+}
+
+// SolveInto solves the batch across every topology device.
+func (s *DistSolver[T]) SolveInto(ctx context.Context, dst []T, b *matrix.Batch[T]) (*DistReport, error) {
+	live := make([]int, s.topo.NumDevices())
+	for i := range live {
+		live[i] = i
+	}
+	return s.SolveOn(ctx, dst, b, live)
+}
+
+// SolveOn solves the batch using only the given live topology devices
+// (a fleet passes its servable members). dst receives the solutions in
+// natural order (system i at [i*N, (i+1)*N)); it must not alias the
+// batch. The returned report describes the assignment, recovery
+// activity, interconnect traffic, and modeled time of this solve.
+func (s *DistSolver[T]) SolveOn(ctx context.Context, dst []T, b *matrix.Batch[T], live []int) (*DistReport, error) {
+	if b.M != s.m || b.N != s.n {
+		return nil, fmt.Errorf("%w: batch is %dx%d, solver wants %dx%d", ErrShapeMismatch, b.M, b.N, s.m, s.n)
+	}
+	if len(dst) != s.m*s.n {
+		return nil, fmt.Errorf("%w: dst has %d elements, solver wants %d", ErrShapeMismatch, len(dst), s.m*s.n)
+	}
+	alive, err := s.liveSet(live)
+	if err != nil {
+		return nil, err
+	}
+	if !s.inUse.CompareAndSwap(false, true) {
+		return nil, ErrDistBusy
+	}
+	defer s.inUse.Store(false)
+	if s.closed {
+		return nil, ErrDistClosed
+	}
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil
+	}
+
+	d := s.part.NumSlabs()
+	rep := &DistReport{Slabs: d, Devices: make([]int, d)}
+	commBase := s.topo.Comm()
+	slabs := make([]*distSlab, d)
+	for p := range slabs {
+		slabs[p] = &distSlab{idx: p, dev: -1, homeDev: -1}
+		s.buildSlabInput(p, b)
+	}
+
+	// Phase A: local reductions, with migration on device death.
+	if err := s.runPhase(ctx, rep, slabs, alive, s.reduceOne, s.reduceHost); err != nil {
+		return nil, err
+	}
+
+	// Phase B: assemble and solve the reduced interface system on the
+	// host, then scatter separator values.
+	if err := s.solveReduced(b, dst); err != nil {
+		return nil, err
+	}
+
+	// Phase C: per-slab back-substitution, device-side, same recovery.
+	for _, sl := range slabs {
+		sl.homeDev = sl.dev // where the u,v,w planes are resident
+	}
+	if err := s.runPhase(ctx, rep, slabs, alive, s.backsubOne, s.backsubHost); err != nil {
+		return nil, err
+	}
+	s.scatterOutputs(dst, slabs)
+
+	// Report: final assignment, comm delta, modeled makespans.
+	perDev := map[int][]gpusim.SlabTiming{}
+	for p, sl := range slabs {
+		rep.Devices[p] = sl.dev
+		if sl.dev >= 0 {
+			perDev[sl.dev] = append(perDev[sl.dev], sl.timing)
+		} else {
+			rep.Degraded = append(rep.Degraded, p)
+		}
+		if sl.redone {
+			rep.Migrations++
+		}
+		rep.Retries += sl.attempts - 1
+	}
+	sort.Ints(rep.Degraded)
+	sort.Ints(rep.Deaths)
+	var serial, pipelined float64
+	for _, stages := range perDev {
+		ser, pip := gpusim.PipelinedMakespan(stages)
+		serial = max(serial, ser)
+		pipelined = max(pipelined, pip)
+	}
+	rep.ModeledSerial = time.Duration(serial * float64(time.Second))
+	rep.ModeledPipelined = time.Duration(pipelined * float64(time.Second))
+	rep.Comm = s.topo.Comm().Sub(commBase)
+	return rep, nil
+}
+
+// liveSet validates, dedupes and sorts the live device indices.
+func (s *DistSolver[T]) liveSet(live []int) (map[int]bool, error) {
+	alive := make(map[int]bool, len(live))
+	for _, d := range live {
+		if d < 0 || d >= s.topo.NumDevices() {
+			return nil, fmt.Errorf("core: live device %d out of range [0, %d)", d, s.topo.NumDevices())
+		}
+		alive[d] = true
+	}
+	if len(alive) == 0 {
+		return nil, ErrNoLiveDevices
+	}
+	return alive, nil
+}
+
+// phaseFn runs one slab's device work for the current phase, returning
+// the device error (a wrapped LaunchError means the device is dead).
+type phaseFn[T num.Real] func(ctx context.Context, sl *distSlab, dev int) error
+
+// hostFn is the phase's degraded fallback on the host.
+type hostFn[T num.Real] func(sl *distSlab) error
+
+// runPhase executes one device phase over all slabs with the recovery
+// protocol: slabs are assigned round-robin over the live devices in
+// ascending order (a pure function of the live set, so replays are
+// exact), each device runs its slabs sequentially while devices run in
+// parallel, and a faulted launch kills its device — the death is
+// published through DistConfig.Health before the victim slab migrates
+// to a survivor under the jittered retry budget.
+func (s *DistSolver[T]) runPhase(ctx context.Context, rep *DistReport, slabs []*distSlab,
+	alive map[int]bool, run phaseFn[T], host hostFn[T]) error {
+
+	maxR := s.cfg.Retry.maxRetries()
+	pending := make([]*distSlab, 0, len(slabs))
+	for _, sl := range slabs {
+		if sl.dev == -1 && sl.attempts > 0 {
+			// Already degraded in an earlier phase: host path now.
+			if err := host(sl); err != nil {
+				return err
+			}
+			continue
+		}
+		pending = append(pending, sl)
+	}
+
+	for len(pending) > 0 {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return cancelled(err)
+			}
+		}
+		order := liveOrder(alive)
+		if len(order) == 0 {
+			// No survivors: every remaining slab degrades or the solve
+			// fails hard.
+			if s.cfg.Retry.NoDegrade {
+				return fmt.Errorf("%w: no live devices remain for %d slab(s)", ErrFaulted, len(pending))
+			}
+			for _, sl := range pending {
+				sl.dev = -1
+				if err := host(sl); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+
+		// Deterministic assignment; group per device in slab order.
+		byDev := make(map[int][]*distSlab, len(order))
+		for j, sl := range pending {
+			dev := order[j%len(order)]
+			sl.dev = dev
+			byDev[dev] = append(byDev[dev], sl)
+		}
+
+		type result struct {
+			sl  *distSlab
+			err error
+		}
+		var (
+			wg      sync.WaitGroup
+			mu      sync.Mutex
+			faulted []result
+			hardErr error
+		)
+		for dev, group := range byDev {
+			wg.Add(1)
+			go func(dev int, group []*distSlab) {
+				defer wg.Done()
+				for gi, sl := range group {
+					if sl.attempts > 0 {
+						// Re-attempt after lost work: jittered backoff
+						// keyed on the slab, so simultaneous victims
+						// spread out instead of stampeding survivors.
+						if err := sleepBackoff(ctx, s.cfg.Retry.backoff(sl.attempts-1, uint64(sl.idx)+1)); err != nil {
+							mu.Lock()
+							if hardErr == nil {
+								hardErr = cancelled(err)
+							}
+							mu.Unlock()
+							return
+						}
+					}
+					sl.attempts++
+					err := run(ctx, sl, dev)
+					if err == nil {
+						continue
+					}
+					mu.Lock()
+					if isDeviceDeath(err) {
+						// The victim slab lost its work; the device's
+						// untried slabs (err nil) requeue without
+						// burning an attempt.
+						faulted = append(faulted, result{sl, err})
+						for _, rest := range group[gi+1:] {
+							faulted = append(faulted, result{rest, nil})
+						}
+					} else if hardErr == nil {
+						hardErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}(dev, group)
+		}
+		wg.Wait()
+		if hardErr != nil {
+			return hardErr
+		}
+
+		next := pending[:0]
+		var dead []int
+		for _, r := range faulted {
+			if r.err != nil {
+				if alive[r.sl.dev] {
+					delete(alive, r.sl.dev)
+					dead = append(dead, r.sl.dev)
+				}
+				r.sl.redone = true
+				if r.sl.attempts > maxR {
+					if s.cfg.Retry.NoDegrade {
+						return fmt.Errorf("%w: slab %d exhausted %d migration attempts: %v",
+							ErrFaulted, r.sl.idx, r.sl.attempts, r.err)
+					}
+					r.sl.dev = -1
+					if err := host(r.sl); err != nil {
+						return err
+					}
+					continue
+				}
+			}
+			next = append(next, r.sl)
+		}
+		// Announce deaths in device order, so multi-death rounds emit a
+		// deterministic event sequence.
+		sort.Ints(dead)
+		for _, dev := range dead {
+			rep.Deaths = append(rep.Deaths, dev)
+			s.announceDeath(dev)
+		}
+		// Keep slab order deterministic across rounds.
+		sort.Slice(next, func(i, j int) bool { return next[i].idx < next[j].idx })
+		pending = next
+	}
+	return nil
+}
+
+// isDeviceDeath classifies a slab failure: any launch fault means the
+// device is lost for this solve (abort/hang/corrupt all poison the
+// device's checkpointed work).
+func isDeviceDeath(err error) bool {
+	var le *gpusim.LaunchError
+	return errors.Is(err, ErrFaulted) || errors.As(err, &le)
+}
+
+// announceDeath publishes the death through the health callback.
+func (s *DistSolver[T]) announceDeath(dev int) {
+	if s.cfg.Health == nil {
+		return
+	}
+	id := dev
+	if s.cfg.HealthDevice != nil {
+		id = s.cfg.HealthDevice(dev)
+	}
+	s.cfg.Health(gpusim.HealthEvent{
+		Device:  id,
+		Kind:    gpusim.HealthXID,
+		XID:     79,
+		Message: fmt.Sprintf("device died mid-distributed-solve (topology device %d)", dev),
+	})
+}
+
+// liveOrder returns the live devices in ascending index order.
+func liveOrder(alive map[int]bool) []int {
+	order := make([]int, 0, len(alive))
+	for d := range alive {
+		order = append(order, d)
+	}
+	sort.Ints(order)
+	return order
+}
+
+// buildSlabInput fills slab p's 3M local systems from the batch:
+// plane u (systems 0..M-1) carries the slab's RHS, plane v (M..2M-1)
+// the left-separator coupling -a[first]·e_first, plane w (2M..3M-1)
+// the right-separator coupling -c[last]·e_last. Coefficients are the
+// slab's rows, identical across planes. The first slab has no left
+// separator and the last no right one, so their coupling planes are
+// exactly zero — the hybrid's elimination of an all-zero RHS yields
+// bitwise zero, which is what makes the reduced system's boundary
+// terms vanish without special cases.
+func (s *DistSolver[T]) buildSlabInput(p int, b *matrix.Batch[T]) {
+	sl := s.part.Slabs[p]
+	L := sl.Len()
+	in := s.slabIn[p]
+	first, last := p == 0, p == s.part.NumSlabs()-1
+	for i := 0; i < s.m; i++ {
+		src := i*s.n + sl.Start
+		for plane := 0; plane < 3; plane++ {
+			q := plane*s.m + i
+			dst := q * L
+			copy(in.Lower[dst:dst+L], b.Lower[src:src+L])
+			copy(in.Diag[dst:dst+L], b.Diag[src:src+L])
+			copy(in.Upper[dst:dst+L], b.Upper[src:src+L])
+			rhs := in.RHS[dst : dst+L]
+			switch plane {
+			case 0:
+				copy(rhs, b.RHS[src:src+L])
+			case 1:
+				clear(rhs)
+				if !first {
+					rhs[0] = -b.Lower[src]
+				}
+			case 2:
+				clear(rhs)
+				if !last {
+					rhs[L-1] = -b.Upper[src+L-1]
+				}
+			}
+		}
+	}
+}
+
+// reduceOne runs slab sl's local reduction on device dev: charge the
+// coefficient upload, run the 3M-system hybrid, charge the interface
+// download, and extract the six interface scalars per system.
+func (s *DistSolver[T]) reduceOne(ctx context.Context, sl *distSlab, dev int) error {
+	p := sl.idx
+	L := s.part.Slabs[p].Len()
+	elem := int64(num.SizeOf[T]())
+	// Upload: 3 coefficient planes + 3 RHS planes of M×L each. (The
+	// coefficient replication is a modeling convenience — a real
+	// implementation uploads them once — so charge the unreplicated 4
+	// planes: a, b, c, d.)
+	up := s.topo.HostToDevice(dev, 4*int64(s.m)*int64(L)*elem)
+	pipe, err := s.pipeline(dev, L)
+	if err != nil {
+		return err
+	}
+	if err := pipe.SolveIntoCtx(ctx, s.slabX[p], s.slabIn[p]); err != nil {
+		return err
+	}
+	// Download the halo: 6 interface scalars per system.
+	down := s.topo.DeviceToHost(dev, 6*int64(s.m)*elem)
+	sl.timing = gpusim.SlabTiming{
+		Upload:   up,
+		Compute:  s.topo.Device(dev).EstimateTime(pipe.Report().Stats, num.SizeOf[T]()),
+		Download: down,
+	}
+	return nil
+}
+
+// reduceHost is the degraded local reduction: the slab's 3M systems go
+// through the host pivoting GTSV. Not bitwise-comparable to the device
+// path — degradation is a last resort, reported per slab.
+func (s *DistSolver[T]) reduceHost(sl *distSlab) error {
+	p := sl.idx
+	L := s.part.Slabs[p].Len()
+	if s.gtsvSlab == nil {
+		s.gtsvSlab = cpu.NewGTSVWorkspace[T](L) // grows on demand for longer slabs
+	}
+	in := s.slabIn[p]
+	for q := 0; q < 3*s.m; q++ {
+		lo, hi := q*L, (q+1)*L
+		sys := matrix.System[T]{
+			Lower: in.Lower[lo:hi], Diag: in.Diag[lo:hi],
+			Upper: in.Upper[lo:hi], RHS: in.RHS[lo:hi],
+		}
+		if err := cpu.SolveGTSVInto(&sys, s.slabX[p][lo:hi], s.gtsvSlab); err != nil {
+			return fmt.Errorf("%w: degraded reduce of slab %d system %d: %v", ErrFaulted, p, q, err)
+		}
+	}
+	return nil
+}
+
+// solveReduced assembles the reduced interface system from the
+// separator rows and the slabs' interface scalars, solves each batch
+// system's D-1 unknowns with the pivoting GTSV, writes the separator
+// values into dst, and distributes them to the slabs' backsub inputs.
+func (s *DistSolver[T]) solveReduced(b *matrix.Batch[T], dst []T) error {
+	d := s.part.NumSlabs()
+	if d == 1 {
+		clear(s.sepL[0])
+		clear(s.sepR[0])
+		return nil
+	}
+	r := d - 1
+	for i := 0; i < s.m; i++ {
+		base := i * r
+		for p := 0; p < r; p++ {
+			sep := s.part.Separator(p)
+			gi := i*s.n + sep
+			aa, bb, cc, dd := b.Lower[gi], b.Diag[gi], b.Upper[gi], b.RHS[gi]
+			leftL := s.part.Slabs[p].Len()
+			uL := s.slabX[p][(0*s.m+i)*leftL+leftL-1]
+			vL := s.slabX[p][(1*s.m+i)*leftL+leftL-1]
+			wL := s.slabX[p][(2*s.m+i)*leftL+leftL-1]
+			rightL := s.part.Slabs[p+1].Len()
+			uF := s.slabX[p+1][(0*s.m+i)*rightL]
+			vF := s.slabX[p+1][(1*s.m+i)*rightL]
+			wF := s.slabX[p+1][(2*s.m+i)*rightL]
+			s.redA[base+p] = aa * vL
+			s.redB[base+p] = bb + aa*wL + cc*vF
+			s.redC[base+p] = cc * wF
+			s.redD[base+p] = dd - aa*uL - cc*uF
+		}
+		sys := matrix.System[T]{
+			Lower: s.redA[base : base+r], Diag: s.redB[base : base+r],
+			Upper: s.redC[base : base+r], RHS: s.redD[base : base+r],
+		}
+		if err := cpu.SolveGTSVInto(&sys, s.redX[base:base+r], s.gtsvRed); err != nil {
+			return fmt.Errorf("core: reduced interface system %d: %w", i, err)
+		}
+		for p := 0; p < r; p++ {
+			dst[i*s.n+s.part.Separator(p)] = s.redX[base+p]
+		}
+	}
+	// Scatter separator values to each slab's backsub inputs.
+	for p := 0; p < d; p++ {
+		for i := 0; i < s.m; i++ {
+			if p == 0 {
+				s.sepL[p][i] = 0
+			} else {
+				s.sepL[p][i] = s.redX[i*r+p-1]
+			}
+			if p == d-1 {
+				s.sepR[p][i] = 0
+			} else {
+				s.sepR[p][i] = s.redX[i*r+p]
+			}
+		}
+	}
+	return nil
+}
+
+// backsubOne back-substitutes slab sl on device dev with a real
+// simulated kernel, so phase C is a fault-injectable failure domain
+// like the reduce. The kernel is a pure function of host-held
+// (u, v, w, separators), so a migrated backsub re-runs bit-exactly.
+func (s *DistSolver[T]) backsubOne(ctx context.Context, sl *distSlab, dev int) error {
+	p := sl.idx
+	L := s.part.Slabs[p].Len()
+	m := s.m
+	elem := int64(num.SizeOf[T]())
+	// Upload: the separator values always; the u,v,w planes too when
+	// the backsub runs on a different device than the reduce (they
+	// were resident on the dead device and re-stage from the host).
+	bytes := 2 * int64(m) * elem
+	if dev != sl.homeDev {
+		bytes += 3 * int64(m) * int64(L) * elem
+	}
+	up := s.topo.HostToDevice(dev, bytes)
+
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return cancelled(err)
+		}
+	}
+	const bs = 128
+	total := m * L
+	uG := gpusim.NewGlobal(s.slabX[p][:m*L])
+	vG := gpusim.NewGlobal(s.slabX[p][m*L : 2*m*L])
+	wG := gpusim.NewGlobal(s.slabX[p][2*m*L:])
+	xlG := gpusim.NewGlobal(s.sepL[p])
+	xrG := gpusim.NewGlobal(s.sepR[p])
+	outG := gpusim.NewGlobal(s.slabOut[p])
+	st, err := s.topo.Device(dev).Launch("distBacksub",
+		gpusim.LaunchConfig{Grid: num.CeilDiv(total, bs), Block: bs},
+		func(blk *gpusim.Block) {
+			blk.PhaseNoSync(func(t *gpusim.Thread) {
+				idx := blk.ID*bs + t.ID
+				if idx >= total {
+					return
+				}
+				sys := idx / L
+				r := uG.Load(t, idx) + vG.Load(t, idx)*xlG.Load(t, sys) + wG.Load(t, idx)*xrG.Load(t, sys)
+				t.Flops(4)
+				outG.Store(t, idx, r)
+			})
+		})
+	if err != nil {
+		return err
+	}
+	down := s.topo.DeviceToHost(dev, int64(total)*elem)
+	sl.timing.Upload += up
+	sl.timing.Compute += s.topo.Device(dev).EstimateTime(st, num.SizeOf[T]())
+	sl.timing.Download += down
+	return nil
+}
+
+// backsubHost is the degraded back-substitution.
+func (s *DistSolver[T]) backsubHost(sl *distSlab) error {
+	p := sl.idx
+	L := s.part.Slabs[p].Len()
+	for i := 0; i < s.m; i++ {
+		xl, xr := s.sepL[p][i], s.sepR[p][i]
+		u := s.slabX[p][(0*s.m+i)*L : (0*s.m+i)*L+L]
+		v := s.slabX[p][(1*s.m+i)*L : (1*s.m+i)*L+L]
+		w := s.slabX[p][(2*s.m+i)*L : (2*s.m+i)*L+L]
+		out := s.slabOut[p][i*L : (i+1)*L]
+		for j := range out {
+			out[j] = u[j] + v[j]*xl + w[j]*xr
+		}
+	}
+	return nil
+}
+
+// scatterOutputs copies each slab's back-substituted rows into dst.
+func (s *DistSolver[T]) scatterOutputs(dst []T, slabs []*distSlab) {
+	for p := range slabs {
+		sl := s.part.Slabs[p]
+		L := sl.Len()
+		for i := 0; i < s.m; i++ {
+			copy(dst[i*s.n+sl.Start:i*s.n+sl.End], s.slabOut[p][i*L:(i+1)*L])
+		}
+	}
+}

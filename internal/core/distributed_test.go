@@ -1,0 +1,348 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"gputrid/internal/cpu"
+	"gputrid/internal/gpusim"
+	"gputrid/internal/matrix"
+	"gputrid/internal/workload"
+)
+
+func distTopo(t *testing.T, n int, ic gpusim.Interconnect) *gpusim.Topology {
+	t.Helper()
+	topo, err := gpusim.UniformTopology(n, ic, gpusim.GTX480())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func gtsvReference(t *testing.T, b *matrix.Batch[float64]) []float64 {
+	t.Helper()
+	ref := make([]float64, b.M*b.N)
+	ws := cpu.NewGTSVWorkspace[float64](b.N)
+	for i := 0; i < b.M; i++ {
+		if err := cpu.SolveGTSVInto(b.System(i), ref[i*b.N:(i+1)*b.N], ws); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ref
+}
+
+func maxRelErr(x, ref []float64) float64 {
+	worst := 0.0
+	for i := range x {
+		denom := math.Abs(ref[i])
+		if denom < 1 {
+			denom = 1
+		}
+		if e := math.Abs(x[i]-ref[i]) / denom; e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// TestDistributedMatchesReference checks the separator decomposition
+// against the pivoting GTSV on a well-conditioned batch, across slab
+// counts and both interconnect presets.
+func TestDistributedMatchesReference(t *testing.T) {
+	const m, n = 3, 257
+	b := workload.Batch[float64](workload.DiagDominant, m, n, 42)
+	ref := gtsvReference(t, b)
+	for _, slabs := range []int{1, 2, 3, 4, 7} {
+		topo := distTopo(t, 4, gpusim.NVLinkMesh())
+		s, err := NewDistSolver[float64](DistConfig{Topology: topo, Slabs: slabs}, m, n)
+		if err != nil {
+			t.Fatalf("slabs=%d: %v", slabs, err)
+		}
+		dst := make([]float64, m*n)
+		rep, err := s.SolveInto(context.Background(), dst, b)
+		if err != nil {
+			t.Fatalf("slabs=%d: %v", slabs, err)
+		}
+		if e := maxRelErr(dst, ref); e > 1e-10 {
+			t.Errorf("slabs=%d: max rel err %.3e vs GTSV reference", slabs, e)
+		}
+		if rep.Slabs != slabs || len(rep.Deaths) != 0 || len(rep.Degraded) != 0 {
+			t.Errorf("slabs=%d: unexpected report %+v", slabs, rep)
+		}
+		if slabs > 1 && rep.Comm.TotalBytes() == 0 {
+			t.Errorf("slabs=%d: no interconnect traffic charged", slabs)
+		}
+		if rep.ModeledPipelined > rep.ModeledSerial {
+			t.Errorf("slabs=%d: pipelined makespan %v exceeds serial %v", slabs, rep.ModeledPipelined, rep.ModeledSerial)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDistributedAssignmentInvariance pins the bitwise contract behind
+// the recovery protocol: the partition is a function of (N, Slabs)
+// only, so running all slabs on one device, on two, or on four
+// produces bit-identical solutions — which is exactly why a migrated
+// slab reproduces the fault-free bits.
+func TestDistributedAssignmentInvariance(t *testing.T) {
+	const m, n = 2, 131
+	b := workload.Batch[float64](workload.DiagDominant, m, n, 7)
+	topo := distTopo(t, 4, gpusim.PCIe2())
+	s, err := NewDistSolver[float64](DistConfig{Topology: topo, Slabs: 4}, m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	solveOn := func(live []int) []float64 {
+		dst := make([]float64, m*n)
+		if _, err := s.SolveOn(context.Background(), dst, b, live); err != nil {
+			t.Fatalf("live=%v: %v", live, err)
+		}
+		return dst
+	}
+	full := solveOn([]int{0, 1, 2, 3})
+	for _, live := range [][]int{{0}, {2}, {1, 3}, {0, 1, 2}} {
+		got := solveOn(live)
+		for i := range got {
+			if got[i] != full[i] {
+				t.Fatalf("live=%v: element %d differs bitwise: %x vs %x",
+					live, i, math.Float64bits(got[i]), math.Float64bits(full[i]))
+			}
+		}
+	}
+}
+
+// TestDistributedDeviceDeath kills one device permanently mid-solve
+// (its first tiledPCR launch and every retry abort) and requires: the
+// solve completes, the result is bitwise identical to the fault-free
+// run, the death surfaced exactly one HealthXID event before
+// completion, and the report names the death and the migrations.
+func TestDistributedDeviceDeath(t *testing.T) {
+	const m, n = 2, 263
+	const victim = 1
+	b := workload.Batch[float64](workload.DiagDominant, m, n, 11)
+
+	solve := func(kill bool) ([]float64, *DistReport, []gpusim.HealthEvent) {
+		topo := distTopo(t, 3, gpusim.NVLinkMesh())
+		if kill {
+			topo.Device(victim).Faults = &gpusim.Injector{
+				Schedule: []gpusim.ScheduledFault{{Kind: gpusim.FaultAbort, Repeat: 1 << 30}},
+			}
+		}
+		var (
+			mu  sync.Mutex
+			evs []gpusim.HealthEvent
+		)
+		s, err := NewDistSolver[float64](DistConfig{
+			Topology: topo,
+			Slabs:    3,
+			Retry:    RetryPolicy{BaseBackoff: time.Microsecond},
+			Health: func(ev gpusim.HealthEvent) {
+				mu.Lock()
+				evs = append(evs, ev)
+				mu.Unlock()
+			},
+		}, m, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		dst := make([]float64, m*n)
+		rep, err := s.SolveInto(context.Background(), dst, b)
+		if err != nil {
+			t.Fatalf("kill=%v: %v", kill, err)
+		}
+		return dst, rep, evs
+	}
+
+	clean, cleanRep, cleanEvs := solve(false)
+	if len(cleanEvs) != 0 || len(cleanRep.Deaths) != 0 {
+		t.Fatalf("fault-free run reported deaths: %+v, events %v", cleanRep, cleanEvs)
+	}
+	got, rep, evs := solve(true)
+	for i := range got {
+		if got[i] != clean[i] {
+			t.Fatalf("element %d differs bitwise from fault-free run: %x vs %x",
+				i, math.Float64bits(got[i]), math.Float64bits(clean[i]))
+		}
+	}
+	if len(rep.Deaths) != 1 || rep.Deaths[0] != victim {
+		t.Errorf("Deaths = %v, want [%d]", rep.Deaths, victim)
+	}
+	if rep.Migrations == 0 {
+		t.Error("no migrations recorded for a mid-solve death")
+	}
+	if len(rep.Degraded) != 0 {
+		t.Errorf("slabs degraded despite live survivors: %v", rep.Degraded)
+	}
+	if len(evs) != 1 {
+		t.Fatalf("got %d health events, want exactly 1: %v", len(evs), evs)
+	}
+	if ev := evs[0]; ev.Kind != gpusim.HealthXID || ev.Device != victim {
+		t.Errorf("health event = %+v, want XID on device %d", ev, victim)
+	}
+	for p, dev := range rep.Devices {
+		if dev == victim {
+			t.Errorf("slab %d still assigned to dead device %d", p, victim)
+		}
+	}
+}
+
+// TestDistributedBacksubDeath kills a device only at the distBacksub
+// kernel, proving phase C is its own recoverable failure domain.
+func TestDistributedBacksubDeath(t *testing.T) {
+	const m, n = 2, 131
+	b := workload.Batch[float64](workload.DiagDominant, m, n, 23)
+	topo := distTopo(t, 2, gpusim.PCIe2())
+	topo.Device(0).Faults = &gpusim.Injector{
+		Schedule: []gpusim.ScheduledFault{{Kernel: "distBacksub", Kind: gpusim.FaultAbort, Repeat: 1 << 30}},
+	}
+	deaths := 0
+	s, err := NewDistSolver[float64](DistConfig{
+		Topology: topo,
+		Slabs:    2,
+		Retry:    RetryPolicy{BaseBackoff: time.Microsecond},
+		Health:   func(gpusim.HealthEvent) { deaths++ },
+	}, m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	dst := make([]float64, m*n)
+	rep, err := s.SolveInto(context.Background(), dst, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deaths != 1 || len(rep.Deaths) != 1 || rep.Deaths[0] != 0 {
+		t.Errorf("backsub death not surfaced: deaths=%d report=%+v", deaths, rep)
+	}
+	ref := gtsvReference(t, b)
+	if e := maxRelErr(dst, ref); e > 1e-10 {
+		t.Errorf("max rel err %.3e after backsub migration", e)
+	}
+}
+
+// TestDistributedDegrade kills every device: with degradation allowed
+// the solve must still complete (host pivoting GTSV) and report every
+// slab degraded; with NoDegrade it must fail with ErrFaulted.
+func TestDistributedDegrade(t *testing.T) {
+	const m, n = 2, 67
+	b := workload.Batch[float64](workload.DiagDominant, m, n, 31)
+	ref := gtsvReference(t, b)
+	build := func(noDegrade bool) *DistSolver[float64] {
+		topo := distTopo(t, 2, gpusim.PCIe2())
+		for i := 0; i < 2; i++ {
+			topo.Device(i).Faults = &gpusim.Injector{
+				Schedule: []gpusim.ScheduledFault{{Kind: gpusim.FaultAbort, Repeat: 1 << 30}},
+			}
+		}
+		s, err := NewDistSolver[float64](DistConfig{
+			Topology: topo,
+			Slabs:    2,
+			Retry:    RetryPolicy{BaseBackoff: time.Microsecond, NoDegrade: noDegrade},
+		}, m, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	s := build(false)
+	defer s.Close()
+	dst := make([]float64, m*n)
+	rep, err := s.SolveInto(context.Background(), dst, b)
+	if err != nil {
+		t.Fatalf("degradable solve failed: %v", err)
+	}
+	if len(rep.Degraded) != 2 || len(rep.Deaths) != 2 {
+		t.Errorf("report = %+v, want both slabs degraded and both devices dead", rep)
+	}
+	if e := maxRelErr(dst, ref); e > 1e-10 {
+		t.Errorf("degraded solve rel err %.3e", e)
+	}
+
+	hard := build(true)
+	defer hard.Close()
+	if _, err := hard.SolveInto(context.Background(), dst, b); !errors.Is(err, ErrFaulted) {
+		t.Errorf("NoDegrade all-dead solve = %v, want ErrFaulted", err)
+	}
+}
+
+// TestDistributedMisuse covers the input validation and single-flight
+// contract.
+func TestDistributedMisuse(t *testing.T) {
+	const m, n = 2, 67
+	topo := distTopo(t, 2, gpusim.PCIe2())
+	if _, err := NewDistSolver[float64](DistConfig{}, m, n); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, err := NewDistSolver[float64](DistConfig{Topology: topo, Slabs: 40}, m, n); err == nil {
+		t.Error("over-wide partition accepted")
+	}
+	s, err := NewDistSolver[float64](DistConfig{Topology: topo}, m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := workload.Batch[float64](workload.DiagDominant, m, n, 1)
+	dst := make([]float64, m*n)
+	if _, err := s.SolveOn(context.Background(), dst, b, nil); !errors.Is(err, ErrNoLiveDevices) {
+		t.Errorf("empty live set = %v, want ErrNoLiveDevices", err)
+	}
+	if _, err := s.SolveOn(context.Background(), dst, b, []int{5}); err == nil {
+		t.Error("out-of-range live device accepted")
+	}
+	if _, err := s.SolveInto(context.Background(), dst[:1], b); !errors.Is(err, ErrShapeMismatch) {
+		t.Error("short dst accepted")
+	}
+	wrong := workload.Batch[float64](workload.DiagDominant, m, n+1, 1)
+	if _, err := s.SolveInto(context.Background(), make([]float64, m*(n+1)), wrong); !errors.Is(err, ErrShapeMismatch) {
+		t.Error("wrong-shape batch accepted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("repeat Close: %v", err)
+	}
+	if _, err := s.SolveInto(context.Background(), dst, b); !errors.Is(err, ErrDistClosed) {
+		t.Errorf("solve after Close = %v, want ErrDistClosed", err)
+	}
+}
+
+// TestDistributedCancellation parks a dying solve in its migration
+// backoff and cancels it; the solve must return promptly with an error
+// matching both ErrCancelled and the context error.
+func TestDistributedCancellation(t *testing.T) {
+	const m, n = 2, 131
+	b := workload.Batch[float64](workload.DiagDominant, m, n, 3)
+	topo := distTopo(t, 2, gpusim.PCIe2())
+	topo.Device(0).Faults = &gpusim.Injector{
+		Schedule: []gpusim.ScheduledFault{{Kind: gpusim.FaultAbort, Repeat: 1 << 30}},
+	}
+	s, err := NewDistSolver[float64](DistConfig{
+		Topology: topo,
+		Slabs:    2,
+		Retry:    RetryPolicy{MaxRetries: 10, BaseBackoff: time.Second, MaxBackoff: time.Minute},
+	}, m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	dst := make([]float64, m*n)
+	start := time.Now()
+	_, err = s.SolveOn(ctx, dst, b, []int{0, 1})
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("cancellation took %v, want prompt return from backoff", el)
+	}
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("cancelled solve = %v, want ErrCancelled and DeadlineExceeded", err)
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import "fmt"
+
+// Slab is one contiguous block of rows [Start, End) of a partitioned
+// tridiagonal system, owned by one device of a distributed solve.
+// Adjacent slabs are separated by a single separator row (global index
+// End for every slab but the last), which belongs to no slab: the
+// separator unknowns form the reduced interface system.
+type Slab struct {
+	Start, End int
+}
+
+// Len returns the slab's row count.
+func (s Slab) Len() int { return s.End - s.Start }
+
+// Partition splits an N-row tridiagonal system into D slabs and D-1
+// separator rows:
+//
+//	rows: [slab 0][sep 0][slab 1][sep 1]...[sep D-2][slab D-1]
+//
+// The layout is a pure function of (N, slab sizes) — never of which
+// device executes which slab — which is what makes a distributed solve
+// bitwise independent of device assignment: migrating a slab to a
+// survivor after a device death reproduces the fault-free bits.
+type Partition struct {
+	N     int
+	Slabs []Slab
+}
+
+// NewPartition builds a balanced partition of n rows into `slabs`
+// slabs: interior rows are split as evenly as possible (earlier slabs
+// take the remainder). Requires n >= 2*slabs-1 so every slab has at
+// least one row.
+func NewPartition(n, slabs int) (Partition, error) {
+	if slabs <= 0 {
+		return Partition{}, fmt.Errorf("core: partition needs at least 1 slab, got %d", slabs)
+	}
+	if n < 2*slabs-1 {
+		return Partition{}, fmt.Errorf("core: cannot cut %d rows into %d slabs (need >= %d rows)", n, slabs, 2*slabs-1)
+	}
+	interior := n - (slabs - 1)
+	base, rem := interior/slabs, interior%slabs
+	sizes := make([]int, slabs)
+	for i := range sizes {
+		sizes[i] = base
+		if i < rem {
+			sizes[i]++
+		}
+	}
+	return PartitionSizes(n, sizes)
+}
+
+// PartitionSizes builds a partition from explicit slab lengths. The
+// lengths plus the len(sizes)-1 separator rows must sum to exactly n,
+// and every length must be positive.
+func PartitionSizes(n int, sizes []int) (Partition, error) {
+	if len(sizes) == 0 {
+		return Partition{}, fmt.Errorf("core: partition needs at least 1 slab")
+	}
+	if n <= 0 {
+		return Partition{}, fmt.Errorf("core: partition needs positive row count, got %d", n)
+	}
+	p := Partition{N: n, Slabs: make([]Slab, len(sizes))}
+	at := 0
+	for i, sz := range sizes {
+		if sz <= 0 {
+			return Partition{}, fmt.Errorf("core: slab %d has non-positive length %d", i, sz)
+		}
+		p.Slabs[i] = Slab{Start: at, End: at + sz}
+		at += sz + 1 // skip the separator row after this slab
+	}
+	// The loop skipped a separator after the last slab too: at is
+	// last.End + 1, so coverage demands at == n + 1.
+	if at != n+1 {
+		return Partition{}, fmt.Errorf("core: slab sizes %v + %d separators cover %d rows, want %d",
+			sizes, len(sizes)-1, at-1, n)
+	}
+	return p, nil
+}
+
+// NumSlabs returns the slab count D.
+func (p Partition) NumSlabs() int { return len(p.Slabs) }
+
+// NumSeparators returns D-1, the order of the reduced interface system.
+func (p Partition) NumSeparators() int { return len(p.Slabs) - 1 }
+
+// Separator returns the global row index of separator i (between slab
+// i and slab i+1).
+func (p Partition) Separator(i int) int { return p.Slabs[i].End }
+
+// Validate re-checks the structural invariants (exact cover, ordered
+// non-empty slabs, single-row separators). A Partition built by
+// NewPartition or PartitionSizes always validates; the fuzz harness
+// calls this on every construction.
+func (p Partition) Validate() error {
+	if len(p.Slabs) == 0 {
+		return fmt.Errorf("core: partition has no slabs")
+	}
+	if p.Slabs[0].Start != 0 {
+		return fmt.Errorf("core: first slab starts at %d, want 0", p.Slabs[0].Start)
+	}
+	for i, s := range p.Slabs {
+		if s.Len() <= 0 {
+			return fmt.Errorf("core: slab %d is empty: %+v", i, s)
+		}
+		if i > 0 && s.Start != p.Slabs[i-1].End+1 {
+			return fmt.Errorf("core: slab %d starts at %d, want separator-adjacent %d",
+				i, s.Start, p.Slabs[i-1].End+1)
+		}
+	}
+	if last := p.Slabs[len(p.Slabs)-1].End; last != p.N {
+		return fmt.Errorf("core: last slab ends at %d, want %d", last, p.N)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package core
+
+import "testing"
+
+func TestNewPartitionBalanced(t *testing.T) {
+	p, err := NewPartition(100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSlabs() != 4 || p.NumSeparators() != 3 {
+		t.Fatalf("got %d slabs / %d separators", p.NumSlabs(), p.NumSeparators())
+	}
+	// 97 interior rows over 4 slabs: 25,24,24,24.
+	wantLens := []int{25, 24, 24, 24}
+	for i, s := range p.Slabs {
+		if s.Len() != wantLens[i] {
+			t.Errorf("slab %d len %d, want %d", i, s.Len(), wantLens[i])
+		}
+	}
+	for i := 0; i < p.NumSeparators(); i++ {
+		sep := p.Separator(i)
+		if sep != p.Slabs[i].End || sep+1 != p.Slabs[i+1].Start {
+			t.Errorf("separator %d at %d not between slabs %v %v", i, sep, p.Slabs[i], p.Slabs[i+1])
+		}
+	}
+}
+
+func TestPartitionEdges(t *testing.T) {
+	if p, err := NewPartition(7, 1); err != nil || p.Slabs[0].Len() != 7 {
+		t.Errorf("single-slab partition: %v %+v", err, p)
+	}
+	// Minimum viable: n = 2D-1 gives all length-1 slabs.
+	p, err := NewPartition(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range p.Slabs {
+		if s.Len() != 1 {
+			t.Errorf("slab %d len %d, want 1", i, s.Len())
+		}
+	}
+	if _, err := NewPartition(6, 4); err == nil {
+		t.Error("accepted n < 2D-1")
+	}
+	if _, err := NewPartition(10, 0); err == nil {
+		t.Error("accepted zero slabs")
+	}
+	if _, err := PartitionSizes(10, []int{3, 3, 3}); err == nil {
+		t.Error("accepted sizes that do not cover n")
+	}
+	if _, err := PartitionSizes(5, []int{3, 0, 1}); err == nil {
+		t.Error("accepted empty slab")
+	}
+	if p, err := PartitionSizes(10, []int{2, 5, 1}); err != nil || p.Validate() != nil {
+		t.Errorf("rejected valid explicit sizes: %v", err)
+	}
+}

@@ -524,7 +524,7 @@ func (p *Pipeline[T]) recordLaunch(st *gpusim.Stats, name string, slot, tpb, gri
 		}
 		w.wf.retries[slot]++
 		w.wf.retryBlk[slot] += grid
-		if err := sleepBackoff(p.ctx, p.cfg.Retry.backoff(attempt)); err != nil {
+		if err := sleepBackoff(p.ctx, p.cfg.Retry.backoff(attempt, 0)); err != nil {
 			return cancelled(err)
 		}
 	}
@@ -614,7 +614,10 @@ func (p *Pipeline[T]) runShardFT(w *pipeWorker[T]) error {
 		}
 		w.wf.retries[slot]++
 		w.wf.retryBlk[slot] += p.shardBlocks(w, slot)
-		if err := sleepBackoff(p.ctx, p.cfg.Retry.backoff(attempt)); err != nil {
+		// The shard's first unit indexes the jitter hash, so concurrent
+		// shards that fault on the same attempt back off apart.
+		salt := uint64(w.firstSys)<<32 | uint64(w.firstBlk) + 1
+		if err := sleepBackoff(p.ctx, p.cfg.Retry.backoff(attempt, salt)); err != nil {
 			return cancelled(err)
 		}
 	}

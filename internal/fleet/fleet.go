@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"gputrid"
+	"gputrid/internal/core"
 	"gputrid/internal/gpusim"
 )
 
@@ -97,6 +98,16 @@ type Config struct {
 	// ScaleCooldown is the minimum time between scaling actions;
 	// 0 means 1s.
 	ScaleCooldown time.Duration
+
+	// DistTopology is the simulated multi-device fabric for
+	// SolveDistributed; topology device i is fleet device i, so it must
+	// have exactly Devices devices. nil means an NVLink-mesh of GTX480s
+	// is built on first use. Scenarios supply their own topology to
+	// schedule per-device fault injection.
+	DistTopology *gpusim.Topology
+	// DistRetry bounds per-slab recovery in distributed solves (see
+	// core.DistConfig.Retry). The zero value is the production default.
+	DistRetry core.RetryPolicy
 }
 
 func (c Config) initialActive() int {
@@ -180,6 +191,10 @@ type Stats struct {
 	BuildFailures uint64
 	// Events is the cumulative injected health-event count.
 	Events uint64
+	// Distributed-solve counters: solves completed, devices declared
+	// dead mid-solve, slabs migrated to survivors, slabs degraded to
+	// the host path.
+	DistSolves, DistDeaths, DistMigrations, DistDegraded uint64
 }
 
 // Fleet is the control plane over N device failure domains. All
@@ -208,6 +223,11 @@ type Fleet struct {
 	served, rejected, rerouted, noDevice               atomic.Uint64
 	cordons, heals, scaleUps, scaleDowns, forcedDrains atomic.Uint64
 	buildFailures                                      atomic.Uint64
+
+	// dist is the lazily built distributed-solve plane (see
+	// distributed.go).
+	dist                                                 distPlane
+	distSolves, distDeaths, distMigrations, distDegraded atomic.Uint64
 }
 
 // New builds the fleet: InitialActive devices get live pools, the rest
@@ -215,6 +235,10 @@ type Fleet struct {
 func New(cfg Config) (*Fleet, error) {
 	if cfg.Devices < 1 || cfg.Devices > 64 {
 		return nil, fmt.Errorf("fleet: Devices = %d, want 1..64", cfg.Devices)
+	}
+	if cfg.DistTopology != nil && cfg.DistTopology.NumDevices() != cfg.Devices {
+		return nil, fmt.Errorf("fleet: DistTopology has %d devices, want Devices = %d",
+			cfg.DistTopology.NumDevices(), cfg.Devices)
 	}
 	clock := cfg.Clock
 	if clock == nil {
@@ -537,18 +561,22 @@ func (f *Fleet) Quiesce() { f.drains.Wait() }
 // Stats snapshots the fleet.
 func (f *Fleet) Stats() Stats {
 	s := Stats{
-		InFlight:      f.inflightTotal.Load(),
-		Served:        f.served.Load(),
-		Rejected:      f.rejected.Load(),
-		Rerouted:      f.rerouted.Load(),
-		NoDevice:      f.noDevice.Load(),
-		Cordons:       f.cordons.Load(),
-		Heals:         f.heals.Load(),
-		ScaleUps:      f.scaleUps.Load(),
-		ScaleDowns:    f.scaleDowns.Load(),
-		ForcedDrains:  f.forcedDrains.Load(),
-		BuildFailures: f.buildFailures.Load(),
-		Events:        f.feed.Injected(),
+		InFlight:       f.inflightTotal.Load(),
+		Served:         f.served.Load(),
+		Rejected:       f.rejected.Load(),
+		Rerouted:       f.rerouted.Load(),
+		NoDevice:       f.noDevice.Load(),
+		Cordons:        f.cordons.Load(),
+		Heals:          f.heals.Load(),
+		ScaleUps:       f.scaleUps.Load(),
+		ScaleDowns:     f.scaleDowns.Load(),
+		ForcedDrains:   f.forcedDrains.Load(),
+		BuildFailures:  f.buildFailures.Load(),
+		Events:         f.feed.Injected(),
+		DistSolves:     f.distSolves.Load(),
+		DistDeaths:     f.distDeaths.Load(),
+		DistMigrations: f.distMigrations.Load(),
+		DistDegraded:   f.distDegraded.Load(),
 	}
 	type liveDev struct {
 		i  int
@@ -631,6 +659,7 @@ func (f *Fleet) Close(ctx context.Context) error {
 	}
 	wg.Wait()
 	f.drains.Wait()
+	f.closeDistributed()
 	if alreadyClosed {
 		return nil
 	}

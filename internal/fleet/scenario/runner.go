@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gputrid"
+	"gputrid/internal/core"
 	"gputrid/internal/fleet"
 	"gputrid/internal/gpusim"
 	"gputrid/internal/workload"
@@ -29,6 +30,9 @@ type Report struct {
 	Incorrect int
 	// DeviceRoute / FallbackRoute split Served by serving path.
 	DeviceRoute, FallbackRoute int
+	// DistFailed counts distributed solves that returned an error (a
+	// completed-but-wrong distributed solve counts into Incorrect).
+	DistFailed int
 	// Stats is the fleet's final snapshot.
 	Stats fleet.Stats
 	// Failures lists violated assertions; Timeline is the narrative
@@ -52,6 +56,10 @@ func (r *Report) Summary() string {
 		r.Ticks, r.Issued, r.Served, r.DeviceRoute, r.FallbackRoute, r.Rejected, r.Incorrect)
 	fmt.Fprintf(&sb, "  cordons %d, heals %d, reroutes %d, scale up/down %d/%d, forced drains %d\n",
 		r.Stats.Cordons, r.Stats.Heals, r.Stats.Rerouted, r.Stats.ScaleUps, r.Stats.ScaleDowns, r.Stats.ForcedDrains)
+	if r.Stats.DistSolves > 0 || r.DistFailed > 0 {
+		fmt.Fprintf(&sb, "  distributed: %d solved, %d failed, %d deaths, %d migrations, %d degraded\n",
+			r.Stats.DistSolves, r.DistFailed, r.Stats.DistDeaths, r.Stats.DistMigrations, r.Stats.DistDegraded)
+	}
 	for _, d := range r.Stats.Devices {
 		fmt.Fprintf(&sb, "  device %d: %s (served %d, failed %d)\n", d.ID, d.State, d.Served, d.Failed)
 	}
@@ -100,9 +108,12 @@ func Run(sc *Scenario, logf func(format string, args ...any)) (*Report, error) {
 		logf = func(string, ...any) {}
 	}
 	rep := &Report{Scenario: sc.Name}
+	var sayMu sync.Mutex // the distributed-solve goroutine narrates too
 	say := func(format string, args ...any) {
 		line := fmt.Sprintf(format, args...)
+		sayMu.Lock()
 		rep.Timeline = append(rep.Timeline, line)
+		sayMu.Unlock()
 		logf("%s", line)
 	}
 
@@ -122,6 +133,43 @@ func Run(sc *Scenario, logf func(format string, args ...any)) (*Report, error) {
 			return nil, fmt.Errorf("scenario %s: pivot reference %d: %w", sc.Name, v, err)
 		}
 		batches[v], deviceRef[v], cpuRef[v] = b, res.X, x
+	}
+
+	// Distributed stanza: the fault-free reference is the same
+	// distributed solve on a clean topology of the same width — the
+	// bitwise contract says deaths and migrations must reproduce these
+	// exact bits. The run's own topology arms each victim with a
+	// permanent abort, so it dies on its first kernel launch of the
+	// solve and stays dead for every retry.
+	var distTopo *gpusim.Topology
+	var distBatch *gputrid.Batch[float64]
+	var distRef []float64
+	if ds := sc.Distributed; ds != nil {
+		distBatch = workload.Batch[float64](workload.DiagDominant, ds.M, ds.N, sc.Seed*31+17)
+		clean, err := gpusim.UniformTopology(sc.Devices, gpusim.NVLinkMesh(), gpusim.GTX480())
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: distributed reference topology: %w", sc.Name, err)
+		}
+		refSolver, err := core.NewDistSolver[float64](core.DistConfig{
+			Topology: clean, Slabs: sc.Devices,
+		}, ds.M, ds.N)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: distributed reference solver: %w", sc.Name, err)
+		}
+		distRef = make([]float64, ds.M*ds.N)
+		if _, err := refSolver.SolveInto(context.Background(), distRef, distBatch); err != nil {
+			return nil, fmt.Errorf("scenario %s: distributed reference solve: %w", sc.Name, err)
+		}
+		_ = refSolver.Close()
+		distTopo, err = gpusim.UniformTopology(sc.Devices, gpusim.NVLinkMesh(), gpusim.GTX480())
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: distributed topology: %w", sc.Name, err)
+		}
+		for _, v := range ds.Victims {
+			distTopo.Device(v).Faults = &gpusim.Injector{
+				Schedule: []gpusim.ScheduledFault{{Kind: gpusim.FaultAbort, Repeat: 1 << 30}},
+			}
+		}
 	}
 
 	// The factory builds each device's real serving pool, wrapped in a
@@ -164,6 +212,7 @@ func Run(sc *Scenario, logf func(format string, args ...any)) (*Report, error) {
 		RerouteAttempts:   sc.RerouteAttempts,
 		ScaleUpAt:         sc.ScaleUpAt,
 		ScaleDownAt:       sc.ScaleDownAt,
+		DistTopology:      distTopo,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
@@ -200,6 +249,9 @@ func Run(sc *Scenario, logf func(format string, args ...any)) (*Report, error) {
 	var carry float64 // fractional requests carried between ticks
 	nextEv := 0
 	reqID := 0
+	var distWG sync.WaitGroup
+	var distFailed atomic.Int64
+	distLaunched := false
 	for t := 0; t < ticks; t++ {
 		now := time.Duration(t) * sc.Tick
 
@@ -246,6 +298,42 @@ func Run(sc *Scenario, logf func(format string, args ...any)) (*Report, error) {
 		close(start)
 		rep.Issued += n
 
+		// 1b. Launch the distributed solve when its instant arrives,
+		// then busy-wait (event-driven, no sleeps) until every armed
+		// victim's death has surfaced in the health feed. The regular
+		// Tick below therefore cordons the victims *while the
+		// distributed solve is still in flight* — the issue's central
+		// claim — and the solve's own migration machinery finishes the
+		// answer on the survivors.
+		if ds := sc.Distributed; ds != nil && !distLaunched && now >= ds.At {
+			distLaunched = true
+			eventsBase := fl.Stats().Events
+			say("t=%v: launch distributed solve %dx%d, %d victims armed", now, ds.M, ds.N, len(ds.Victims))
+			distWG.Add(1)
+			go func() {
+				defer distWG.Done()
+				res, err := fl.SolveDistributed(context.Background(), distBatch)
+				if err != nil {
+					distFailed.Add(1)
+					say("distributed solve failed: %v", err)
+					return
+				}
+				for i := range distRef {
+					if res.X[i] != distRef[i] {
+						incorrect.Add(1)
+						say("distributed solve diverged from fault-free reference at element %d", i)
+						return
+					}
+				}
+			}()
+			for fl.Stats().Events < eventsBase+uint64(len(ds.Victims)) {
+				runtime.Gosched()
+			}
+			if len(ds.Victims) > 0 {
+				say("t=%v: %d device death(s) surfaced mid-solve", now, len(ds.Victims))
+			}
+		}
+
 		// 2. Admission barrier: wait (event-driven, no sleeps) until
 		// every request of the interval has been routed to a device
 		// (counted in-flight) or already finished. Two things depend on
@@ -280,9 +368,11 @@ func Run(sc *Scenario, logf func(format string, args ...any)) (*Report, error) {
 		}
 
 		// 4. Settle the interval: requests complete (re-routing off any
-		// device cordoned above), drains land. No wall-clock sleeps —
-		// both waits are event-driven.
+		// device cordoned above), drains land, the distributed solve
+		// (if launched this tick) delivers its recovered answer. No
+		// wall-clock sleeps — all waits are event-driven.
 		wg.Wait()
+		distWG.Wait()
 		fl.Quiesce()
 		vc.Advance(sc.Tick)
 		rep.Ticks++
@@ -300,6 +390,7 @@ func Run(sc *Scenario, logf func(format string, args ...any)) (*Report, error) {
 	rep.Incorrect = int(incorrect.Load())
 	rep.DeviceRoute = int(devRoute.Load())
 	rep.FallbackRoute = int(fbRoute.Load())
+	rep.DistFailed = int(distFailed.Load())
 	rep.Stats = fl.Stats()
 	evaluate(sc, rep)
 	say("t=%v: done — %d served, %d rejected, %d incorrect, cordons %d, heals %d",
@@ -341,6 +432,21 @@ func evaluate(sc *Scenario, rep *Report) {
 	}
 	if int(rep.Stats.Rerouted) < a.MinRerouted {
 		fail("reroutes = %d < min_rerouted %d (the failure never hit live traffic?)", rep.Stats.Rerouted, a.MinRerouted)
+	}
+	// Like Incorrect, a failed distributed solve is unconditionally a
+	// scenario failure: the whole point of the recovery machinery is
+	// that device death never fails the solve.
+	if rep.DistFailed != 0 {
+		fail("%d distributed solves failed", rep.DistFailed)
+	}
+	if int(rep.Stats.DistSolves) < a.MinDistSolves {
+		fail("distributed solves = %d < min_dist_solves %d", rep.Stats.DistSolves, a.MinDistSolves)
+	}
+	if a.DistDeaths != nil && int(rep.Stats.DistDeaths) != *a.DistDeaths {
+		fail("distributed deaths = %d, want %d", rep.Stats.DistDeaths, *a.DistDeaths)
+	}
+	if int(rep.Stats.DistMigrations) < a.MinDistMigrations {
+		fail("distributed migrations = %d < min_dist_migrations %d", rep.Stats.DistMigrations, a.MinDistMigrations)
 	}
 	for _, fs := range a.FinalStates {
 		got := rep.Stats.Devices[fs.Device].State.String()

@@ -39,6 +39,37 @@ func TestDeviceDeathScenario(t *testing.T) {
 	t.Logf("\n%s", rep.Summary())
 }
 
+// TestDistributedDeviceDeathScenario is the distributed acceptance
+// scenario: a huge-N batch is solved across all three devices' slice
+// of the interconnect fabric while device 1 is armed to die on its
+// first kernel launch of the solve. The solve must complete bitwise
+// identical to the fault-free reference (verified unconditionally by
+// the runner), the death must surface mid-solve so the next tick
+// cordons the device while the solve is in flight, and the serving
+// plane must stay correct throughout.
+func TestDistributedDeviceDeathScenario(t *testing.T) {
+	rep, err := RunFile("testdata/distributed_device_death.yaml", t.Logf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("scenario failed:\n%s", rep.Summary())
+	}
+	if rep.Incorrect != 0 || rep.DistFailed != 0 {
+		t.Fatalf("incorrect %d / distributed failures %d, want 0/0", rep.Incorrect, rep.DistFailed)
+	}
+	if rep.Stats.DistSolves != 1 || rep.Stats.DistDeaths != 1 {
+		t.Fatalf("dist solves/deaths = %d/%d, want 1/1", rep.Stats.DistSolves, rep.Stats.DistDeaths)
+	}
+	if rep.Stats.DistMigrations == 0 {
+		t.Fatal("no slab migrations: the death cost no live work")
+	}
+	if st := rep.Stats.Devices[1].State; st != fleet.StateDead {
+		t.Fatalf("device 1 final state = %v, want dead", st)
+	}
+	t.Logf("\n%s", rep.Summary())
+}
+
 // TestThermalAutoscaleScenario: a load surge scales standby capacity
 // in, a thermal throttle deprioritizes (never drains) a device, and
 // the post-surge lull scales back down.

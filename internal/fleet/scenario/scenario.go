@@ -55,8 +55,30 @@ type Scenario struct {
 	// Events is the health-event timeline, applied in `At` order.
 	Events []Event
 
+	// Distributed, when non-nil, launches one huge-N distributed solve
+	// across the fleet's simulated interconnect fabric mid-run.
+	Distributed *DistSpec
+
 	// Assert is evaluated after the run.
 	Assert Assertions
+}
+
+// DistSpec is the scenario's distributed-solve stanza: one batch of
+// shape M×N is solved across every servable device at virtual time At,
+// with the listed topology devices armed to die permanently on their
+// first kernel launch of the solve. The runner busy-waits until every
+// armed death has surfaced in the health feed, then runs the control
+// loop — so the cordon provably lands while the distributed solve is
+// still in flight — and verifies the completed solution bitwise
+// against a fault-free reference.
+type DistSpec struct {
+	// M, N shape the distributed batch; N should dwarf the serving
+	// shape (that is the point of distributing).
+	M, N int
+	// At is the launch instant (virtual time).
+	At time.Duration
+	// Victims lists the topology devices armed to die mid-solve.
+	Victims []int
 }
 
 // LoadPhase offers `RPS` requests per virtual second over [From, To).
@@ -101,6 +123,14 @@ type Assertions struct {
 	// MinRerouted, when set, demands at least that many re-routes
 	// (proving the death actually happened under traffic).
 	MinRerouted int
+	// MinDistSolves demands at least that many completed distributed
+	// solves; DistDeaths, when set, pins the exact number of devices
+	// declared dead mid-distributed-solve; MinDistMigrations demands at
+	// least that many slab migrations (proving the deaths cost live
+	// work, not idle slabs).
+	MinDistSolves     int
+	DistDeaths        *int
+	MinDistMigrations int
 	// FinalStates pins device states at the end of the run.
 	FinalStates []FinalState
 }
@@ -199,6 +229,29 @@ func Decode(data []byte) (*Scenario, error) {
 	}
 	sort.SliceStable(sc.Events, func(i, j int) bool { return sc.Events[i].At < sc.Events[j].At })
 
+	if v := top.child("distributed"); v != nil {
+		ds := d.section(v, "distributed")
+		spec := &DistSpec{
+			M:  ds.num("m", 2),
+			N:  ds.num("n", 1025),
+			At: ds.dur("at", 0),
+		}
+		for i, item := range ds.list("victims") {
+			str, ok := item.(string)
+			if !ok {
+				d.fail("distributed.victims[%d]: expected a device index", i)
+				continue
+			}
+			n, err := strconv.Atoi(str)
+			if err != nil {
+				d.fail("distributed.victims[%d]: %q is not an integer", i, str)
+				continue
+			}
+			spec.Victims = append(spec.Victims, n)
+		}
+		sc.Distributed = spec
+	}
+
 	as := d.section(top.child("assert"), "assert")
 	sc.Assert.MinServed = as.num("min_served", 0)
 	sc.Assert.MaxRejectedFrac, sc.Assert.rejectedSet = 1, false
@@ -214,6 +267,11 @@ func Decode(data []byte) (*Scenario, error) {
 	sc.Assert.MinScaleUps = as.num("min_scale_ups", 0)
 	sc.Assert.MinScaleDowns = as.num("min_scale_downs", 0)
 	sc.Assert.MinRerouted = as.num("min_rerouted", 0)
+	sc.Assert.MinDistSolves = as.num("min_dist_solves", 0)
+	if n, ok := as.numOpt("dist_deaths"); ok {
+		sc.Assert.DistDeaths = &n
+	}
+	sc.Assert.MinDistMigrations = as.num("min_dist_migrations", 0)
 	for i, item := range as.list("final_states") {
 		fs := d.section(item, fmt.Sprintf("assert.final_states[%d]", i))
 		sc.Assert.FinalStates = append(sc.Assert.FinalStates, FinalState{
@@ -252,6 +310,22 @@ func (sc *Scenario) validate() error {
 	for _, fs := range sc.Assert.FinalStates {
 		if fs.Device < 0 || fs.Device >= sc.Devices {
 			return fmt.Errorf("scenario: final_states device %d out of range", fs.Device)
+		}
+	}
+	if ds := sc.Distributed; ds != nil {
+		if ds.M < 1 || ds.N < 2*sc.Devices-1 {
+			return fmt.Errorf("scenario: distributed shape %dx%d too small for %d slabs", ds.M, ds.N, sc.Devices)
+		}
+		if ds.At < 0 || ds.At >= sc.Duration {
+			return fmt.Errorf("scenario: distributed.at %v outside the run", ds.At)
+		}
+		for _, v := range ds.Victims {
+			if v < 0 || v >= sc.Devices {
+				return fmt.Errorf("scenario: distributed victim %d out of range", v)
+			}
+		}
+		if len(ds.Victims) >= sc.Devices {
+			return fmt.Errorf("scenario: all %d devices are victims — no survivor to migrate to", sc.Devices)
 		}
 	}
 	return nil

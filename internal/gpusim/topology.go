@@ -1,0 +1,298 @@
+package gpusim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Link models one interconnect link as the usual latency + bandwidth
+// first-order cost: moving b bytes takes Latency + b/Bandwidth seconds.
+// Bandwidth is bytes per second, Latency seconds per transfer.
+type Link struct {
+	Bandwidth float64
+	Latency   float64
+}
+
+// TransferTime returns the modeled seconds to move bytes over the link.
+// A zero-byte transfer is free — no message, no latency.
+func (l Link) TransferTime(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return l.Latency + float64(bytes)/l.Bandwidth
+}
+
+// validate reports configuration errors.
+func (l Link) validate(name string) error {
+	if l.Bandwidth <= 0 {
+		return fmt.Errorf("gpusim: %s link: Bandwidth must be positive", name)
+	}
+	if l.Latency < 0 {
+		return fmt.Errorf("gpusim: %s link: negative Latency", name)
+	}
+	return nil
+}
+
+// Interconnect describes how the devices of a Topology talk to the host
+// and to each other. Host is the per-device host link (PCIe-like);
+// Peer, when non-nil, is a direct device-to-device link (NVLink-like).
+// Without a peer link, device-to-device copies stage through host
+// memory and pay the host link twice.
+type Interconnect struct {
+	Name string
+	Host Link
+	Peer *Link
+}
+
+// Validate reports configuration errors.
+func (ic Interconnect) Validate() error {
+	if err := ic.Host.validate("host"); err != nil {
+		return err
+	}
+	if ic.Peer != nil {
+		if err := ic.Peer.validate("peer"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PCIe2 returns the Fermi-era interconnect matching the paper's test
+// rig: PCIe 2.0 x16 (8 GB/s theoretical, ~6 GB/s sustained) with no
+// peer-to-peer path, so device-to-device traffic stages through the
+// host.
+func PCIe2() Interconnect {
+	return Interconnect{
+		Name: "pcie2-x16",
+		Host: Link{Bandwidth: 6e9, Latency: 10e-6},
+	}
+}
+
+// NVLinkMesh returns a modern interconnect: PCIe 3.0 x16 host links
+// (~12 GB/s sustained) plus an all-to-all NVLink-class peer mesh
+// (~45 GB/s per direction, 2µs latency).
+func NVLinkMesh() Interconnect {
+	return Interconnect{
+		Name: "nvlink-mesh",
+		Host: Link{Bandwidth: 12e9, Latency: 5e-6},
+		Peer: &Link{Bandwidth: 45e9, Latency: 2e-6},
+	}
+}
+
+// CommStats aggregates the interconnect traffic a Topology has charged:
+// transfer counts, bytes, and modeled seconds, split by host-link and
+// peer-link traffic. Seconds are per-link busy time, not wall time —
+// transfers on distinct devices' links overlap.
+type CommStats struct {
+	Transfers     int64
+	HaloExchanges int64
+	HostBytes     int64
+	PeerBytes     int64
+	HostSeconds   float64
+	PeerSeconds   float64
+}
+
+// TotalBytes sums traffic over both link classes.
+func (c CommStats) TotalBytes() int64 { return c.HostBytes + c.PeerBytes }
+
+// TotalSeconds sums modeled link-busy seconds over both link classes.
+func (c CommStats) TotalSeconds() float64 { return c.HostSeconds + c.PeerSeconds }
+
+// Sub returns c minus prev, for per-solve deltas of a shared topology.
+func (c CommStats) Sub(prev CommStats) CommStats {
+	return CommStats{
+		Transfers:     c.Transfers - prev.Transfers,
+		HaloExchanges: c.HaloExchanges - prev.HaloExchanges,
+		HostBytes:     c.HostBytes - prev.HostBytes,
+		PeerBytes:     c.PeerBytes - prev.PeerBytes,
+		HostSeconds:   c.HostSeconds - prev.HostSeconds,
+		PeerSeconds:   c.PeerSeconds - prev.PeerSeconds,
+	}
+}
+
+// Topology is a set of simulated devices joined by an interconnect.
+// Kernel execution stays a per-Device concern (including per-device
+// fault injection through Device.Faults); the topology adds the part a
+// single device cannot model — what moving data between failure
+// domains costs. Every transfer method returns the modeled seconds of
+// the move and records it into the topology's CommStats. All methods
+// are safe for concurrent use.
+type Topology struct {
+	ic   Interconnect
+	devs []*Device
+
+	mu   sync.Mutex
+	comm CommStats
+}
+
+// NewTopology builds a topology over the given devices. The device
+// values are used as-is (not cloned), so callers may attach per-device
+// injectors before or after construction.
+func NewTopology(ic Interconnect, devs ...*Device) (*Topology, error) {
+	if err := ic.Validate(); err != nil {
+		return nil, err
+	}
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("gpusim: topology needs at least one device")
+	}
+	for i, d := range devs {
+		if d == nil {
+			return nil, fmt.Errorf("gpusim: topology device %d is nil", i)
+		}
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("gpusim: topology device %d: %w", i, err)
+		}
+	}
+	return &Topology{ic: ic, devs: devs}, nil
+}
+
+// UniformTopology builds an n-device topology of independent copies of
+// proto. Each copy starts with no fault injector, so per-device faults
+// can be scheduled without affecting siblings.
+func UniformTopology(n int, ic Interconnect, proto *Device) (*Topology, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gpusim: topology needs at least one device, got %d", n)
+	}
+	if proto == nil {
+		proto = GTX480()
+	}
+	devs := make([]*Device, n)
+	for i := range devs {
+		d := *proto
+		d.Faults = nil
+		d.Name = fmt.Sprintf("%s#%d", proto.Name, i)
+		devs[i] = &d
+	}
+	return NewTopology(ic, devs...)
+}
+
+// NumDevices returns the device count.
+func (t *Topology) NumDevices() int { return len(t.devs) }
+
+// Device returns device i.
+func (t *Topology) Device(i int) *Device { return t.devs[i] }
+
+// Interconnect returns the topology's interconnect description.
+func (t *Topology) Interconnect() Interconnect { return t.ic }
+
+// HostToDevice charges an upload of bytes to device dev and returns
+// the modeled seconds it takes.
+func (t *Topology) HostToDevice(dev int, bytes int64) float64 {
+	return t.chargeHost(bytes)
+}
+
+// DeviceToHost charges a download of bytes from device dev and returns
+// the modeled seconds it takes.
+func (t *Topology) DeviceToHost(dev int, bytes int64) float64 {
+	return t.chargeHost(bytes)
+}
+
+// PeerCopy charges a device-to-device copy. Over a peer link it is one
+// transfer; without one it stages through the host and pays the host
+// link in both directions.
+func (t *Topology) PeerCopy(from, to int, bytes int64) float64 {
+	return t.peerCopy(bytes)
+}
+
+// HaloExchange charges the neighbor exchange between adjacent slabs:
+// both devices send bytes to each other simultaneously. Links are
+// full-duplex, so the exchange takes one direction's time, but both
+// directions' bytes are recorded.
+func (t *Topology) HaloExchange(left, right int, bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	oneWay := t.peerCopy(bytes)
+	t.mu.Lock()
+	t.comm.HaloExchanges++
+	// Record the reverse direction's bytes without its (overlapped) time.
+	if t.ic.Peer != nil {
+		t.comm.PeerBytes += bytes
+	} else {
+		t.comm.HostBytes += 2 * bytes
+	}
+	t.mu.Unlock()
+	return oneWay
+}
+
+// Comm returns a snapshot of the accumulated communication statistics.
+func (t *Topology) Comm() CommStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.comm
+}
+
+// ResetComm clears the accumulated communication statistics.
+func (t *Topology) ResetComm() {
+	t.mu.Lock()
+	t.comm = CommStats{}
+	t.mu.Unlock()
+}
+
+func (t *Topology) chargeHost(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	sec := t.ic.Host.TransferTime(bytes)
+	t.mu.Lock()
+	t.comm.Transfers++
+	t.comm.HostBytes += bytes
+	t.comm.HostSeconds += sec
+	t.mu.Unlock()
+	return sec
+}
+
+func (t *Topology) peerCopy(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	if t.ic.Peer != nil {
+		sec := t.ic.Peer.TransferTime(bytes)
+		t.mu.Lock()
+		t.comm.Transfers++
+		t.comm.PeerBytes += bytes
+		t.comm.PeerSeconds += sec
+		t.mu.Unlock()
+		return sec
+	}
+	// Host-staged: D2H on the source, then H2D on the destination.
+	sec := 2 * t.ic.Host.TransferTime(bytes)
+	t.mu.Lock()
+	t.comm.Transfers += 2
+	t.comm.HostBytes += 2 * bytes
+	t.comm.HostSeconds += sec
+	t.mu.Unlock()
+	return sec
+}
+
+// SlabTiming is the modeled cost of one slab's pass on a device: the
+// coefficient upload, the on-device elimination, and the result
+// download, in seconds.
+type SlabTiming struct {
+	Upload, Compute, Download float64
+}
+
+// PipelinedMakespan models executing the slabs of one device in order,
+// serially (each slab's upload → compute → download completes before
+// the next begins) and pipelined (upload DMA, compute, and download
+// DMA engines run concurrently on a full-duplex link, so slab i+1's
+// upload overlaps slab i's compute — the halo/interior overlap of the
+// Pipelined-TDMA multi-GPU design). Within each engine, work executes
+// FIFO in slab order.
+func PipelinedMakespan(slabs []SlabTiming) (serial, pipelined float64) {
+	var upFree, compFree, downFree float64
+	for _, s := range slabs {
+		serial += s.Upload + s.Compute + s.Download
+
+		upFree += s.Upload
+		compFree = max(compFree, upFree) + s.Compute
+		downFree = max(downFree, compFree) + s.Download
+		if downFree > pipelined {
+			pipelined = downFree
+		}
+		if compFree > pipelined {
+			pipelined = compFree
+		}
+	}
+	return serial, pipelined
+}

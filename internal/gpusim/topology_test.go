@@ -1,0 +1,146 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinkTransferTime(t *testing.T) {
+	l := Link{Bandwidth: 1e9, Latency: 1e-6}
+	if got := l.TransferTime(0); got != 0 {
+		t.Errorf("zero-byte transfer costs %v, want 0", got)
+	}
+	want := 1e-6 + 1e6/1e9
+	if got := l.TransferTime(1e6); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TransferTime(1MB) = %v, want %v", got, want)
+	}
+}
+
+// TestTopologyCharging proves transfers are charged into CommStats on
+// the right link class, and that a peer-less interconnect stages
+// device-to-device copies through the host at twice the host cost.
+func TestTopologyCharging(t *testing.T) {
+	pcie, err := UniformTopology(2, PCIe2(), GTX480())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2d := pcie.HostToDevice(0, 1000)
+	d2h := pcie.DeviceToHost(1, 1000)
+	if h2d != d2h {
+		t.Errorf("symmetric host link: H2D %v != D2H %v", h2d, d2h)
+	}
+	staged := pcie.PeerCopy(0, 1, 1000)
+	if math.Abs(staged-2*h2d) > 1e-12 {
+		t.Errorf("host-staged peer copy = %v, want 2x host transfer %v", staged, 2*h2d)
+	}
+	c := pcie.Comm()
+	if c.HostBytes != 4000 || c.PeerBytes != 0 {
+		t.Errorf("host-staged stats: HostBytes=%d PeerBytes=%d, want 4000/0", c.HostBytes, c.PeerBytes)
+	}
+	if c.Transfers != 4 {
+		t.Errorf("Transfers = %d, want 4 (h2d, d2h, and a 2-hop staged copy)", c.Transfers)
+	}
+
+	nvl, err := UniformTopology(2, NVLinkMesh(), GTX480())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := nvl.PeerCopy(0, 1, 1000)
+	if hostStaged := 2 * nvl.Interconnect().Host.TransferTime(1000); direct >= hostStaged {
+		t.Errorf("NVLink peer copy %v not faster than host staging %v", direct, hostStaged)
+	}
+	if c := nvl.Comm(); c.PeerBytes != 1000 || c.HostBytes != 0 {
+		t.Errorf("peer stats: PeerBytes=%d HostBytes=%d, want 1000/0", c.PeerBytes, c.HostBytes)
+	}
+}
+
+// TestHaloExchange proves the bidirectional exchange takes one
+// direction's time on a full-duplex link but records both directions'
+// bytes.
+func TestHaloExchange(t *testing.T) {
+	nvl, err := UniformTopology(2, NVLinkMesh(), GTX480())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneWay := nvl.Interconnect().Peer.TransferTime(512)
+	if got := nvl.HaloExchange(0, 1, 512); math.Abs(got-oneWay) > 1e-12 {
+		t.Errorf("HaloExchange time = %v, want one-way %v", got, oneWay)
+	}
+	c := nvl.Comm()
+	if c.PeerBytes != 1024 {
+		t.Errorf("HaloExchange recorded %d peer bytes, want 1024 (both directions)", c.PeerBytes)
+	}
+	if c.HaloExchanges != 1 {
+		t.Errorf("HaloExchanges = %d, want 1", c.HaloExchanges)
+	}
+	if got := nvl.HaloExchange(0, 1, 0); got != 0 {
+		t.Errorf("empty halo exchange costs %v, want 0", got)
+	}
+}
+
+// TestUniformTopologyIsolation proves the per-device copies are
+// independent failure domains: an injector attached to one device does
+// not leak to its siblings or to the prototype.
+func TestUniformTopologyIsolation(t *testing.T) {
+	proto := GTX480()
+	topo, err := UniformTopology(3, PCIe2(), proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.Device(1).Faults = &Injector{Schedule: []ScheduledFault{{Kind: FaultAbort, Repeat: 1 << 30}}}
+	if proto.Faults != nil {
+		t.Error("prototype device mutated by per-device injector")
+	}
+	for _, i := range []int{0, 2} {
+		if topo.Device(i).Faults != nil {
+			t.Errorf("device %d inherited sibling's injector", i)
+		}
+	}
+	if topo.Device(0).Name == topo.Device(1).Name {
+		t.Errorf("device names not unique: %q", topo.Device(0).Name)
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	if _, err := UniformTopology(0, PCIe2(), nil); err == nil {
+		t.Error("zero-device topology accepted")
+	}
+	if _, err := NewTopology(Interconnect{Host: Link{Bandwidth: -1}}, GTX480()); err == nil {
+		t.Error("negative-bandwidth interconnect accepted")
+	}
+	if _, err := NewTopology(PCIe2()); err == nil {
+		t.Error("empty device list accepted")
+	}
+	if _, err := NewTopology(PCIe2(), nil); err == nil {
+		t.Error("nil device accepted")
+	}
+}
+
+// TestPipelinedMakespan checks the two-engine overlap model: with
+// uploads overlapping compute, total time beats the serial sum and is
+// bounded below by each engine's own busy time.
+func TestPipelinedMakespan(t *testing.T) {
+	slabs := []SlabTiming{
+		{Upload: 2, Compute: 3, Download: 1},
+		{Upload: 2, Compute: 3, Download: 1},
+		{Upload: 2, Compute: 3, Download: 1},
+	}
+	serial, pipelined := PipelinedMakespan(slabs)
+	if want := 18.0; math.Abs(serial-want) > 1e-12 {
+		t.Errorf("serial = %v, want %v", serial, want)
+	}
+	if pipelined >= serial {
+		t.Errorf("pipelined %v not better than serial %v", pipelined, serial)
+	}
+	var comm, comp float64
+	for _, s := range slabs {
+		comm += s.Upload + s.Download
+		comp += s.Compute
+	}
+	if pipelined < comm || pipelined < comp {
+		t.Errorf("pipelined %v below engine busy-time floor (comm %v, comp %v)", pipelined, comm, comp)
+	}
+	if s, p := PipelinedMakespan(nil); s != 0 || p != 0 {
+		t.Errorf("empty makespan = %v/%v, want 0/0", s, p)
+	}
+}
