@@ -242,6 +242,11 @@ func (s *fleetServer) handleFleet(w http.ResponseWriter, r *http.Request) {
 			"corrected_ecc": d.CorrectedECC,
 			"queue_depth":   d.QueueDepth,
 			"breaker":       d.Breaker.String(),
+			"gray": map[string]any{
+				"latency_ratio":     d.GrayRatio,
+				"integrity_retries": d.IntegrityRetries,
+				"hedged_slabs":      d.Hedged,
+			},
 		})
 	}
 	body := map[string]any{
@@ -268,10 +273,17 @@ func (s *fleetServer) handleFleet(w http.ResponseWriter, r *http.Request) {
 		"build_failures": st.BuildFailures,
 		"events":         st.Events,
 		"distributed": map[string]any{
-			"solves":     st.DistSolves,
-			"deaths":     st.DistDeaths,
-			"migrations": st.DistMigrations,
-			"degraded":   st.DistDegraded,
+			"solves":            st.DistSolves,
+			"deaths":            st.DistDeaths,
+			"migrations":        st.DistMigrations,
+			"degraded":          st.DistDegraded,
+			"integrity_retries": st.DistIntegrityRetries,
+			"hedges":            st.DistHedges,
+			"hedge_wins":        st.DistHedgeWins,
+		},
+		"gray": map[string]any{
+			"stragglers_flagged":  st.GrayStragglers,
+			"flaky_links_flagged": st.GrayLinkFlaky,
 		},
 	}
 	if s.batcher != nil {

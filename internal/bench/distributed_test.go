@@ -65,3 +65,61 @@ func benchDistributed(b *testing.B, batch *gputrid.Batch[float64], devs, slabs i
 	b.ReportMetric(rep.ModeledSerial.Seconds()*1e3, "modeled-serial-ms")
 	b.ReportMetric(float64(rep.Comm.TotalBytes())/float64(b.N)/1e6, "comm-MB/op")
 }
+
+// BenchmarkDistributedHedged measures the hedging layer's two faces on
+// a fixed 4-device/16-slab assignment. The clean cells bound hedging's
+// overhead when nothing is wrong (the hedge scan runs, finds no
+// outlier, launches nothing — modeled-ms must stay within 5% of the
+// disabled cell, the invariant pinned in BENCH_grayfail.json). The
+// straggler cells put a silent 8x slowdown on one device and show the
+// tail-latency rescue: disabled, the makespan is hostage to the slow
+// device; enabled, outlier slabs are speculatively re-run on the
+// least-loaded survivor and the modeled makespan collapses back toward
+// the clean figure. Hedging is modeled-time arbitration over identical
+// slab solves, so every cell's output is bitwise identical.
+func BenchmarkDistributedHedged(b *testing.B) {
+	batch := workload.Batch[float64](workload.DiagDominant, distBenchM, distBenchN, 11)
+	const devs, slabs = 4, 16
+	for _, tc := range []struct {
+		name    string
+		slow    float64 // SlowFactor on the last device (0 = healthy)
+		disable bool
+	}{
+		{"clean/hedge=off", 0, true},
+		{"clean/hedge=on", 0, false},
+		{"straggler/hedge=off", 8, true},
+		{"straggler/hedge=on", 8, false},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			topo, err := gpusim.UniformTopology(devs, gpusim.NVLinkMesh(), gpusim.GTX480())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tc.slow > 0 {
+				topo.Device(devs - 1).SlowFactor = tc.slow
+			}
+			s, err := core.NewDistSolver[float64](core.DistConfig{
+				Topology: topo,
+				Slabs:    slabs,
+				Hedge:    core.HedgePolicy{Disable: tc.disable},
+			}, distBenchM, distBenchN)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			dst := make([]float64, distBenchM*distBenchN)
+			var rep *core.DistReport
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err = s.SolveInto(context.Background(), dst, batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.ModeledPipelined.Seconds()*1e3, "modeled-ms")
+			b.ReportMetric(float64(rep.Hedges), "hedges")
+			b.ReportMetric(float64(rep.HedgeWins), "hedge-wins")
+		})
+	}
+}

@@ -50,6 +50,11 @@ type DistConfig struct {
 	// ErrFaulted under NoDegrade. The zero value is the production
 	// default.
 	Retry RetryPolicy
+	// Hedge bounds the speculative re-execution of straggler slabs
+	// after the reduce phase; the zero value enables hedging with the
+	// defaults (outliers past 3× the median modeled phase time are
+	// re-launched on the least-loaded survivor). See HedgePolicy.
+	Hedge HedgePolicy
 	// Health, when non-nil, receives a HealthXID event the moment a
 	// device is declared dead mid-solve — before the slab is migrated —
 	// so a fleet control plane can cordon the device while this solve
@@ -77,9 +82,34 @@ type DistReport struct {
 	// attempt (migrations plus degraded slabs' lost attempts).
 	Retries int
 	// Degraded lists (ascending) the slabs re-solved on the host
-	// because no retry budget or no survivor remained.
+	// because no retry budget, no survivor, or no trustworthy link
+	// remained.
 	Degraded []int
-	// Comm is the interconnect traffic this solve charged.
+	// IntegrityRetries counts transfers whose ABFT checksum mismatched
+	// (a link silently corrupted the payload) and were re-exchanged.
+	// Every one of these is a silent corruption caught before it could
+	// reach a caller.
+	IntegrityRetries int
+	// SlabResolves counts reduce-phase slabs re-executed because
+	// re-exchanging alone could not produce a clean interface transfer
+	// (rung two of the escalation ladder).
+	SlabResolves int
+	// Hedges counts speculative re-launches of straggler slabs;
+	// HedgeWins how many were adopted (the speculative run completed
+	// first in modeled time); HedgesCancelled how many were discarded
+	// (incumbent won, speculation failed, or the solve was cancelled
+	// mid-hedge).
+	Hedges          int
+	HedgeWins       int
+	HedgesCancelled int
+	// PerDevice is what this solve observed about each topology device
+	// it touched — slab executions, modeled busy time, integrity
+	// retries, hedged-away slabs — the raw feed for a gray-failure
+	// detector. Sorted by device.
+	PerDevice []DeviceObservation
+	// Comm is the interconnect traffic this solve charged, attributed
+	// exactly to this solve via a per-solve CommScope even when
+	// concurrent solves share the topology.
 	Comm gpusim.CommStats
 	// ModeledSerial and ModeledPipelined are the modeled device-side
 	// makespans of the final (post-recovery) assignment: serial runs
@@ -93,12 +123,14 @@ type DistReport struct {
 
 // distSlab is the per-slab solve state.
 type distSlab struct {
-	idx      int
-	dev      int // current topology device; -1 = degraded to host
-	homeDev  int // device holding the slab's u,v,w planes after phase A
-	attempts int
-	redone   bool // lost work at least once (counts as migration)
-	timing   gpusim.SlabTiming
+	idx       int
+	dev       int // current topology device; -1 = degraded to host
+	homeDev   int // device holding the slab's u,v,w planes after phase A
+	attempts  int
+	redone    bool // lost work at least once (counts as migration)
+	integrity int  // checksum-mismatched transfers re-exchanged
+	resolves  int  // reduce re-executions forced by the integrity ladder
+	timing    gpusim.SlabTiming
 }
 
 type pipeKey struct {
@@ -148,6 +180,36 @@ type DistSolver[T num.Real] struct {
 	sepL    [][]T
 	sepR    [][]T
 
+	// iface stages each slab's six interface scalars per system (the
+	// halo the reduce phase downloads), laid out i*6 + {uF,vF,wF,uL,
+	// vL,wL}; ifaceShadow and outShadow model the device-resident
+	// copies the verified downloads restore from after a corrupted
+	// delivery.
+	iface       [][]T
+	ifaceShadow [][]T
+	outShadow   [][]T
+
+	// Hedging scratch: the speculative re-execution of a straggler slab
+	// works entirely here, so a losing hedge touches no solve state.
+	// Hedges run sequentially, so one set suffices.
+	hedgeX      []T
+	hedgeIface  []T
+	hedgeShadow []T
+	// leases counts in-flight speculative executions per device; a
+	// hedge holds its target's lease for the goroutine's lifetime.
+	leases []atomic.Int32
+	// testHookHedgeStart, when non-nil, runs at the start of every
+	// speculative hedge goroutine (test instrumentation).
+	testHookHedgeStart func()
+
+	// scope attributes this solver's interconnect traffic exactly, even
+	// when concurrent solves share the topology.
+	scope gpusim.CommScope
+
+	// obs accumulates per-device gray-failure observations per solve.
+	obsMu sync.Mutex
+	obs   map[int]*devObs
+
 	// Reduced interface system, system-major: system i's D-1 rows at
 	// [i*(D-1), (i+1)*(D-1)).
 	redA, redB, redC, redD, redX []T
@@ -193,6 +255,8 @@ func NewDistSolver[T num.Real](cfg DistConfig, m, n int) (*DistSolver[T], error)
 		part:   part,
 		pipes:  make(map[pipeKey]*Pipeline[T]),
 		kByLen: make(map[int]int),
+		obs:    make(map[int]*devObs),
+		leases: make([]atomic.Int32, cfg.Topology.NumDevices()),
 	}
 	d := part.NumSlabs()
 	s.slabIn = make([]*matrix.Batch[T], d)
@@ -200,19 +264,30 @@ func NewDistSolver[T num.Real](cfg DistConfig, m, n int) (*DistSolver[T], error)
 	s.slabOut = make([][]T, d)
 	s.sepL = make([][]T, d)
 	s.sepR = make([][]T, d)
+	s.iface = make([][]T, d)
+	s.ifaceShadow = make([][]T, d)
+	s.outShadow = make([][]T, d)
+	maxL := 0
 	for p, sl := range part.Slabs {
 		L := sl.Len()
+		maxL = max(maxL, L)
 		s.slabIn[p] = matrix.NewBatch[T](3*m, L)
 		s.slabX[p] = make([]T, 3*m*L)
 		s.slabOut[p] = make([]T, m*L)
 		s.sepL[p] = make([]T, m)
 		s.sepR[p] = make([]T, m)
+		s.iface[p] = make([]T, 6*m)
+		s.ifaceShadow[p] = make([]T, 6*m)
+		s.outShadow[p] = make([]T, m*L)
 		if _, ok := s.kByLen[L]; !ok {
 			kcfg := s.slabConfig(L)
 			kcfg.Device = s.topo.Device(0)
 			s.kByLen[L] = kcfg.resolveK(3*m, L)
 		}
 	}
+	s.hedgeX = make([]T, 3*m*maxL)
+	s.hedgeIface = make([]T, 6*m)
+	s.hedgeShadow = make([]T, 6*m)
 	if d > 1 {
 		s.redA = make([]T, m*(d-1))
 		s.redB = make([]T, m*(d-1))
@@ -319,7 +394,8 @@ func (s *DistSolver[T]) SolveOn(ctx context.Context, dst []T, b *matrix.Batch[T]
 
 	d := s.part.NumSlabs()
 	rep := &DistReport{Slabs: d, Devices: make([]int, d)}
-	commBase := s.topo.Comm()
+	s.scope.Reset()
+	clear(s.obs)
 	slabs := make([]*distSlab, d)
 	for p := range slabs {
 		slabs[p] = &distSlab{idx: p, dev: -1, homeDev: -1}
@@ -328,6 +404,13 @@ func (s *DistSolver[T]) SolveOn(ctx context.Context, dst []T, b *matrix.Batch[T]
 
 	// Phase A: local reductions, with migration on device death.
 	if err := s.runPhase(ctx, rep, slabs, alive, s.reduceOne, s.reduceHost); err != nil {
+		return nil, err
+	}
+
+	// Straggler hedging: slabs whose modeled phase time is an outlier
+	// are speculatively re-run on the least-loaded survivor, first
+	// verified (modeled-time) result wins.
+	if err := s.hedgePhase(ctx, rep, slabs, alive); err != nil {
 		return nil, err
 	}
 
@@ -359,6 +442,8 @@ func (s *DistSolver[T]) SolveOn(ctx context.Context, dst []T, b *matrix.Batch[T]
 			rep.Migrations++
 		}
 		rep.Retries += sl.attempts - 1
+		rep.IntegrityRetries += sl.integrity
+		rep.SlabResolves += sl.resolves
 	}
 	sort.Ints(rep.Degraded)
 	sort.Ints(rep.Deaths)
@@ -370,7 +455,8 @@ func (s *DistSolver[T]) SolveOn(ctx context.Context, dst []T, b *matrix.Batch[T]
 	}
 	rep.ModeledSerial = time.Duration(serial * float64(time.Second))
 	rep.ModeledPipelined = time.Duration(pipelined * float64(time.Second))
-	rep.Comm = s.topo.Comm().Sub(commBase)
+	rep.PerDevice = s.observations()
+	rep.Comm = s.scope.Stats()
 	return rep, nil
 }
 
@@ -454,10 +540,11 @@ func (s *DistSolver[T]) runPhase(ctx context.Context, rep *DistReport, slabs []*
 			err error
 		}
 		var (
-			wg      sync.WaitGroup
-			mu      sync.Mutex
-			faulted []result
-			hardErr error
+			wg        sync.WaitGroup
+			mu        sync.Mutex
+			faulted   []result
+			untrusted []*distSlab
+			hardErr   error
 		)
 		for dev, group := range byDev {
 			wg.Add(1)
@@ -482,6 +569,16 @@ func (s *DistSolver[T]) runPhase(ctx context.Context, rep *DistReport, slabs []*
 					if err == nil {
 						continue
 					}
+					if errors.Is(err, errLinkIntegrity) {
+						// The link, not the device, failed: the device
+						// keeps its remaining slabs, only this slab
+						// leaves the device path (escalation ladder's
+						// last rung — see below).
+						mu.Lock()
+						untrusted = append(untrusted, sl)
+						mu.Unlock()
+						continue
+					}
 					mu.Lock()
 					if isDeviceDeath(err) {
 						// The victim slab lost its work; the device's
@@ -502,6 +599,20 @@ func (s *DistSolver[T]) runPhase(ctx context.Context, rep *DistReport, slabs []*
 		wg.Wait()
 		if hardErr != nil {
 			return hardErr
+		}
+
+		// Integrity exhaustion: re-exchange and re-solve could not get a
+		// clean transfer through, so the slab falls to the host path —
+		// the data there never crossed the untrustworthy link.
+		sort.Slice(untrusted, func(i, j int) bool { return untrusted[i].idx < untrusted[j].idx })
+		for _, sl := range untrusted {
+			if s.cfg.Retry.NoDegrade {
+				return fmt.Errorf("%w: slab %d: %v", ErrFaulted, sl.idx, errLinkIntegrity)
+			}
+			sl.dev = -1
+			if err := host(sl); err != nil {
+				return err
+			}
 		}
 
 		next := pending[:0]
@@ -617,33 +728,82 @@ func (s *DistSolver[T]) buildSlabInput(p int, b *matrix.Batch[T]) {
 	}
 }
 
-// reduceOne runs slab sl's local reduction on device dev: charge the
-// coefficient upload, run the 3M-system hybrid, charge the interface
-// download, and extract the six interface scalars per system.
+// reduceOne runs slab sl's local reduction on device dev, into the
+// solver's per-slab arenas.
 func (s *DistSolver[T]) reduceOne(ctx context.Context, sl *distSlab, dev int) error {
+	return s.reduceSlab(ctx, sl, dev, s.slabX[sl.idx], s.iface[sl.idx], s.ifaceShadow[sl.idx])
+}
+
+// reduceSlab runs slab sl's local reduction on device dev: verified
+// coefficient upload, the 3M-system hybrid, extraction of the six
+// interface scalars per system into iface, and the verified halo
+// download. Both transfers carry ABFT sum checks; a corrupted delivery
+// escalates re-exchange → re-solve-slab → errLinkIntegrity (the caller
+// degrades the slab to the host). x/iface/shadow are parameters so a
+// hedge's speculative run can execute into scratch buffers.
+func (s *DistSolver[T]) reduceSlab(ctx context.Context, sl *distSlab, dev int, x, iface, shadow []T) error {
 	p := sl.idx
 	L := s.part.Slabs[p].Len()
+	m := s.m
 	elem := int64(num.SizeOf[T]())
+	in := s.slabIn[p]
 	// Upload: 3 coefficient planes + 3 RHS planes of M×L each. (The
 	// coefficient replication is a modeling convenience — a real
 	// implementation uploads them once — so charge the unreplicated 4
-	// planes: a, b, c, d.)
-	up := s.topo.HostToDevice(dev, 4*int64(s.m)*int64(L)*elem)
+	// planes: a, b, c, d, and checksum exactly those.)
+	mL := m * L
+	up, err := s.verifiedUp(sl, dev, 4*int64(mL)*elem,
+		in.Lower[:mL], in.Diag[:mL], in.Upper[:mL], in.RHS[:mL])
+	if err != nil {
+		return err
+	}
 	pipe, err := s.pipeline(dev, L)
 	if err != nil {
 		return err
 	}
-	if err := pipe.SolveIntoCtx(ctx, s.slabX[p], s.slabIn[p]); err != nil {
+	if err := pipe.SolveIntoCtx(ctx, x, in); err != nil {
 		return err
 	}
-	// Download the halo: 6 interface scalars per system.
-	down := s.topo.DeviceToHost(dev, 6*int64(s.m)*elem)
-	sl.timing = gpusim.SlabTiming{
-		Upload:   up,
-		Compute:  s.topo.Device(dev).EstimateTime(pipe.Report().Stats, num.SizeOf[T]()),
-		Download: down,
+	compute := s.topo.Device(dev).EstimateTime(pipe.Report().Stats, num.SizeOf[T]())
+	s.extractInterface(x, iface, L)
+
+	// Download the halo: 6 interface scalars per system, sum-checked.
+	// If re-exchanging cannot produce a clean copy, rung two re-solves
+	// the slab (fresh device state, fresh link draws) and tries again.
+	down, err := s.verifiedDown(sl, dev, 6*int64(m)*elem, iface, shadow)
+	if err != nil {
+		sl.resolves++
+		if err := pipe.SolveIntoCtx(ctx, x, in); err != nil {
+			return err
+		}
+		compute += s.topo.Device(dev).EstimateTime(pipe.Report().Stats, num.SizeOf[T]())
+		s.extractInterface(x, iface, L)
+		var d2 float64
+		d2, err = s.verifiedDown(sl, dev, 6*int64(m)*elem, iface, shadow)
+		down += d2
+		if err != nil {
+			return err
+		}
 	}
+	sl.timing = gpusim.SlabTiming{Upload: up, Compute: compute, Download: down}
+	s.noteBusy(dev, sl.timing.Total())
 	return nil
+}
+
+// extractInterface pulls the six interface scalars per system out of a
+// slab's solved planes: first-row and last-row values of u, v, w, laid
+// out i*6 + {uF, vF, wF, uL, vL, wL}.
+func (s *DistSolver[T]) extractInterface(x, iface []T, L int) {
+	m := s.m
+	for i := 0; i < m; i++ {
+		base := i * 6
+		iface[base+0] = x[(0*m+i)*L]
+		iface[base+1] = x[(1*m+i)*L]
+		iface[base+2] = x[(2*m+i)*L]
+		iface[base+3] = x[(0*m+i)*L+L-1]
+		iface[base+4] = x[(1*m+i)*L+L-1]
+		iface[base+5] = x[(2*m+i)*L+L-1]
+	}
 }
 
 // reduceHost is the degraded local reduction: the slab's 3M systems go
@@ -666,6 +826,8 @@ func (s *DistSolver[T]) reduceHost(sl *distSlab) error {
 			return fmt.Errorf("%w: degraded reduce of slab %d system %d: %v", ErrFaulted, p, q, err)
 		}
 	}
+	// No link was crossed, but phase B reads the staged interface.
+	s.extractInterface(s.slabX[p], s.iface[p], L)
 	return nil
 }
 
@@ -687,14 +849,14 @@ func (s *DistSolver[T]) solveReduced(b *matrix.Batch[T], dst []T) error {
 			sep := s.part.Separator(p)
 			gi := i*s.n + sep
 			aa, bb, cc, dd := b.Lower[gi], b.Diag[gi], b.Upper[gi], b.RHS[gi]
-			leftL := s.part.Slabs[p].Len()
-			uL := s.slabX[p][(0*s.m+i)*leftL+leftL-1]
-			vL := s.slabX[p][(1*s.m+i)*leftL+leftL-1]
-			wL := s.slabX[p][(2*s.m+i)*leftL+leftL-1]
-			rightL := s.part.Slabs[p+1].Len()
-			uF := s.slabX[p+1][(0*s.m+i)*rightL]
-			vF := s.slabX[p+1][(1*s.m+i)*rightL]
-			wF := s.slabX[p+1][(2*s.m+i)*rightL]
+			// Interface scalars come from the staged, checksum-verified
+			// halo downloads, never straight off a device buffer.
+			uL := s.iface[p][i*6+3]
+			vL := s.iface[p][i*6+4]
+			wL := s.iface[p][i*6+5]
+			uF := s.iface[p+1][i*6+0]
+			vF := s.iface[p+1][i*6+1]
+			wF := s.iface[p+1][i*6+2]
 			s.redA[base+p] = aa * vL
 			s.redB[base+p] = bb + aa*wL + cc*vF
 			s.redC[base+p] = cc * wF
@@ -733,6 +895,9 @@ func (s *DistSolver[T]) solveReduced(b *matrix.Batch[T], dst []T) error {
 // simulated kernel, so phase C is a fault-injectable failure domain
 // like the reduce. The kernel is a pure function of host-held
 // (u, v, w, separators), so a migrated backsub re-runs bit-exactly.
+// Both transfers are checksum-verified; a link that stays corrupt
+// degrades the slab to the host backsub, which computes the same
+// expression in the same order — bitwise identical output.
 func (s *DistSolver[T]) backsubOne(ctx context.Context, sl *distSlab, dev int) error {
 	p := sl.idx
 	L := s.part.Slabs[p].Len()
@@ -742,10 +907,15 @@ func (s *DistSolver[T]) backsubOne(ctx context.Context, sl *distSlab, dev int) e
 	// the backsub runs on a different device than the reduce (they
 	// were resident on the dead device and re-stage from the host).
 	bytes := 2 * int64(m) * elem
+	parts := [][]T{s.sepL[p], s.sepR[p]}
 	if dev != sl.homeDev {
 		bytes += 3 * int64(m) * int64(L) * elem
+		parts = append(parts, s.slabX[p])
 	}
-	up := s.topo.HostToDevice(dev, bytes)
+	up, err := s.verifiedUp(sl, dev, bytes, parts...)
+	if err != nil {
+		return err
+	}
 
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
@@ -777,10 +947,15 @@ func (s *DistSolver[T]) backsubOne(ctx context.Context, sl *distSlab, dev int) e
 	if err != nil {
 		return err
 	}
-	down := s.topo.DeviceToHost(dev, int64(total)*elem)
+	down, err := s.verifiedDown(sl, dev, int64(total)*elem, s.slabOut[p], s.outShadow[p])
+	if err != nil {
+		return err
+	}
+	compute := s.topo.Device(dev).EstimateTime(st, num.SizeOf[T]())
 	sl.timing.Upload += up
-	sl.timing.Compute += s.topo.Device(dev).EstimateTime(st, num.SizeOf[T]())
+	sl.timing.Compute += compute
 	sl.timing.Download += down
+	s.noteBusy(dev, up+compute+down)
 	return nil
 }
 

@@ -147,6 +147,14 @@ type DeviceStats struct {
 	Served, Failed uint64
 	// CorrectedECC is the accumulated corrected-ECC event count.
 	CorrectedECC int
+	// GrayRatio is the gray-failure detector's EWMA per-slab modeled
+	// latency ratio vs. the fleet median (0 until the device appears
+	// in a distributed solve); IntegrityRetries and Hedged accumulate
+	// the device's checksum-mismatch re-exchanges and hedged-away
+	// slabs across distributed solves.
+	GrayRatio        float64
+	IntegrityRetries int
+	Hedged           int
 	// QueueDepth and Breaker mirror the device pool (zero values while
 	// the device has no live pool — Dead/Standby after drain).
 	QueueDepth int

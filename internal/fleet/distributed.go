@@ -88,6 +88,13 @@ func (f *Fleet) SolveDistributed(ctx context.Context, b *gputrid.Batch[float64])
 	f.distDeaths.Add(uint64(len(rep.Deaths)))
 	f.distMigrations.Add(uint64(rep.Migrations))
 	f.distDegraded.Add(uint64(len(rep.Degraded)))
+	f.distIntegrity.Add(uint64(rep.IntegrityRetries))
+	f.distHedges.Add(uint64(rep.Hedges))
+	f.distHedgeWins.Add(uint64(rep.HedgeWins))
+	// Feed the gray-failure detector: silent stragglers and flaky
+	// links leave no driver event, only statistical residue in these
+	// reports.
+	f.observeGray(rep)
 	return &DistResult{X: dst, Report: *rep, Live: live}, nil
 }
 
@@ -143,6 +150,7 @@ func (f *Fleet) distEntry(m, n int) (*distEntry, error) {
 		Topology: f.dist.topo,
 		Slabs:    f.cfg.Devices,
 		Retry:    f.cfg.DistRetry,
+		Hedge:    f.cfg.DistHedge,
 		Health:   f.Inject,
 		// Topology device i is fleet device i; events land on the
 		// failure domain that died.

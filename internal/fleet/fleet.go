@@ -108,6 +108,15 @@ type Config struct {
 	// DistRetry bounds per-slab recovery in distributed solves (see
 	// core.DistConfig.Retry). The zero value is the production default.
 	DistRetry core.RetryPolicy
+	// DistHedge tunes straggler hedging in distributed solves (see
+	// core.DistConfig.Hedge). The zero value is the production default
+	// (hedging on, 3x outlier ratio).
+	DistHedge core.HedgePolicy
+	// Gray tunes the gray-failure detector that watches distributed
+	// solve reports and synthesizes HealthStraggler/HealthLinkFlaky
+	// events (see GrayPolicy). The zero value is the production
+	// default (detector on).
+	Gray GrayPolicy
 }
 
 func (c Config) initialActive() int {
@@ -195,6 +204,11 @@ type Stats struct {
 	// dead mid-solve, slabs migrated to survivors, slabs degraded to
 	// the host path.
 	DistSolves, DistDeaths, DistMigrations, DistDegraded uint64
+	// Gray-failure plane: integrity retries absorbed by distributed
+	// solves, hedges launched / won, and devices the detector flagged
+	// as stragglers or flaky links.
+	DistIntegrityRetries, DistHedges, DistHedgeWins uint64
+	GrayStragglers, GrayLinkFlaky                   uint64
 }
 
 // Fleet is the control plane over N device failure domains. All
@@ -228,6 +242,12 @@ type Fleet struct {
 	// distributed.go).
 	dist                                                 distPlane
 	distSolves, distDeaths, distMigrations, distDegraded atomic.Uint64
+	distIntegrity, distHedges, distHedgeWins             atomic.Uint64
+
+	// gray is the gray-failure detector over distributed-solve
+	// reports (see gray.go).
+	gray                      grayDetector
+	grayStragglers, grayFlaky atomic.Uint64
 }
 
 // New builds the fleet: InitialActive devices get live pools, the rest
@@ -551,6 +571,9 @@ func (f *Fleet) reviveLocked(d *device, state DeviceState, now time.Time) {
 	if state == StateProbation {
 		d.probationUntil = now.Add(f.cfg.probation())
 	}
+	// A revived device is judged on fresh evidence: the gray-failure
+	// diagnosis belonged to the hardware state the reset wiped.
+	f.gray.reset(d.id)
 }
 
 // Quiesce blocks until every in-progress drain has completed — the
@@ -577,6 +600,12 @@ func (f *Fleet) Stats() Stats {
 		DistDeaths:     f.distDeaths.Load(),
 		DistMigrations: f.distMigrations.Load(),
 		DistDegraded:   f.distDegraded.Load(),
+
+		DistIntegrityRetries: f.distIntegrity.Load(),
+		DistHedges:           f.distHedges.Load(),
+		DistHedgeWins:        f.distHedgeWins.Load(),
+		GrayStragglers:       f.grayStragglers.Load(),
+		GrayLinkFlaky:        f.grayFlaky.Load(),
 	}
 	type liveDev struct {
 		i  int
@@ -593,6 +622,7 @@ func (f *Fleet) Stats() Stats {
 			Failed:       d.failed.Load(),
 			CorrectedECC: d.correctedECC,
 		}
+		ds.GrayRatio, ds.IntegrityRetries, ds.Hedged = f.graySnapshot(d.id)
 		switch d.state {
 		case StateActive:
 			s.Active++

@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gputrid/internal/core"
+	"gputrid/internal/gpusim"
+)
+
+// GrayPolicy tunes the fleet's gray-failure detector. Gray failures
+// are the ones no driver event announces: a device that computes
+// correct answers slowly (silent straggler), or an interconnect that
+// keeps corrupting transfers which the solver's end-to-end integrity
+// checks catch and repair (flaky link). Both are invisible to the
+// XID/ECC health machinery — the only evidence is statistical, spread
+// across distributed-solve reports — so the fleet watches those
+// reports and *synthesizes* HealthStraggler / HealthLinkFlaky events
+// into its own feed, where the ordinary cordon/drain policy takes
+// over. The zero value of every field picks the documented default.
+type GrayPolicy struct {
+	// Disable turns the detector off entirely.
+	Disable bool
+	// StragglerRatio is the EWMA per-slab modeled-latency ratio
+	// (device vs. fleet median) past which a device is declared a
+	// straggler; values ≤ 1 mean 2.5.
+	StragglerRatio float64
+	// Alpha is the EWMA smoothing factor in (0, 1]: higher weighs the
+	// newest solve more. 0 means 0.4.
+	Alpha float64
+	// MinSamples is how many distributed solves a device must appear
+	// in before its ratio is trusted — one outlier solve (cold cache,
+	// unlucky slab mix) must not cordon a healthy device. 0 means 2.
+	MinSamples int
+	// IntegrityLimit is the cumulative integrity-retry count
+	// (checksum-mismatched transfers re-exchanged by the solver) past
+	// which a device's link is declared flaky; 0 means 4, negative
+	// disables the link check.
+	IntegrityLimit int
+}
+
+func (p GrayPolicy) stragglerRatio() float64 {
+	if p.StragglerRatio <= 1 {
+		return 2.5
+	}
+	return p.StragglerRatio
+}
+
+func (p GrayPolicy) alpha() float64 {
+	if p.Alpha <= 0 || p.Alpha > 1 {
+		return 0.4
+	}
+	return p.Alpha
+}
+
+func (p GrayPolicy) minSamples() int {
+	if p.MinSamples <= 0 {
+		return 2
+	}
+	return p.MinSamples
+}
+
+func (p GrayPolicy) integrityLimit() int {
+	switch {
+	case p.IntegrityLimit == 0:
+		return 4
+	case p.IntegrityLimit < 0:
+		return 1 << 30
+	default:
+		return p.IntegrityLimit
+	}
+}
+
+// grayDev is the detector's per-device evidence.
+type grayDev struct {
+	// ewma is the smoothed per-slab modeled-latency ratio vs. the
+	// fleet median; samples counts the solves it aggregates.
+	ewma    float64
+	samples int
+	// integrity and hedged accumulate the device's integrity retries
+	// and hedged-away slabs across solves.
+	integrity int
+	hedged    int
+	// stragglerSent / flakySent latch the synthesized events: the
+	// evidence keeps accumulating while the device drains, and one
+	// cordon per diagnosis is enough. reset() (device revival) clears
+	// them so a healed device is judged on fresh evidence.
+	stragglerSent bool
+	flakySent     bool
+}
+
+// grayDetector folds distributed-solve reports into per-device
+// gray-failure evidence. It has its own lock (acquired from the data
+// plane on every distributed solve, and briefly by Stats) so the
+// fleet's control-plane mutex never serializes solves.
+type grayDetector struct {
+	mu   sync.Mutex //tridlint:lockrank 30
+	devs map[int]*grayDev
+}
+
+func (g *grayDetector) dev(id int) *grayDev {
+	if g.devs == nil {
+		g.devs = make(map[int]*grayDev)
+	}
+	d := g.devs[id]
+	if d == nil {
+		d = &grayDev{}
+		g.devs[id] = d
+	}
+	return d
+}
+
+// reset clears a device's evidence and latches; called when the
+// device is revived with a fresh pool, since the old diagnosis
+// belongs to the hardware state that was reset away.
+func (g *grayDetector) reset(id int) {
+	g.mu.Lock()
+	delete(g.devs, id)
+	g.mu.Unlock()
+}
+
+// observeGray folds one distributed solve's per-device observations
+// into the detector and synthesizes health events for devices whose
+// evidence crosses the policy thresholds. Topology device indices are
+// fleet device ids (the distributed plane maps them one to one), so
+// synthesized events land on the right failure domain.
+func (f *Fleet) observeGray(rep *core.DistReport) {
+	p := f.cfg.Gray
+	if p.Disable || len(rep.PerDevice) == 0 {
+		return
+	}
+
+	// Per-slab modeled busy time normalizes away uneven slab counts:
+	// a device holding 3 slabs is busier, not slower. The fleet
+	// median is the baseline — with most devices healthy it tracks
+	// true speed, and a single straggler cannot drag it.
+	perSlab := make(map[int]float64, len(rep.PerDevice))
+	var sample []float64
+	for _, o := range rep.PerDevice {
+		if o.Slabs > 0 && o.ModeledBusy > 0 {
+			v := o.ModeledBusy / float64(o.Slabs)
+			perSlab[o.Device] = v
+			sample = append(sample, v)
+		}
+	}
+	var median float64
+	if n := len(sample); n > 0 {
+		sort.Float64s(sample)
+		if n%2 == 1 {
+			median = sample[n/2]
+		} else {
+			median = (sample[n/2-1] + sample[n/2]) / 2
+		}
+	}
+
+	var fire []gpusim.HealthEvent
+
+	f.gray.mu.Lock()
+	for _, o := range rep.PerDevice {
+		g := f.gray.dev(o.Device)
+		if v, ok := perSlab[o.Device]; ok && median > 0 && len(sample) >= 2 {
+			ratio := v / median
+			if g.samples == 0 {
+				g.ewma = ratio
+			} else {
+				a := p.alpha()
+				g.ewma = a*ratio + (1-a)*g.ewma
+			}
+			g.samples++
+		}
+		g.integrity += o.IntegrityRetries
+		g.hedged += o.Hedged
+
+		if !g.stragglerSent && g.samples >= p.minSamples() && g.ewma >= p.stragglerRatio() {
+			g.stragglerSent = true
+			f.grayStragglers.Add(1)
+			fire = append(fire, gpusim.HealthEvent{
+				Device: o.Device, Kind: gpusim.HealthStraggler,
+				Message: fmt.Sprintf("modeled per-slab latency %.1fx fleet median over %d solves", g.ewma, g.samples),
+			})
+		}
+		if !g.flakySent && g.integrity >= p.integrityLimit() {
+			g.flakySent = true
+			f.grayFlaky.Add(1)
+			fire = append(fire, gpusim.HealthEvent{
+				Device: o.Device, Kind: gpusim.HealthLinkFlaky,
+				Message: fmt.Sprintf("%d integrity retries on this device's transfers", g.integrity),
+			})
+		}
+	}
+	f.gray.mu.Unlock()
+
+	// Inject outside the detector lock; the next Tick cordons.
+	for _, ev := range fire {
+		f.Inject(ev)
+	}
+}
+
+// graySnapshot copies a device's current evidence for Stats.
+func (f *Fleet) graySnapshot(id int) (ratio float64, integrity, hedged int) {
+	f.gray.mu.Lock()
+	defer f.gray.mu.Unlock()
+	g := f.gray.devs[id]
+	if g == nil {
+		return 0, 0, 0
+	}
+	return g.ewma, g.integrity, g.hedged
+}

@@ -33,6 +33,10 @@ type Report struct {
 	// DistFailed counts distributed solves that returned an error (a
 	// completed-but-wrong distributed solve counts into Incorrect).
 	DistFailed int
+	// CordonTicks records, per device, the 0-based control-loop tick
+	// at which the device was first observed cordoned (or dead) — the
+	// gray-failure detector's measured detection latency.
+	CordonTicks map[int]int
 	// Stats is the fleet's final snapshot.
 	Stats fleet.Stats
 	// Failures lists violated assertions; Timeline is the narrative
@@ -59,6 +63,12 @@ func (r *Report) Summary() string {
 	if r.Stats.DistSolves > 0 || r.DistFailed > 0 {
 		fmt.Fprintf(&sb, "  distributed: %d solved, %d failed, %d deaths, %d migrations, %d degraded\n",
 			r.Stats.DistSolves, r.DistFailed, r.Stats.DistDeaths, r.Stats.DistMigrations, r.Stats.DistDegraded)
+	}
+	if r.Stats.DistIntegrityRetries > 0 || r.Stats.DistHedges > 0 ||
+		r.Stats.GrayStragglers > 0 || r.Stats.GrayLinkFlaky > 0 {
+		fmt.Fprintf(&sb, "  gray: %d integrity retries, %d hedges (%d won), %d stragglers flagged, %d flaky links flagged\n",
+			r.Stats.DistIntegrityRetries, r.Stats.DistHedges, r.Stats.DistHedgeWins,
+			r.Stats.GrayStragglers, r.Stats.GrayLinkFlaky)
 	}
 	for _, d := range r.Stats.Devices {
 		fmt.Fprintf(&sb, "  device %d: %s (served %d, failed %d)\n", d.ID, d.State, d.Served, d.Failed)
@@ -170,6 +180,24 @@ func Run(sc *Scenario, logf func(format string, args ...any)) (*Report, error) {
 				Schedule: []gpusim.ScheduledFault{{Kind: gpusim.FaultAbort, Repeat: 1 << 30}},
 			}
 		}
+		// Gray arming: a silent straggler (modeled slowdown, no event,
+		// no error) and/or a flaky link (seeded corruption on every
+		// transfer touching the device — each one caught by the
+		// solver's checksums and repaired, so the reference stays
+		// bitwise authoritative).
+		if g := sc.Gray; g != nil {
+			if g.Straggler >= 0 {
+				distTopo.Device(g.Straggler).SlowFactor = g.StragglerFactor
+			}
+			if g.Flaky >= 0 {
+				distTopo.Links = &gpusim.LinkInjector{
+					Seed:    sc.Seed*0x9E3779B9 + 1,
+					Rate:    g.FlakyRate,
+					Kinds:   []gpusim.LinkFaultKind{gpusim.LinkCorrupt},
+					Devices: []int{g.Flaky},
+				}
+			}
+		}
 	}
 
 	// The factory builds each device's real serving pool, wrapped in a
@@ -199,7 +227,7 @@ func Run(sc *Scenario, logf func(format string, args ...any)) (*Report, error) {
 		gates.put(id, g)
 		return g, nil
 	}
-	fl, err := fleet.New(fleet.Config{
+	fcfg := fleet.Config{
 		Devices:           sc.Devices,
 		InitialActive:     sc.InitialActive,
 		MinActive:         sc.MinActive,
@@ -213,7 +241,16 @@ func Run(sc *Scenario, logf func(format string, args ...any)) (*Report, error) {
 		ScaleUpAt:         sc.ScaleUpAt,
 		ScaleDownAt:       sc.ScaleDownAt,
 		DistTopology:      distTopo,
-	})
+	}
+	if g := sc.Gray; g != nil {
+		fcfg.Gray = fleet.GrayPolicy{
+			StragglerRatio: g.StragglerRatio,
+			MinSamples:     g.MinSamples,
+			IntegrityLimit: g.IntegrityLimit,
+		}
+		fcfg.DistHedge = core.HedgePolicy{Disable: g.DisableHedge}
+	}
+	fl, err := fleet.New(fcfg)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
@@ -251,7 +288,13 @@ func Run(sc *Scenario, logf func(format string, args ...any)) (*Report, error) {
 	reqID := 0
 	var distWG sync.WaitGroup
 	var distFailed atomic.Int64
-	distLaunched := false
+	distRemaining := 0
+	var nextDistAt time.Duration
+	if ds := sc.Distributed; ds != nil {
+		distRemaining = ds.count()
+		nextDistAt = ds.At
+	}
+	rep.CordonTicks = make(map[int]int)
 	for t := 0; t < ticks; t++ {
 		now := time.Duration(t) * sc.Tick
 
@@ -305,10 +348,20 @@ func Run(sc *Scenario, logf func(format string, args ...any)) (*Report, error) {
 		// distributed solve is still in flight* — the issue's central
 		// claim — and the solve's own migration machinery finishes the
 		// answer on the survivors.
-		if ds := sc.Distributed; ds != nil && !distLaunched && now >= ds.At {
-			distLaunched = true
+		if ds := sc.Distributed; ds != nil && distRemaining > 0 && now >= nextDistAt {
+			first := distRemaining == ds.count()
+			distRemaining--
+			every := ds.Every
+			if every <= 0 {
+				every = sc.Tick
+			}
+			nextDistAt = now + every
 			eventsBase := fl.Stats().Events
-			say("t=%v: launch distributed solve %dx%d, %d victims armed", now, ds.M, ds.N, len(ds.Victims))
+			if first {
+				say("t=%v: launch distributed solve %dx%d, %d victims armed", now, ds.M, ds.N, len(ds.Victims))
+			} else {
+				say("t=%v: launch distributed solve %dx%d (%d of %d)", now, ds.M, ds.N, ds.count()-distRemaining, ds.count())
+			}
 			distWG.Add(1)
 			go func() {
 				defer distWG.Done()
@@ -326,11 +379,23 @@ func Run(sc *Scenario, logf func(format string, args ...any)) (*Report, error) {
 					}
 				}
 			}()
-			for fl.Stats().Events < eventsBase+uint64(len(ds.Victims)) {
-				runtime.Gosched()
+			// Armed victims die on their first kernel launch of the
+			// first solve; later solves run on the survivors.
+			if first {
+				for fl.Stats().Events < eventsBase+uint64(len(ds.Victims)) {
+					runtime.Gosched()
+				}
+				if len(ds.Victims) > 0 {
+					say("t=%v: %d device death(s) surfaced mid-solve", now, len(ds.Victims))
+				}
 			}
-			if len(ds.Victims) > 0 {
-				say("t=%v: %d device death(s) surfaced mid-solve", now, len(ds.Victims))
+			// With gray failures armed, the solve's statistical evidence
+			// (latency residue, integrity retries) must reach the
+			// detector before this tick's control loop runs — otherwise
+			// the cordon tick would depend on a goroutine race and
+			// cordoned_by assertions could not be deterministic.
+			if sc.Gray != nil {
+				distWG.Wait()
 			}
 		}
 
@@ -365,6 +430,14 @@ func Run(sc *Scenario, logf func(format string, args ...any)) (*Report, error) {
 		fl.Tick()
 		if fatalTick {
 			gates.releaseAll()
+		}
+		// Record each device's first observed cordon tick — the
+		// detection-latency figure cordoned_by assertions bound.
+		for _, d := range fl.Stats().Devices {
+			if _, seen := rep.CordonTicks[d.ID]; !seen && (d.State == fleet.StateCordoned || d.State == fleet.StateDead) {
+				rep.CordonTicks[d.ID] = t
+				say("t=%v: device %d cordoned (tick %d)", now, d.ID, t)
+			}
 		}
 
 		// 4. Settle the interval: requests complete (re-routing off any
@@ -447,6 +520,25 @@ func evaluate(sc *Scenario, rep *Report) {
 	}
 	if int(rep.Stats.DistMigrations) < a.MinDistMigrations {
 		fail("distributed migrations = %d < min_dist_migrations %d", rep.Stats.DistMigrations, a.MinDistMigrations)
+	}
+	if int(rep.Stats.DistIntegrityRetries) < a.MinIntegrityRetries {
+		fail("integrity retries = %d < min_integrity_retries %d (the corruption never hit a verified transfer?)",
+			rep.Stats.DistIntegrityRetries, a.MinIntegrityRetries)
+	}
+	if int(rep.Stats.DistHedges) < a.MinHedges {
+		fail("hedges = %d < min_hedges %d (the straggler never triggered speculation?)",
+			rep.Stats.DistHedges, a.MinHedges)
+	}
+	if a.MaxDistDegraded != nil && int(rep.Stats.DistDegraded) > *a.MaxDistDegraded {
+		fail("distributed degraded slabs = %d > max_dist_degraded %d", rep.Stats.DistDegraded, *a.MaxDistDegraded)
+	}
+	for _, cb := range a.CordonedBy {
+		tick, ok := rep.CordonTicks[cb.Device]
+		if !ok {
+			fail("device %d was never cordoned (cordoned_by tick %d)", cb.Device, cb.Tick)
+		} else if tick > cb.Tick {
+			fail("device %d cordoned at tick %d > cordoned_by %d", cb.Device, tick, cb.Tick)
+		}
 	}
 	for _, fs := range a.FinalStates {
 		got := rep.Stats.Devices[fs.Device].State.String()

@@ -70,6 +70,49 @@ func TestDistributedDeviceDeathScenario(t *testing.T) {
 	t.Logf("\n%s", rep.Summary())
 }
 
+// TestGrayFailureScenario is the gray-failure acceptance scenario: a
+// silent straggler and a flaky (corrupting) link, neither of which
+// ever raises a driver event, must both be diagnosed from
+// distributed-solve evidence and cordoned within the file's asserted
+// tick bounds — while every accepted response stays bitwise identical
+// to the fault-free reference (every corruption caught by checksum
+// and repaired, straggler slabs hedged onto healthy devices, zero
+// slabs degraded off the bit-exact device path).
+func TestGrayFailureScenario(t *testing.T) {
+	rep, err := RunFile("testdata/gray_failure.yaml", t.Logf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("scenario failed:\n%s", rep.Summary())
+	}
+	if rep.Incorrect != 0 || rep.DistFailed != 0 {
+		t.Fatalf("incorrect %d / distributed failures %d, want 0/0", rep.Incorrect, rep.DistFailed)
+	}
+	// 100% corruption catch: every injected corrupt transfer was
+	// noticed by a checksum and re-exchanged (an uncaught corruption
+	// would have surfaced as an Incorrect response instead).
+	if rep.Stats.DistIntegrityRetries == 0 {
+		t.Fatal("no integrity retries: the flaky link never hit a verified transfer")
+	}
+	if rep.Stats.DistDegraded != 0 {
+		t.Fatalf("%d slabs degraded to the host path; the scenario is tuned for in-place recovery", rep.Stats.DistDegraded)
+	}
+	if rep.Stats.GrayStragglers != 1 || rep.Stats.GrayLinkFlaky != 1 {
+		t.Fatalf("detector flagged %d stragglers / %d flaky links, want 1/1",
+			rep.Stats.GrayStragglers, rep.Stats.GrayLinkFlaky)
+	}
+	if rep.Stats.DistHedges == 0 || rep.Stats.DistHedgeWins == 0 {
+		t.Fatalf("hedges/wins = %d/%d: the straggler never lost a slab race",
+			rep.Stats.DistHedges, rep.Stats.DistHedgeWins)
+	}
+	// Nothing died — both cordons came from synthesized gray events.
+	if rep.Stats.DistDeaths != 0 {
+		t.Fatalf("dist deaths = %d, want 0", rep.Stats.DistDeaths)
+	}
+	t.Logf("\n%s", rep.Summary())
+}
+
 // TestThermalAutoscaleScenario: a load surge scales standby capacity
 // in, a thermal throttle deprioritizes (never drains) a device, and
 // the post-surge lull scales back down.

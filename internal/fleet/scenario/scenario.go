@@ -59,6 +59,11 @@ type Scenario struct {
 	// across the fleet's simulated interconnect fabric mid-run.
 	Distributed *DistSpec
 
+	// Gray, when non-nil, arms gray failures on the distributed fabric
+	// (a silent straggler, a flaky link) and tunes the fleet's
+	// gray-failure detector.
+	Gray *GraySpec
+
 	// Assert is evaluated after the run.
 	Assert Assertions
 }
@@ -79,6 +84,41 @@ type DistSpec struct {
 	At time.Duration
 	// Victims lists the topology devices armed to die mid-solve.
 	Victims []int
+	// Count launches that many distributed solves (sequentially, the
+	// first at At, the rest Every apart); 0 means 1. Repeated solves
+	// are how gray failures accumulate detectable evidence.
+	Count int
+	// Every spaces repeated solves; 0 means one solve per tick.
+	Every time.Duration
+}
+
+func (ds *DistSpec) count() int {
+	if ds.Count <= 0 {
+		return 1
+	}
+	return ds.Count
+}
+
+// GraySpec arms gray failures — failures no driver event announces —
+// on the distributed fabric, and tunes the detector that must catch
+// them from statistical evidence alone.
+type GraySpec struct {
+	// Straggler, when >= 0, is the topology device silently slowed by
+	// StragglerFactor (its modeled kernel time multiplies, no health
+	// event fires, answers stay bit-exact).
+	Straggler       int
+	StragglerFactor float64
+	// Flaky, when >= 0, is the device whose links corrupt transfers at
+	// FlakyRate (seeded by the scenario seed; every corruption must be
+	// caught by the solver's checksums and repaired in place).
+	Flaky     int
+	FlakyRate float64
+	// Detector knobs (zero = fleet defaults, see fleet.GrayPolicy).
+	StragglerRatio float64
+	MinSamples     int
+	IntegrityLimit int
+	// DisableHedge turns off straggler hedging in distributed solves.
+	DisableHedge bool
 }
 
 // LoadPhase offers `RPS` requests per virtual second over [From, To).
@@ -131,8 +171,26 @@ type Assertions struct {
 	MinDistSolves     int
 	DistDeaths        *int
 	MinDistMigrations int
+	// MinIntegrityRetries demands the corruption provably happened and
+	// was repaired (checksum-mismatched transfers re-exchanged);
+	// MinHedges demands the straggler provably triggered speculative
+	// slab re-launches; MaxDistDegraded bounds slabs degraded to the
+	// host path (unset = unbounded; 0 pins the bitwise-identity story).
+	MinIntegrityRetries int
+	MinHedges           int
+	MaxDistDegraded     *int
+	// CordonedBy demands each listed device was cordoned (or dead) no
+	// later than the given control-loop tick — the detection-latency
+	// bound on the gray-failure detector.
+	CordonedBy []CordonDeadline
 	// FinalStates pins device states at the end of the run.
 	FinalStates []FinalState
+}
+
+// CordonDeadline is one detection-latency assertion: Device must have
+// left the servable states by control-loop tick Tick (0-based).
+type CordonDeadline struct {
+	Device, Tick int
 }
 
 // Load reads and decodes a scenario file.
@@ -157,11 +215,11 @@ func Load(path string) (*Scenario, error) {
 
 // Decode parses scenario YAML and applies defaults and validation.
 func Decode(data []byte) (*Scenario, error) {
-	root, err := parseYAML(data)
+	root, lines, err := parseYAML(data)
 	if err != nil {
 		return nil, err
 	}
-	d := &decoder{}
+	d := &decoder{lines: lines}
 	top := d.section(root, "")
 
 	sc := &Scenario{
@@ -249,7 +307,29 @@ func Decode(data []byte) (*Scenario, error) {
 			}
 			spec.Victims = append(spec.Victims, n)
 		}
+		spec.Count = ds.num("count", 0)
+		spec.Every = ds.dur("every", 0)
 		sc.Distributed = spec
+	}
+
+	if v := top.child("gray"); v != nil {
+		g := d.section(v, "gray")
+		spec := &GraySpec{Straggler: -1, Flaky: -1}
+		if sv := g.child("straggler"); sv != nil {
+			s := d.section(sv, "gray.straggler")
+			spec.Straggler = s.num("device", 0)
+			spec.StragglerFactor = s.flt("factor", 10)
+		}
+		if fv := g.child("flaky"); fv != nil {
+			fs := d.section(fv, "gray.flaky")
+			spec.Flaky = fs.num("device", 0)
+			spec.FlakyRate = fs.flt("rate", 0.3)
+		}
+		spec.StragglerRatio = g.flt("straggler_ratio", 0)
+		spec.MinSamples = g.num("min_samples", 0)
+		spec.IntegrityLimit = g.num("integrity_limit", 0)
+		spec.DisableHedge = g.str("disable_hedge", "") == "true"
+		sc.Gray = spec
 	}
 
 	as := d.section(top.child("assert"), "assert")
@@ -272,6 +352,18 @@ func Decode(data []byte) (*Scenario, error) {
 		sc.Assert.DistDeaths = &n
 	}
 	sc.Assert.MinDistMigrations = as.num("min_dist_migrations", 0)
+	sc.Assert.MinIntegrityRetries = as.num("min_integrity_retries", 0)
+	sc.Assert.MinHedges = as.num("min_hedges", 0)
+	if n, ok := as.numOpt("max_dist_degraded"); ok {
+		sc.Assert.MaxDistDegraded = &n
+	}
+	for i, item := range as.list("cordoned_by") {
+		cb := d.section(item, fmt.Sprintf("assert.cordoned_by[%d]", i))
+		sc.Assert.CordonedBy = append(sc.Assert.CordonedBy, CordonDeadline{
+			Device: cb.num("device", 0),
+			Tick:   cb.num("tick", 0),
+		})
+	}
 	for i, item := range as.list("final_states") {
 		fs := d.section(item, fmt.Sprintf("assert.final_states[%d]", i))
 		sc.Assert.FinalStates = append(sc.Assert.FinalStates, FinalState{
@@ -327,6 +419,44 @@ func (sc *Scenario) validate() error {
 		if len(ds.Victims) >= sc.Devices {
 			return fmt.Errorf("scenario: all %d devices are victims — no survivor to migrate to", sc.Devices)
 		}
+		if ds.Count > 1 {
+			every := ds.Every
+			if every <= 0 {
+				every = sc.Tick
+			}
+			if last := ds.At + time.Duration(ds.Count-1)*every; last >= sc.Duration {
+				return fmt.Errorf("scenario: distributed solve %d would launch at %v, outside the run", ds.Count-1, last)
+			}
+		}
+	}
+	if g := sc.Gray; g != nil {
+		if sc.Distributed == nil {
+			return fmt.Errorf("scenario: gray failures need a distributed stanza — the detector's only evidence is distributed-solve reports")
+		}
+		if g.Straggler < 0 && g.Flaky < 0 {
+			return fmt.Errorf("scenario: gray stanza arms neither a straggler nor a flaky link")
+		}
+		if g.Straggler >= sc.Devices {
+			return fmt.Errorf("scenario: gray straggler device %d out of range", g.Straggler)
+		}
+		if g.Straggler >= 0 && g.StragglerFactor <= 1 {
+			return fmt.Errorf("scenario: gray straggler factor %g must be > 1", g.StragglerFactor)
+		}
+		if g.Flaky >= sc.Devices {
+			return fmt.Errorf("scenario: gray flaky device %d out of range", g.Flaky)
+		}
+		if g.Flaky >= 0 && (g.FlakyRate <= 0 || g.FlakyRate >= 1) {
+			return fmt.Errorf("scenario: gray flaky rate %g must be in (0, 1)", g.FlakyRate)
+		}
+	}
+	ticks := int(sc.Duration / sc.Tick)
+	for _, cb := range sc.Assert.CordonedBy {
+		if cb.Device < 0 || cb.Device >= sc.Devices {
+			return fmt.Errorf("scenario: cordoned_by device %d out of range", cb.Device)
+		}
+		if cb.Tick < 0 || cb.Tick >= ticks {
+			return fmt.Errorf("scenario: cordoned_by tick %d outside the run's %d ticks", cb.Tick, ticks)
+		}
 	}
 	return nil
 }
@@ -337,6 +467,9 @@ func (sc *Scenario) validate() error {
 type decoder struct {
 	err      error
 	sections []*section
+	// lines maps key paths to source lines (from parseYAML), so an
+	// unknown-key error points at the exact line holding the typo.
+	lines map[string]int
 }
 
 func (d *decoder) fail(format string, args ...any) {
@@ -376,7 +509,8 @@ func (d *decoder) section(v any, path string) *section {
 	return s
 }
 
-// finish reports unknown keys across every section.
+// finish reports unknown keys across every section, each pointing at
+// the source line that holds the typo.
 func (d *decoder) finish() {
 	for _, s := range d.sections {
 		var unknown []string
@@ -387,7 +521,11 @@ func (d *decoder) finish() {
 		}
 		sort.Strings(unknown)
 		for _, k := range unknown {
-			d.fail("%s: unknown key %q", s.keyPath(k), k)
+			if no, ok := d.lines[joinPath(s.path, k)]; ok {
+				d.fail("line %d: %s: unknown key %q", no, s.keyPath(k), k)
+			} else {
+				d.fail("%s: unknown key %q", s.keyPath(k), k)
+			}
 		}
 	}
 }

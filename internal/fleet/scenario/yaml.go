@@ -17,30 +17,41 @@ import (
 //   - `#` comments (full-line or trailing) and blank lines
 //
 // Tabs in indentation, mixed list/map siblings, and multi-line scalars
-// are errors. Parse returns map[string]any | []any | string values.
-func parseYAML(data []byte) (map[string]any, error) {
-	p := &yamlParser{}
+// are errors. Parse returns map[string]any | []any | string values,
+// plus a key-path → source-line map ("distributed.victims",
+// "load[0].rps") so the strict decoder can point typos at the exact
+// line that holds them.
+func parseYAML(data []byte) (map[string]any, map[string]int, error) {
+	p := &yamlParser{keys: make(map[string]int)}
 	if err := p.lex(string(data)); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(p.lines) == 0 {
-		return map[string]any{}, nil
+		return map[string]any{}, p.keys, nil
 	}
 	if p.lines[0].indent != 0 {
-		return nil, fmt.Errorf("yaml line %d: top level must not be indented", p.lines[0].no)
+		return nil, nil, fmt.Errorf("yaml line %d: top level must not be indented", p.lines[0].no)
 	}
-	v, err := p.block(0)
+	v, err := p.block(0, "")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if p.pos < len(p.lines) {
-		return nil, fmt.Errorf("yaml line %d: unexpected indentation", p.lines[p.pos].no)
+		return nil, nil, fmt.Errorf("yaml line %d: unexpected indentation", p.lines[p.pos].no)
 	}
 	m, ok := v.(map[string]any)
 	if !ok {
-		return nil, fmt.Errorf("yaml: top level must be a map")
+		return nil, nil, fmt.Errorf("yaml: top level must be a map")
 	}
-	return m, nil
+	return m, p.keys, nil
+}
+
+// joinPath appends a key to a dotted key path.
+func joinPath(path, key string) string {
+	if path == "" {
+		return key
+	}
+	return path + "." + key
 }
 
 type yamlLine struct {
@@ -52,6 +63,9 @@ type yamlLine struct {
 type yamlParser struct {
 	lines []yamlLine
 	pos   int
+	// keys maps each parsed key's dotted path to its 1-based source
+	// line, for the decoder's line-numbered unknown-key errors.
+	keys map[string]int
 }
 
 func (p *yamlParser) lex(src string) error {
@@ -91,15 +105,16 @@ func stripComment(line string) string {
 }
 
 // block parses the run of lines at exactly `indent`, deciding list vs
-// map from the first line.
-func (p *yamlParser) block(indent int) (any, error) {
+// map from the first line. `path` is the dotted key path of the value
+// being parsed, for the key-line map.
+func (p *yamlParser) block(indent int, path string) (any, error) {
 	if strings.HasPrefix(p.lines[p.pos].text, "- ") || p.lines[p.pos].text == "-" {
-		return p.list(indent)
+		return p.list(indent, path)
 	}
-	return p.mapping(indent)
+	return p.mapping(indent, path)
 }
 
-func (p *yamlParser) mapping(indent int) (any, error) {
+func (p *yamlParser) mapping(indent int, path string) (any, error) {
 	m := make(map[string]any)
 	for p.pos < len(p.lines) && p.lines[p.pos].indent == indent {
 		ln := p.lines[p.pos]
@@ -113,9 +128,11 @@ func (p *yamlParser) mapping(indent int) (any, error) {
 		if _, dup := m[key]; dup {
 			return nil, fmt.Errorf("yaml line %d: duplicate key %q", ln.no, key)
 		}
+		kp := joinPath(path, key)
+		p.keys[kp] = ln.no
 		p.pos++
 		if rest != "" {
-			v, err := parseFlow(rest, ln.no)
+			v, err := p.parseFlow(rest, ln.no, kp)
 			if err != nil {
 				return nil, err
 			}
@@ -124,7 +141,7 @@ func (p *yamlParser) mapping(indent int) (any, error) {
 		}
 		// `key:` with a nested block — or an empty value.
 		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
-			v, err := p.block(p.lines[p.pos].indent)
+			v, err := p.block(p.lines[p.pos].indent, kp)
 			if err != nil {
 				return nil, err
 			}
@@ -136,13 +153,14 @@ func (p *yamlParser) mapping(indent int) (any, error) {
 	return m, nil
 }
 
-func (p *yamlParser) list(indent int) (any, error) {
+func (p *yamlParser) list(indent int, path string) (any, error) {
 	var out []any
 	for p.pos < len(p.lines) && p.lines[p.pos].indent == indent {
 		ln := p.lines[p.pos]
 		if !strings.HasPrefix(ln.text, "- ") && ln.text != "-" {
 			return nil, fmt.Errorf("yaml line %d: map key among list items", ln.no)
 		}
+		ip := fmt.Sprintf("%s[%d]", path, len(out))
 		rest := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
 		switch {
 		case rest == "":
@@ -151,7 +169,7 @@ func (p *yamlParser) list(indent int) (any, error) {
 			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
 				return nil, fmt.Errorf("yaml line %d: empty list item", ln.no)
 			}
-			v, err := p.block(p.lines[p.pos].indent)
+			v, err := p.block(p.lines[p.pos].indent, ip)
 			if err != nil {
 				return nil, err
 			}
@@ -161,14 +179,14 @@ func (p *yamlParser) list(indent int) (any, error) {
 			// on the dash line; its siblings follow at the dash indent
 			// plus two (the column where `key` starts).
 			p.lines[p.pos] = yamlLine{no: ln.no, indent: indent + 2, text: rest}
-			v, err := p.mapping(indent + 2)
+			v, err := p.mapping(indent+2, ip)
 			if err != nil {
 				return nil, err
 			}
 			out = append(out, v)
 		default:
 			p.pos++
-			v, err := parseFlow(rest, ln.no)
+			v, err := p.parseFlow(rest, ln.no, ip)
 			if err != nil {
 				return nil, err
 			}
@@ -208,8 +226,9 @@ func isMapEntry(s string) bool {
 }
 
 // parseFlow parses an inline value: a one-level flow map, a flow list,
-// or a scalar.
-func parseFlow(s string, no int) (any, error) {
+// or a scalar. `path` is the value's key path; flow-map entries share
+// their container's source line.
+func (p *yamlParser) parseFlow(s string, no int, path string) (any, error) {
 	switch {
 	case strings.HasPrefix(s, "{"):
 		if !strings.HasSuffix(s, "}") {
@@ -225,6 +244,7 @@ func parseFlow(s string, no int) (any, error) {
 				return nil, fmt.Errorf("yaml line %d: bad flow map entry %q", no, part)
 			}
 			m[key] = unquote(rest)
+			p.keys[joinPath(path, key)] = no
 		}
 		return m, nil
 	case strings.HasPrefix(s, "["):

@@ -28,7 +28,7 @@ plain:
 when: 12:30
 empty:
 `
-	got, err := parseYAML([]byte(src))
+	got, lines, err := parseYAML([]byte(src))
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
@@ -51,6 +51,20 @@ empty:
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("parse mismatch:\n got %#v\nwant %#v", got, want)
 	}
+	// The key-line map points every path at its source line, including
+	// flow-map entries (which share their container's line) and keys
+	// inside list items.
+	for path, wantNo := range map[string]int{
+		"name":                3,
+		"shape.m":             4,
+		"devices.nested.deep": 9,
+		"load[0].rps":         11,
+		"load[1].to":          13,
+	} {
+		if lines[path] != wantNo {
+			t.Errorf("line of %q = %d, want %d", path, lines[path], wantNo)
+		}
+	}
 }
 
 func TestParseYAMLErrors(t *testing.T) {
@@ -68,7 +82,7 @@ func TestParseYAMLErrors(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := parseYAML([]byte(tc.src))
+			_, _, err := parseYAML([]byte(tc.src))
 			if err == nil || !strings.Contains(err.Error(), tc.want) {
 				t.Fatalf("err = %v, want mention of %q", err, tc.want)
 			}
@@ -113,6 +127,11 @@ func TestDecodeStrictness(t *testing.T) {
 	}{
 		{"unknown top key", "rps: 5\nload:\n  - {rps: 1}", `unknown key "rps"`},
 		{"unknown nested key", "devices:\n  cuont: 3\nload:\n  - {rps: 1}", `unknown key "cuont"`},
+		// The canonical typo: the error must name the source line.
+		{"typo names its line", "load:\n  - {rps: 1}\ndistributed:\n  n: 2049\n  vicitms: [1]",
+			`line 5: distributed: unknown key "vicitms"`},
+		{"flow typo names its line", "load:\n  - {rps: 1}\nshape: {m: 8, m_rows: 9}",
+			`line 3: shape: unknown key "m_rows"`},
 		{"bad kind", "load:\n  - {rps: 1}\nevents:\n  - {at: 1s, device: 0, kind: sharknado}", "sharknado"},
 		{"missing kind", "load:\n  - {rps: 1}\nevents:\n  - {at: 1s, device: 0}", "missing kind"},
 		{"bad int", "variants: soon\nload:\n  - {rps: 1}", "not an integer"},
@@ -132,7 +151,12 @@ func TestDecodeStrictness(t *testing.T) {
 }
 
 func TestLoadCannedScenarios(t *testing.T) {
-	for _, f := range []string{"testdata/device_death.yaml", "testdata/thermal_autoscale.yaml"} {
+	for _, f := range []string{
+		"testdata/device_death.yaml",
+		"testdata/thermal_autoscale.yaml",
+		"testdata/distributed_device_death.yaml",
+		"testdata/gray_failure.yaml",
+	} {
 		sc, err := Load(f)
 		if err != nil {
 			t.Fatalf("%s: %v", f, err)

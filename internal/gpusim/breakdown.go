@@ -20,11 +20,14 @@ type Breakdown struct {
 
 // EstimateBreakdown returns the termwise decomposition of the cost
 // model for the given stats. EstimateTime(s, elemBytes) ==
-// Breakdown.Total exactly.
+// Breakdown.Total exactly, including the uniform Device.SlowFactor
+// scaling (every term is scaled, so the binding constraint is
+// unchanged by a silent slowdown).
 func (d *Device) EstimateBreakdown(s *Stats, elemBytes int) Breakdown {
 	bd := Breakdown{}
 	bd.Launch = float64(s.Launches) * d.KernelLaunchOverhead
 	if s.Blocks == 0 || s.ThreadsPerBlock == 0 {
+		bd.Launch *= d.slow()
 		bd.Total = bd.Launch
 		bd.Bound = "launch"
 		return bd
@@ -94,6 +97,15 @@ func (d *Device) EstimateBreakdown(s *Stats, elemBytes int) Breakdown {
 	}
 	if bd.Launch > bd.Total-bd.Launch {
 		bd.Bound = "launch"
+	}
+	if f := d.slow(); f > 1 {
+		bd.Launch *= f
+		bd.Bandwidth *= f
+		bd.Latency *= f
+		bd.Compute *= f
+		bd.Shared *= f
+		bd.Barrier *= f
+		bd.Total *= f
 	}
 	return bd
 }

@@ -36,9 +36,11 @@ package gpusim
 //
 // On-chip time (compute+shared+barriers) overlaps DRAM traffic on real
 // hardware, so the model takes the maximum of the two, plus overheads.
+// A silently degraded device (Device.SlowFactor > 1) scales the whole
+// estimate uniformly.
 func (d *Device) EstimateTime(s *Stats, elemBytes int) float64 {
 	if s.Blocks == 0 || s.ThreadsPerBlock == 0 {
-		return float64(s.Launches) * d.KernelLaunchOverhead
+		return float64(s.Launches) * d.KernelLaunchOverhead * d.slow()
 	}
 
 	// --- occupancy ---
@@ -97,5 +99,5 @@ func (d *Device) EstimateTime(s *Stats, elemBytes int) float64 {
 	if onChip > busy {
 		busy = onChip
 	}
-	return float64(s.Launches)*d.KernelLaunchOverhead + busy
+	return (float64(s.Launches)*d.KernelLaunchOverhead + busy) * d.slow()
 }

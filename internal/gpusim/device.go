@@ -59,6 +59,22 @@ type Device struct {
 	// Nil (the default on every preset) injects nothing. Attach or
 	// detach between solves, never while a launch is in flight.
 	Faults *Injector
+
+	// SlowFactor models a silent slowdown — a thermally throttled,
+	// power-capped, or otherwise degraded device that still computes
+	// correctly but takes SlowFactor times the modeled kernel time,
+	// without raising any health event or launch error. Values <= 1
+	// mean no slowdown. This is the straggler half of gray failure:
+	// nothing in the fail-stop plane notices it, only latency does.
+	SlowFactor float64
+}
+
+// slow returns the effective slowdown multiplier (>= 1).
+func (d *Device) slow() float64 {
+	if d.SlowFactor > 1 {
+		return d.SlowFactor
+	}
+	return 1
 }
 
 // GTX480 returns the device description for the paper's test GPU

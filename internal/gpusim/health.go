@@ -34,6 +34,19 @@ const (
 	// HealthHealed reports the device recovered (reset completed,
 	// temperature normal). Policy: uncordon into probation.
 	HealthHealed
+	// HealthLinkFlaky reports a gray interconnect: the device's link
+	// keeps corrupting or dropping transfers (caught by end-to-end
+	// integrity checks, so no data was served wrong — but every retry
+	// burns latency and the link is untrustworthy). Synthesized by the
+	// fleet's gray-failure detector, never by the driver. Policy:
+	// cordon and drain, like HealthXID.
+	HealthLinkFlaky
+	// HealthStraggler reports a silent slowdown: the device computes
+	// correctly but consistently slower than its peers (EWMA latency
+	// ratio past threshold), dragging every distributed solve it joins.
+	// Synthesized by the fleet's gray-failure detector. Policy: cordon
+	// and drain.
+	HealthStraggler
 )
 
 // String names the kind.
@@ -49,6 +62,10 @@ func (k HealthKind) String() string {
 		return "ecc-uncorrected"
 	case HealthHealed:
 		return "healed"
+	case HealthLinkFlaky:
+		return "link-flaky"
+	case HealthStraggler:
+		return "straggler"
 	default:
 		return fmt.Sprintf("health(%d)", int(k))
 	}
@@ -57,7 +74,7 @@ func (k HealthKind) String() string {
 // ParseHealthKind parses the String form back into a kind (scenario
 // files and the HTTP injection endpoint speak the string names).
 func ParseHealthKind(s string) (HealthKind, error) {
-	for k := HealthXID; k <= HealthHealed; k++ {
+	for k := HealthXID; k <= HealthStraggler; k++ {
 		if k.String() == s {
 			return k, nil
 		}
@@ -102,7 +119,7 @@ func (s HealthSeverity) String() string {
 // the consumer (the fleet controller), not here.
 func (k HealthKind) Severity() HealthSeverity {
 	switch k {
-	case HealthXID, HealthECCUncorrected:
+	case HealthXID, HealthECCUncorrected, HealthLinkFlaky, HealthStraggler:
 		return SeverityFatal
 	case HealthThermal:
 		return SeverityDegraded

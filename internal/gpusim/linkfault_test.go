@@ -1,0 +1,179 @@
+package gpusim
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// Two topologies with identically-seeded injectors must charge exactly
+// the same fault sites, penalties, and stats for the same transfer
+// sequence — the determinism contract everything downstream (bitwise
+// replay, fuzzing) stands on.
+func TestLinkInjectorDeterministic(t *testing.T) {
+	run := func() (CommStats, []TransferReport) {
+		topo, err := UniformTopology(4, NVLinkMesh(), GTX480())
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo.Links = &LinkInjector{Seed: 42, Rate: 0.3}
+		var reps []TransferReport
+		for i := 0; i < 50; i++ {
+			reps = append(reps, topo.Transfer(nil, OpHostToDevice, -1, i%4, 1024))
+			reps = append(reps, topo.Transfer(nil, OpHaloExchange, i%4, (i+1)%4, 4096))
+			reps = append(reps, topo.Transfer(nil, OpPeerCopy, i%4, (i+2)%4, 512))
+		}
+		return topo.Comm(), reps
+	}
+	c1, r1 := run()
+	c2, r2 := run()
+	if c1 != c2 {
+		t.Fatalf("same seed, different stats:\n%+v\n%+v", c1, c2)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("transfer %d: same seed, different report: %+v vs %+v", i, r1[i], r2[i])
+		}
+	}
+	if c1.LinkFaults == 0 {
+		t.Fatal("rate 0.3 over 150 transfers injected nothing")
+	}
+}
+
+// A scheduled fault must hit exactly the pinned site and heal after its
+// Repeat budget, and faults must charge the modeled penalties they
+// advertise.
+func TestLinkInjectorScheduleAndCharges(t *testing.T) {
+	topo, err := UniformTopology(2, PCIe2(), GTX480())
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.Links = &LinkInjector{
+		DropRetries: 2,
+		DelayFactor: 3,
+		Schedule: []ScheduledLinkFault{
+			{Op: OpHostToDevice, From: MatchAny, To: 1, Index: 0, Kind: LinkCorrupt},
+			{Op: OpDeviceToHost, From: 0, To: MatchAny, Index: -1, Kind: LinkDrop, Repeat: 1},
+			{Op: OpHaloExchange, From: MatchAny, To: MatchAny, Index: 1, Kind: LinkDelay},
+		},
+	}
+
+	if rep := topo.Transfer(nil, OpHostToDevice, -1, 1, 100); !rep.Corrupt {
+		t.Fatal("pinned corrupt fault did not fire")
+	}
+	if rep := topo.Transfer(nil, OpHostToDevice, -1, 1, 100); rep.Corrupt {
+		t.Fatal("Index=0 fault fired again at seq 1")
+	}
+	if rep := topo.Transfer(nil, OpHostToDevice, -1, 0, 100); rep.Corrupt {
+		t.Fatal("fault fired on unmatched endpoint")
+	}
+
+	clean := topo.Interconnect().Host.TransferTime(100)
+	rep := topo.Transfer(nil, OpDeviceToHost, 0, -1, 100)
+	if rep.Drops != 2 {
+		t.Fatalf("drop fault charged %d retries, want DropRetries=2", rep.Drops)
+	}
+	if want := 3 * clean; math.Abs(rep.Seconds-want) > 1e-15 {
+		t.Fatalf("dropped transfer charged %g s, want %g", rep.Seconds, want)
+	}
+	if rep = topo.Transfer(nil, OpDeviceToHost, 0, -1, 100); rep.Drops != 0 {
+		t.Fatal("Repeat=1 drop fault did not heal at seq 1")
+	}
+
+	// Halo on PCIe2 stages through the host: one-way time is 2x host.
+	haloClean := 2 * topo.Interconnect().Host.TransferTime(100)
+	if rep = topo.Transfer(nil, OpHaloExchange, 0, 1, 100); rep.Delayed {
+		t.Fatal("Index=1 delay fired at seq 0")
+	}
+	rep = topo.Transfer(nil, OpHaloExchange, 0, 1, 100)
+	if !rep.Delayed {
+		t.Fatal("pinned delay fault did not fire at seq 1")
+	}
+	if want := 3 * haloClean; math.Abs(rep.Seconds-want) > 1e-15 {
+		t.Fatalf("delayed halo charged %g s, want DelayFactor*clean = %g", rep.Seconds, want)
+	}
+
+	c := topo.Comm()
+	if c.LinkFaults != 3 || c.CorruptTransfers != 1 || c.DroppedTransfers != 2 {
+		t.Fatalf("fault counters wrong: %+v", c)
+	}
+	if c.FaultSeconds <= 0 {
+		t.Fatal("fault seconds not charged")
+	}
+}
+
+// CommScope must attribute exactly the traffic of its own transfers,
+// even when concurrent solves hammer the shared topology — the
+// lost-update the snapshot-Sub idiom suffers from.
+func TestCommScopeExactUnderConcurrency(t *testing.T) {
+	topo, err := UniformTopology(4, NVLinkMesh(), GTX480())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 200
+	scopes := make([]*CommScope, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		scopes[w] = &CommScope{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				topo.Transfer(scopes[w], OpHostToDevice, -1, w%4, int64(100+w))
+				topo.Transfer(scopes[w], OpHaloExchange, w%4, (w+1)%4, 64)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var sum CommStats
+	for w, sc := range scopes {
+		c := sc.Stats()
+		if c.Transfers != 2*per {
+			t.Fatalf("scope %d saw %d transfers, want %d", w, c.Transfers, 2*per)
+		}
+		if want := per * int64(100+w); c.HostBytes != want {
+			t.Fatalf("scope %d cross-charged: host bytes %d, want %d", w, c.HostBytes, want)
+		}
+		sum.add(c)
+	}
+	total := topo.Comm()
+	// Counters must match exactly; the seconds fields are float sums
+	// accumulated in different orders, so allow rounding slack.
+	sumInts := [6]int64{sum.Transfers, sum.HaloExchanges, sum.HostBytes, sum.PeerBytes, sum.LinkFaults, sum.DroppedTransfers}
+	totInts := [6]int64{total.Transfers, total.HaloExchanges, total.HostBytes, total.PeerBytes, total.LinkFaults, total.DroppedTransfers}
+	if sumInts != totInts {
+		t.Fatalf("scopes don't sum to global stats:\nsum   %+v\nglobal %+v", sum, total)
+	}
+	if math.Abs(sum.HostSeconds-total.HostSeconds) > 1e-9 ||
+		math.Abs(sum.PeerSeconds-total.PeerSeconds) > 1e-9 {
+		t.Fatalf("scope seconds diverge from global:\nsum   %+v\nglobal %+v", sum, total)
+	}
+}
+
+// SlowFactor must scale EstimateTime uniformly and keep the
+// EstimateBreakdown Total == EstimateTime contract exact.
+func TestSlowFactorScalesEstimates(t *testing.T) {
+	base := GTX480()
+	slow := GTX480()
+	slow.SlowFactor = 2.5
+
+	s := &Stats{Launches: 3, Blocks: 64, ThreadsPerBlock: 128, Flops: 1 << 20,
+		LoadTransactions: 1 << 12, LoadedBytes: 1 << 19,
+		Barriers: 200, SharedLoads: 5000, SharedStores: 5000}
+	t0 := base.EstimateTime(s, 8)
+	t1 := slow.EstimateTime(s, 8)
+	if math.Abs(t1-2.5*t0) > 1e-12*t0 {
+		t.Fatalf("SlowFactor=2.5: time %g, want %g", t1, 2.5*t0)
+	}
+	for _, d := range []*Device{base, slow} {
+		if bd := d.EstimateBreakdown(s, 8); bd.Total != d.EstimateTime(s, 8) {
+			t.Fatalf("%s: breakdown total %g != estimate %g (SlowFactor=%g)",
+				d.Name, bd.Total, d.EstimateTime(s, 8), d.SlowFactor)
+		}
+	}
+	// No event, no error: the slowdown is silent by construction.
+	if slow.Faults != nil {
+		t.Fatal("slow device grew a fault injector")
+	}
+}

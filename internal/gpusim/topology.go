@@ -81,8 +81,9 @@ func NVLinkMesh() Interconnect {
 
 // CommStats aggregates the interconnect traffic a Topology has charged:
 // transfer counts, bytes, and modeled seconds, split by host-link and
-// peer-link traffic. Seconds are per-link busy time, not wall time —
-// transfers on distinct devices' links overlap.
+// peer-link traffic, plus the link-fault activity charged into the
+// traffic. Seconds are per-link busy time, not wall time — transfers on
+// distinct devices' links overlap.
 type CommStats struct {
 	Transfers     int64
 	HaloExchanges int64
@@ -90,6 +91,17 @@ type CommStats struct {
 	PeerBytes     int64
 	HostSeconds   float64
 	PeerSeconds   float64
+
+	// Link-fault accounting (see LinkInjector). LinkFaults counts
+	// injected faults of any kind; DroppedTransfers the lost attempts of
+	// drop faults; CorruptTransfers the silently corrupted deliveries;
+	// FaultSeconds the extra modeled link-busy time the faults charged
+	// (retried drops plus delay inflation) — already included in
+	// HostSeconds/PeerSeconds.
+	LinkFaults       int64
+	DroppedTransfers int64
+	CorruptTransfers int64
+	FaultSeconds     float64
 }
 
 // TotalBytes sums traffic over both link classes.
@@ -98,31 +110,102 @@ func (c CommStats) TotalBytes() int64 { return c.HostBytes + c.PeerBytes }
 // TotalSeconds sums modeled link-busy seconds over both link classes.
 func (c CommStats) TotalSeconds() float64 { return c.HostSeconds + c.PeerSeconds }
 
-// Sub returns c minus prev, for per-solve deltas of a shared topology.
+// Sub returns c minus prev. It is only meaningful between two snapshots
+// with no concurrent traffic in between: a solve that shares the
+// topology with other in-flight solves must use a CommScope for its
+// per-solve delta instead — snapshot subtraction cross-charges
+// concurrent solves' traffic.
 func (c CommStats) Sub(prev CommStats) CommStats {
 	return CommStats{
-		Transfers:     c.Transfers - prev.Transfers,
-		HaloExchanges: c.HaloExchanges - prev.HaloExchanges,
-		HostBytes:     c.HostBytes - prev.HostBytes,
-		PeerBytes:     c.PeerBytes - prev.PeerBytes,
-		HostSeconds:   c.HostSeconds - prev.HostSeconds,
-		PeerSeconds:   c.PeerSeconds - prev.PeerSeconds,
+		Transfers:        c.Transfers - prev.Transfers,
+		HaloExchanges:    c.HaloExchanges - prev.HaloExchanges,
+		HostBytes:        c.HostBytes - prev.HostBytes,
+		PeerBytes:        c.PeerBytes - prev.PeerBytes,
+		HostSeconds:      c.HostSeconds - prev.HostSeconds,
+		PeerSeconds:      c.PeerSeconds - prev.PeerSeconds,
+		LinkFaults:       c.LinkFaults - prev.LinkFaults,
+		DroppedTransfers: c.DroppedTransfers - prev.DroppedTransfers,
+		CorruptTransfers: c.CorruptTransfers - prev.CorruptTransfers,
+		FaultSeconds:     c.FaultSeconds - prev.FaultSeconds,
 	}
+}
+
+// add folds one charged transfer into the stats.
+func (c *CommStats) add(d CommStats) {
+	c.Transfers += d.Transfers
+	c.HaloExchanges += d.HaloExchanges
+	c.HostBytes += d.HostBytes
+	c.PeerBytes += d.PeerBytes
+	c.HostSeconds += d.HostSeconds
+	c.PeerSeconds += d.PeerSeconds
+	c.LinkFaults += d.LinkFaults
+	c.DroppedTransfers += d.DroppedTransfers
+	c.CorruptTransfers += d.CorruptTransfers
+	c.FaultSeconds += d.FaultSeconds
+}
+
+// CommScope is a per-solve accumulator of interconnect traffic. Every
+// Transfer that names a scope charges the scope in addition to the
+// topology's global stats, so a solve sharing the topology with
+// concurrent solves still gets an exact account of its own traffic —
+// the snapshot-Sub idiom cross-charges whatever else was in flight.
+// The zero value is ready to use; all methods are safe for concurrent
+// use.
+type CommScope struct {
+	mu sync.Mutex
+	c  CommStats
+}
+
+// Stats snapshots the traffic charged into the scope.
+func (s *CommScope) Stats() CommStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c
+}
+
+// Reset clears the scope.
+func (s *CommScope) Reset() {
+	s.mu.Lock()
+	s.c = CommStats{}
+	s.mu.Unlock()
+}
+
+func (s *CommScope) add(d CommStats) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.c.add(d)
+	s.mu.Unlock()
 }
 
 // Topology is a set of simulated devices joined by an interconnect.
 // Kernel execution stays a per-Device concern (including per-device
 // fault injection through Device.Faults); the topology adds the part a
 // single device cannot model — what moving data between failure
-// domains costs. Every transfer method returns the modeled seconds of
+// domains costs, and what a gray interconnect does to the data in
+// flight (Links). Every transfer method returns the modeled seconds of
 // the move and records it into the topology's CommStats. All methods
 // are safe for concurrent use.
 type Topology struct {
 	ic   Interconnect
 	devs []*Device
 
+	// Links, when non-nil, injects gray interconnect faults into every
+	// transfer (see LinkInjector). Attach before solving, never while a
+	// transfer is in flight.
+	Links *LinkInjector
+
 	mu   sync.Mutex
 	comm CommStats
+	// seq counts transfers per fault site (op, from, to), the
+	// deterministic coordinate link-fault draws are keyed on.
+	seq map[linkSite]int
+}
+
+type linkSite struct {
+	op       LinkOp
+	from, to int
 }
 
 // NewTopology builds a topology over the given devices. The device
@@ -143,7 +226,7 @@ func NewTopology(ic Interconnect, devs ...*Device) (*Topology, error) {
 			return nil, fmt.Errorf("gpusim: topology device %d: %w", i, err)
 		}
 	}
-	return &Topology{ic: ic, devs: devs}, nil
+	return &Topology{ic: ic, devs: devs, seq: make(map[linkSite]int)}, nil
 }
 
 // UniformTopology builds an n-device topology of independent copies of
@@ -178,20 +261,20 @@ func (t *Topology) Interconnect() Interconnect { return t.ic }
 // HostToDevice charges an upload of bytes to device dev and returns
 // the modeled seconds it takes.
 func (t *Topology) HostToDevice(dev int, bytes int64) float64 {
-	return t.chargeHost(bytes)
+	return t.Transfer(nil, OpHostToDevice, -1, dev, bytes).Seconds
 }
 
 // DeviceToHost charges a download of bytes from device dev and returns
 // the modeled seconds it takes.
 func (t *Topology) DeviceToHost(dev int, bytes int64) float64 {
-	return t.chargeHost(bytes)
+	return t.Transfer(nil, OpDeviceToHost, dev, -1, bytes).Seconds
 }
 
 // PeerCopy charges a device-to-device copy. Over a peer link it is one
 // transfer; without one it stages through the host and pays the host
 // link in both directions.
 func (t *Topology) PeerCopy(from, to int, bytes int64) float64 {
-	return t.peerCopy(bytes)
+	return t.Transfer(nil, OpPeerCopy, from, to, bytes).Seconds
 }
 
 // HaloExchange charges the neighbor exchange between adjacent slabs:
@@ -199,20 +282,97 @@ func (t *Topology) PeerCopy(from, to int, bytes int64) float64 {
 // full-duplex, so the exchange takes one direction's time, but both
 // directions' bytes are recorded.
 func (t *Topology) HaloExchange(left, right int, bytes int64) float64 {
+	return t.Transfer(nil, OpHaloExchange, left, right, bytes).Seconds
+}
+
+// Transfer charges one interconnect operation, running it through the
+// link-fault injector (Links) when one is attached, and returns the
+// full report: total modeled seconds (drop retries and delay inflation
+// included) plus whether the payload arrived corrupted. A non-nil scope
+// receives an exact copy of everything charged, attributing the
+// traffic to the calling solve even when concurrent solves share the
+// topology. Endpoint -1 means the host.
+func (t *Topology) Transfer(scope *CommScope, op LinkOp, from, to int, bytes int64) TransferReport {
 	if bytes <= 0 {
-		return 0
+		return TransferReport{}
 	}
-	oneWay := t.peerCopy(bytes)
+
+	// One fault decision per transfer, keyed on the site's own
+	// deterministic sequence counter.
+	var kind LinkFaultKind
+	var faulted bool
 	t.mu.Lock()
-	t.comm.HaloExchanges++
-	// Record the reverse direction's bytes without its (overlapped) time.
-	if t.ic.Peer != nil {
-		t.comm.PeerBytes += bytes
-	} else {
-		t.comm.HostBytes += 2 * bytes
+	if t.seq == nil {
+		t.seq = make(map[linkSite]int)
 	}
+	site := linkSite{op, from, to}
+	n := t.seq[site]
+	t.seq[site] = n + 1
 	t.mu.Unlock()
-	return oneWay
+	kind, faulted = t.Links.At(op, from, to, n)
+
+	// Fault-free cost of the operation.
+	var d CommStats
+	var oneWay float64
+	peer := t.ic.Peer != nil
+	switch op {
+	case OpHostToDevice, OpDeviceToHost:
+		oneWay = t.ic.Host.TransferTime(bytes)
+		d.Transfers, d.HostBytes, d.HostSeconds = 1, bytes, oneWay
+	case OpPeerCopy, OpHaloExchange:
+		if peer {
+			oneWay = t.ic.Peer.TransferTime(bytes)
+			d.Transfers, d.PeerBytes, d.PeerSeconds = 1, bytes, oneWay
+		} else {
+			// Host-staged: D2H on the source, then H2D on the destination.
+			oneWay = 2 * t.ic.Host.TransferTime(bytes)
+			d.Transfers, d.HostBytes, d.HostSeconds = 2, 2*bytes, oneWay
+		}
+		if op == OpHaloExchange {
+			// Record the reverse direction's bytes without its
+			// (overlapped, full-duplex) time.
+			d.HaloExchanges = 1
+			if peer {
+				d.PeerBytes += bytes
+			} else {
+				d.HostBytes += 2 * bytes
+			}
+		}
+	}
+
+	rep := TransferReport{Seconds: oneWay}
+	if faulted {
+		d.LinkFaults = 1
+		switch kind {
+		case LinkCorrupt:
+			d.CorruptTransfers = 1
+			rep.Corrupt = true
+		case LinkDrop:
+			drops := t.Links.dropRetries()
+			extra := float64(drops) * oneWay
+			d.DroppedTransfers = int64(drops)
+			d.FaultSeconds = extra
+			rep.Drops = drops
+			rep.Seconds += extra
+		case LinkDelay:
+			extra := (t.Links.delayFactor() - 1) * oneWay
+			d.FaultSeconds = extra
+			rep.Delayed = true
+			rep.Seconds += extra
+		}
+		// The extra busy time lands on the link class that carried it.
+		if d.HostSeconds > 0 {
+			d.HostSeconds += d.FaultSeconds
+		} else {
+			d.PeerSeconds += d.FaultSeconds
+		}
+	}
+
+	t.mu.Lock()
+	t.comm.add(d)
+	t.mu.Unlock()
+	scope.add(d)
+	return rep
 }
 
 // Comm returns a snapshot of the accumulated communication statistics.
@@ -222,47 +382,14 @@ func (t *Topology) Comm() CommStats {
 	return t.comm
 }
 
-// ResetComm clears the accumulated communication statistics.
+// ResetComm clears the accumulated communication statistics and the
+// per-site fault sequence counters, so a fresh run redraws the same
+// fault sites.
 func (t *Topology) ResetComm() {
 	t.mu.Lock()
 	t.comm = CommStats{}
+	t.seq = make(map[linkSite]int)
 	t.mu.Unlock()
-}
-
-func (t *Topology) chargeHost(bytes int64) float64 {
-	if bytes <= 0 {
-		return 0
-	}
-	sec := t.ic.Host.TransferTime(bytes)
-	t.mu.Lock()
-	t.comm.Transfers++
-	t.comm.HostBytes += bytes
-	t.comm.HostSeconds += sec
-	t.mu.Unlock()
-	return sec
-}
-
-func (t *Topology) peerCopy(bytes int64) float64 {
-	if bytes <= 0 {
-		return 0
-	}
-	if t.ic.Peer != nil {
-		sec := t.ic.Peer.TransferTime(bytes)
-		t.mu.Lock()
-		t.comm.Transfers++
-		t.comm.PeerBytes += bytes
-		t.comm.PeerSeconds += sec
-		t.mu.Unlock()
-		return sec
-	}
-	// Host-staged: D2H on the source, then H2D on the destination.
-	sec := 2 * t.ic.Host.TransferTime(bytes)
-	t.mu.Lock()
-	t.comm.Transfers += 2
-	t.comm.HostBytes += 2 * bytes
-	t.comm.HostSeconds += sec
-	t.mu.Unlock()
-	return sec
 }
 
 // SlabTiming is the modeled cost of one slab's pass on a device: the
@@ -271,6 +398,9 @@ func (t *Topology) peerCopy(bytes int64) float64 {
 type SlabTiming struct {
 	Upload, Compute, Download float64
 }
+
+// Total sums the slab's modeled phases.
+func (s SlabTiming) Total() float64 { return s.Upload + s.Compute + s.Download }
 
 // PipelinedMakespan models executing the slabs of one device in order,
 // serially (each slab's upload → compute → download completes before
